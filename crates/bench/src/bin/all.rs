@@ -1,0 +1,23 @@
+//! Runs every table/figure binary's logic in sequence — the one-shot
+//! "regenerate the whole evaluation" entry point. Prefer the individual
+//! binaries when iterating; this exists for end-to-end reproduction runs.
+
+use std::process::Command;
+
+fn main() {
+    let quick = ams_bench::quick_mode();
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in ["table2", "table3", "table4", "table5", "table6", "fig7"] {
+        println!("\n================ {bin} ================");
+        let mut cmd = Command::new(dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().expect("spawn table binary");
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table II: statistics of the circuit benchmarks.
+
+use ams_netlist::benchmarks;
+
+fn main() {
+    println!("### Table II: Statistics of the circuit benchmarks");
+    println!("| Benchmark | #Regions | #Cells | #Nets | Tech             |");
+    println!("|-----------|----------|--------|-------|------------------|");
+    for design in [benchmarks::buf(), benchmarks::vco()] {
+        let nets = design.nets().iter().filter(|n| !n.virtual_net).count();
+        println!(
+            "| {:<9} | {:>8} | {:>6} | {:>5} | 5nm FinFET (sim) |",
+            design.name().to_uppercase(),
+            design.regions().len(),
+            design.cells().len(),
+            nets
+        );
+    }
+    println!("\nPaper reference: BUF 1/42/66, VCO 2/110/71.");
+}

@@ -1,0 +1,58 @@
+//! Regenerates Table III: BUF area / HPWL / RWL / via / runtime across the
+//! Manual-surrogate, w/o-constraints, and w/-constraints arms.
+
+use ams_bench::{paper, presets, print_arm_header, print_ratio_row, quick_mode, run_manual_arm, run_smt_arm};
+use ams_netlist::benchmarks;
+
+fn main() {
+    let cfg = if quick_mode() {
+        presets::quick(presets::buf())
+    } else {
+        presets::buf()
+    };
+
+    eprintln!("placing BUF (manual surrogate)...");
+    let manual = run_manual_arm(benchmarks::buf(), presets::baseline_buf());
+    eprintln!("placing BUF w/o constraints...");
+    let wo = run_smt_arm(
+        "w/o Cstr.",
+        benchmarks::buf().without_constraints(),
+        cfg.clone().without_ams_constraints(),
+    );
+    eprintln!("placing BUF w/ constraints...");
+    let w = run_smt_arm("w/ Cstr.", benchmarks::buf(), cfg);
+
+    print_arm_header("Table III (measured): BUF placement metrics");
+    print_ratio_row(
+        "Area",
+        &[Some(manual.area_um2()), Some(wo.area_um2()), Some(w.area_um2())],
+        "µm²",
+    );
+    print_ratio_row("HPWL", &[None, Some(wo.hpwl_um()), Some(w.hpwl_um())], "µm");
+    print_ratio_row("RWL", &[None, Some(wo.rwl_um()), Some(w.rwl_um())], "µm");
+    print_ratio_row(
+        "VIA",
+        &[None, Some(wo.vias() as f64), Some(w.vias() as f64)],
+        "",
+    );
+    print_ratio_row(
+        "Runtime",
+        &[
+            None,
+            Some(wo.runtime.as_secs_f64()),
+            Some(w.runtime.as_secs_f64()),
+        ],
+        "s",
+    );
+
+    print_arm_header("Table III (paper)");
+    let units = ["µm²", "µm", "µm", "", "s"];
+    for (row, metric) in ["Area", "HPWL", "RWL", "VIA", "Runtime"].iter().enumerate() {
+        print_ratio_row(metric, &paper::TABLE3[row], units[row]);
+    }
+    println!("\n(*) Manual column is the deterministic hand-layout surrogate (see DESIGN.md).");
+    println!(
+        "overflow: w/o = {}, w/ = {} (0 = routable)",
+        wo.route.overflow, w.route.overflow
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerates Table IV: BUF post-layout insertion delays and rise/fall
+//! times per stage, across the three evaluation arms.
+
+use ams_bench::{paper, presets, quick_mode, run_manual_arm, run_smt_arm, Arm};
+use ams_netlist::benchmarks;
+use ams_sim::{analyze_buf, BufTimingReport, Tech};
+
+fn report(arm: &Arm) -> BufTimingReport {
+    analyze_buf(&arm.design, &arm.nets, &Tech::n5())
+}
+
+fn main() {
+    let cfg = if quick_mode() {
+        presets::quick(presets::buf())
+    } else {
+        presets::buf()
+    };
+    eprintln!("running the three BUF arms...");
+    let manual = run_manual_arm(benchmarks::buf(), presets::baseline_buf());
+    let wo = run_smt_arm(
+        "w/o Cstr.",
+        benchmarks::buf().without_constraints(),
+        cfg.clone().without_ams_constraints(),
+    );
+    let w = run_smt_arm("w/ Cstr.", benchmarks::buf(), cfg);
+    let (rm, rwo, rw) = (report(&manual), report(&wo), report(&w));
+
+    println!("\n### Table IV (measured): BUF insertion delay and rise/fall times");
+    println!("| Stage | Manual* avg/sd (ps) | w/o avg/sd (ps) | w/ avg/sd (ps) | Manual r/f | w/o r/f | w/ r/f |");
+    println!("|-------|---------------------|-----------------|----------------|------------|---------|--------|");
+    for s in 0..4 {
+        println!(
+            "| {}     | {:>8.2} / {:<6.3} | {:>7.2} / {:<6.3} | {:>7.2} / {:<6.3} | {:>4.1}/{:<4.1} | {:>4.1}/{:<4.1} | {:>4.1}/{:<4.1} |",
+            s + 1,
+            rm.stages[s].delay_avg_ps,
+            rm.stages[s].delay_sd_ps,
+            rwo.stages[s].delay_avg_ps,
+            rwo.stages[s].delay_sd_ps,
+            rw.stages[s].delay_avg_ps,
+            rw.stages[s].delay_sd_ps,
+            rm.stages[s].rise_avg_ps,
+            rm.stages[s].fall_avg_ps,
+            rwo.stages[s].rise_avg_ps,
+            rwo.stages[s].fall_avg_ps,
+            rw.stages[s].rise_avg_ps,
+            rw.stages[s].fall_avg_ps,
+        );
+    }
+    println!(
+        "| OUT   | {:>8.2} / {:<6.3} | {:>7.2} / {:<6.3} | {:>7.2} / {:<6.3} | {:>4.1}/{:<4.1} | {:>4.1}/{:<4.1} | {:>4.1}/{:<4.1} |",
+        rm.out.delay_avg_ps, rm.out.delay_sd_ps,
+        rwo.out.delay_avg_ps, rwo.out.delay_sd_ps,
+        rw.out.delay_avg_ps, rw.out.delay_sd_ps,
+        rm.out.rise_avg_ps, rm.out.fall_avg_ps,
+        rwo.out.rise_avg_ps, rwo.out.fall_avg_ps,
+        rw.out.rise_avg_ps, rw.out.fall_avg_ps,
+    );
+    println!(
+        "| Total | {:>8.2} / {:<6.3} | {:>7.2} / {:<6.3} | {:>7.2} / {:<6.3} |            |         |        |",
+        rm.total_avg_ps, rm.total_sd_ps,
+        rwo.total_avg_ps, rwo.total_sd_ps,
+        rw.total_avg_ps, rw.total_sd_ps,
+    );
+
+    println!("\n### Table IV (paper, insertion-delay averages in ps)");
+    println!("| Stage | Manual | w/o Cstr. | w/ Cstr. |");
+    let labels = ["1", "2", "3", "4", "OUT", "Total"];
+    for (row, label) in labels.iter().enumerate() {
+        let [m, wo_, w_] = paper::TABLE4_DELAY_AVG[row];
+        println!("| {label:<5} | {m:>6.1} | {wo_:>9.1} | {w_:>8.1} |");
+    }
+    println!("\nShape checks: w/ Cstr. total should be lowest and its SDs smallest.");
+}

@@ -1,0 +1,57 @@
+//! Regenerates Table V: VCO area / HPWL / RWL / via / runtime.
+
+use ams_bench::{paper, presets, print_arm_header, print_ratio_row, quick_mode, run_manual_arm, run_smt_arm};
+use ams_netlist::benchmarks;
+
+fn main() {
+    let cfg = if quick_mode() {
+        presets::quick(presets::vco())
+    } else {
+        presets::vco()
+    };
+
+    eprintln!("placing VCO (manual surrogate)...");
+    let manual = run_manual_arm(benchmarks::vco(), presets::baseline_vco());
+    eprintln!("placing VCO w/o constraints...");
+    let wo = run_smt_arm(
+        "w/o Cstr.",
+        benchmarks::vco().without_constraints(),
+        cfg.clone().without_ams_constraints(),
+    );
+    eprintln!("placing VCO w/ constraints...");
+    let w = run_smt_arm("w/ Cstr.", benchmarks::vco(), cfg);
+
+    print_arm_header("Table V (measured): VCO placement metrics");
+    print_ratio_row(
+        "Area",
+        &[Some(manual.area_um2()), Some(wo.area_um2()), Some(w.area_um2())],
+        "µm²",
+    );
+    print_ratio_row("HPWL", &[None, Some(wo.hpwl_um()), Some(w.hpwl_um())], "µm");
+    print_ratio_row("RWL", &[None, Some(wo.rwl_um()), Some(w.rwl_um())], "µm");
+    print_ratio_row(
+        "VIA",
+        &[None, Some(wo.vias() as f64), Some(w.vias() as f64)],
+        "",
+    );
+    print_ratio_row(
+        "Runtime",
+        &[
+            None,
+            Some(wo.runtime.as_secs_f64()),
+            Some(w.runtime.as_secs_f64()),
+        ],
+        "s",
+    );
+
+    print_arm_header("Table V (paper)");
+    let units = ["µm²", "µm", "µm", "", "s"];
+    for (row, metric) in ["Area", "HPWL", "RWL", "VIA", "Runtime"].iter().enumerate() {
+        print_ratio_row(metric, &paper::TABLE5[row], units[row]);
+    }
+    println!("\n(*) Manual column is the deterministic hand-layout surrogate (see DESIGN.md).");
+    println!(
+        "overflow: w/o = {}, w/ = {} (0 = routable)",
+        wo.route.overflow, w.route.overflow
+    );
+}

@@ -1,0 +1,75 @@
+//! Regenerates Table VI: VCO power and oscillation frequency vs. supply.
+
+use ams_bench::{paper, presets, quick_mode, run_manual_arm, run_smt_arm, Arm};
+use ams_netlist::benchmarks;
+use ams_sim::{Tech, VcoModel};
+
+/// Nominal capacitor trim code used for the supply sweep.
+const NOMINAL_CODE: u32 = 3;
+
+fn model(arm: &Arm) -> VcoModel {
+    VcoModel::from_layout(&arm.design, &arm.nets, Tech::n5())
+}
+
+fn main() {
+    let cfg = if quick_mode() {
+        presets::quick(presets::vco())
+    } else {
+        presets::vco()
+    };
+    eprintln!("running the three VCO arms...");
+    let manual = run_manual_arm(benchmarks::vco(), presets::baseline_vco());
+    let wo = run_smt_arm(
+        "w/o Cstr.",
+        benchmarks::vco().without_constraints(),
+        cfg.clone().without_ams_constraints(),
+    );
+    let w = run_smt_arm("w/ Cstr.", benchmarks::vco(), cfg);
+    let (mm, mwo, mw) = (model(&manual), model(&wo), model(&w));
+
+    println!("\n### Table VI (measured): VCO power (µW) and frequency (GHz) vs supply");
+    println!("| Supply (mV) | Manual* P/f      | w/o Cstr. P/f    | w/ Cstr. P/f     |");
+    println!("|-------------|------------------|------------------|------------------|");
+    let mut norms = [[0.0f64; 2]; 3];
+    for &(mv, _) in &paper::TABLE6 {
+        let v = f64::from(mv) / 1000.0;
+        let pts = [
+            mm.evaluate(v, NOMINAL_CODE),
+            mwo.evaluate(v, NOMINAL_CODE),
+            mw.evaluate(v, NOMINAL_CODE),
+        ];
+        println!(
+            "| {mv:>11} | {:>7.1} / {:<5.2} | {:>7.1} / {:<5.2} | {:>7.1} / {:<5.2} |",
+            pts[0].power_uw, pts[0].frequency_ghz,
+            pts[1].power_uw, pts[1].frequency_ghz,
+            pts[2].power_uw, pts[2].frequency_ghz,
+        );
+        for (i, p) in pts.iter().enumerate() {
+            norms[i][0] += p.power_uw;
+            norms[i][1] += p.frequency_ghz;
+        }
+    }
+    let base = norms[2];
+    print!("| Norm.       |");
+    for n in norms {
+        print!(" {:>7.2} / {:<6.2} |", n[0] / base[0], n[1] / base[1]);
+    }
+    println!();
+
+    println!("\n### Table VI (paper)");
+    println!("| Supply (mV) | Manual P/f       | w/o Cstr. P/f    | w/ Cstr. P/f     |");
+    for &(mv, cols) in &paper::TABLE6 {
+        println!(
+            "| {mv:>11} | {:>7.1} / {:<5.2} | {:>7.1} / {:<5.2} | {:>7.1} / {:<5.2} |",
+            cols[0].0, cols[0].1, cols[1].0, cols[1].1, cols[2].0, cols[2].1,
+        );
+    }
+    println!("| Norm.       | 1.02 / 0.98      | 1.00 / 0.88      | 1.00 / 1.00      |");
+    println!("\nShape checks: w/ Cstr. fastest at every supply; w/o slowest; powers within a few %.");
+    println!(
+        "phase parasitics (C per stage, fF): manual {:.2}, w/o {:.2}, w/ {:.2}",
+        mm.c_parasitic_per_stage * 1e15,
+        mwo.c_parasitic_per_stage * 1e15,
+        mw.c_parasitic_per_stage * 1e15
+    );
+}

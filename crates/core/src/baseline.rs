@@ -1,0 +1,188 @@
+//! The manual-layout surrogate: a deterministic greedy row packer run at
+//! conservative hand-layout utilization.
+//!
+//! The paper's "Manual" column is an expert layout whose area is larger
+//! than the automated one (1.49× for BUF, 1.23× for VCO) with comparable
+//! performance. This baseline reproduces that role: correct, row-based,
+//! reasonably compact — but guard-banded the way careful hand layout is.
+//! It is *not* an attempt to imitate a specific human layout and is labeled
+//! a surrogate wherever it is reported.
+
+use crate::placement::{placement_from_rects, Placement};
+use crate::scale::ScaleInfo;
+use ams_netlist::{CellId, Design, Rect, RegionId};
+
+/// Configuration of the manual-surrogate packer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselineConfig {
+    /// Utilization the packer aims for. Hand layouts of AMS blocks
+    /// typically sit well below automated utilization.
+    pub utilization: f64,
+    /// Aspect ratio of each packed region.
+    pub aspect_ratio: f64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> BaselineConfig {
+        BaselineConfig {
+            utilization: 0.40,
+            aspect_ratio: 1.0,
+        }
+    }
+}
+
+/// Packs the design greedily row by row, one region at a time, regions
+/// stacked horizontally with one-unit gaps.
+///
+/// Cells are sorted by descending width (ties by name) and placed
+/// first-fit into rows; power groups are packed bottom-up in band order so
+/// the result is power-abutment clean.
+pub fn manual_surrogate(design: &Design, config: BaselineConfig) -> Placement {
+    let scale = ScaleInfo::compute(design, &crate::PlacerConfig::default());
+    let (uw, uh) = (scale.unit_w, scale.unit_h);
+
+    let mut region_rects: Vec<Rect> = Vec::new();
+    let mut cell_rects: Vec<Rect> = vec![Rect::default(); design.cells().len()];
+    let mut cursor_x = uw; // leave an edge column
+
+    for r in design.region_ids() {
+        let cells = ordered_cells(design, r);
+        let area: u64 = cells
+            .iter()
+            .map(|&c| u64::from(design.cell(c).width) * u64::from(design.cell(c).height))
+            .sum();
+        let target = (area as f64 / config.utilization).max(1.0);
+        let width_f = (target * config.aspect_ratio).sqrt();
+        // Round the row width up to whole sites.
+        let row_width = ((width_f / uw as f64).ceil() as u32).max(
+            cells
+                .iter()
+                .map(|&c| design.cell(c).width / uw)
+                .max()
+                .unwrap_or(1),
+        ) * uw;
+
+        let row_height = design.cell(cells[0]).height;
+        let base_y = uh;
+        let plan = crate::power::PowerPlan::analyze(design);
+        let band_of = |c: CellId| -> usize {
+            plan.for_region(r)
+                .and_then(|p| {
+                    p.bands
+                        .iter()
+                        .position(|&g| g == design.cell(c).power_group)
+                })
+                .unwrap_or(0)
+        };
+        // Hand layouts guard-band each device: every cell gets whitespace
+        // proportional to its width so the region genuinely lands at the
+        // configured utilization.
+        let spread = (1.0 / config.utilization - 1.0).max(0.0);
+        let gap_after = |w: u32| -> u32 {
+            let raw = (f64::from(w) * spread / f64::from(uw)).round() as u32;
+            raw * uw
+        };
+        let mut row = 0u32;
+        let mut x = 0u32;
+        let mut band = band_of(cells[0]);
+        for &c in &cells {
+            let w = design.cell(c).width;
+            // Row break on overflow or on entering the next power band
+            // (different supplies never share a row).
+            if x + w > row_width || band_of(c) != band {
+                row += 1;
+                x = 0;
+                band = band_of(c);
+            }
+            cell_rects[c.index()] = Rect::new(cursor_x + x, base_y + row * row_height, w, row_height);
+            x += w + gap_after(w);
+        }
+        let used_rows = row + 1;
+        let rect = Rect::new(cursor_x, base_y, row_width, used_rows * row_height);
+        region_rects.push(rect);
+        cursor_x = rect.right() + 2 * uw;
+    }
+
+    let die_w = cursor_x;
+    let die_h = region_rects
+        .iter()
+        .map(|r| r.top())
+        .max()
+        .unwrap_or(uh)
+        + uh;
+    let die = Rect::new(0, 0, die_w, die_h);
+    placement_from_rects(cell_rects, region_rects, die, &scale)
+}
+
+/// Cells of a region ordered: power bands bottom-up (largest band first to
+/// mirror the SMT power plan), then by descending width, then name.
+fn ordered_cells(design: &Design, r: RegionId) -> Vec<CellId> {
+    let plan = crate::power::PowerPlan::analyze(design);
+    let band_of = |c: CellId| -> usize {
+        match plan.for_region(r) {
+            Some(p) => p
+                .bands
+                .iter()
+                .position(|&g| g == design.cell(c).power_group)
+                .unwrap_or(0),
+            None => 0,
+        }
+    };
+    let mut cells: Vec<CellId> = design.cells_in_region(r).collect();
+    cells.sort_by(|&a, &b| {
+        band_of(a)
+            .cmp(&band_of(b))
+            .then(design.cell(b).width.cmp(&design.cell(a).width))
+            .then(design.cell(a).name.cmp(&design.cell(b).name))
+    });
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::benchmarks;
+
+    #[test]
+    fn buf_baseline_is_overlap_free_and_contained() {
+        let d = benchmarks::buf();
+        let p = manual_surrogate(&d, BaselineConfig::default());
+        // Geometric sanity only: the surrogate ignores the AMS constraint
+        // families, exactly like a verify restricted to geometry.
+        for (i, a) in p.cells.iter().enumerate() {
+            assert!(a.w > 0);
+            assert!(p.die.contains_rect(*a), "cell {i} escapes die");
+            for b in p.cells.iter().skip(i + 1) {
+                assert!(!a.overlaps(*b), "cells overlap in baseline");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_area_exceeds_smt_target() {
+        // At 0.54 utilization the surrogate die must be meaningfully larger
+        // than the cell area (the paper's manual layouts are ~1.2-1.5x the
+        // automated area).
+        let d = benchmarks::buf();
+        let p = manual_surrogate(&d, BaselineConfig::default());
+        let cell_area: u64 = d.total_cell_area();
+        assert!(p.area_grid() as f64 > 1.3 * cell_area as f64);
+    }
+
+    #[test]
+    fn vco_baseline_respects_power_bands() {
+        let d = benchmarks::vco();
+        let p = manual_surrogate(&d, BaselineConfig::default());
+        // Check the power-abutment property directly.
+        let mut v = Vec::new();
+        // Reuse the placement checker's power logic through verify: filter
+        // only power violations (symmetry and arrays are expectedly broken).
+        if let Err(all) = p.verify(&d) {
+            v = all
+                .into_iter()
+                .filter(|x| x.kind == crate::ViolationKind::PowerAbutment)
+                .collect();
+        }
+        assert!(v.is_empty(), "baseline violates power abutment: {v:?}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Placement engine configuration.
+
+/// Which constraint families to encode.
+///
+/// The paper's "w/ Cstr." arm enables everything; "w/o Cstr." disables the
+/// four AMS families while keeping the *critical* constraints (regions,
+/// non-overlap, power abutment, pin density) "to ensure routability".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstraintToggles {
+    /// Hierarchical symmetry constraints (Eq. 8).
+    pub symmetry: bool,
+    /// Array and common-centroid constraints (Eq. 9–10).
+    pub arrays: bool,
+    /// Cluster constraints (virtual nets).
+    pub clusters: bool,
+    /// Extension constraints (Eq. 11).
+    pub extensions: bool,
+    /// Power-abutment constraints (Eq. 12). Always recommended.
+    pub power_abutment: bool,
+}
+
+impl ConstraintToggles {
+    /// All families on — the paper's "w/ Cstr." arm.
+    pub fn all() -> ConstraintToggles {
+        ConstraintToggles {
+            symmetry: true,
+            arrays: true,
+            clusters: true,
+            extensions: true,
+            power_abutment: true,
+        }
+    }
+
+    /// AMS families off, critical constraints on — the "w/o Cstr." arm.
+    pub fn critical_only() -> ConstraintToggles {
+        ConstraintToggles {
+            symmetry: false,
+            arrays: false,
+            clusters: false,
+            extensions: false,
+            power_abutment: true,
+        }
+    }
+}
+
+impl Default for ConstraintToggles {
+    fn default() -> ConstraintToggles {
+        ConstraintToggles::all()
+    }
+}
+
+/// Window-based pin-density checking parameters (Eq. 13–14).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PinDensityConfig {
+    /// Scaled window width `β_x`.
+    pub beta_x: u32,
+    /// Scaled window height `β_y`.
+    pub beta_y: u32,
+    /// Pin-count threshold `λ_th` per window; `None` derives it from the
+    /// average density with [`PinDensityConfig::auto_margin`].
+    pub lambda: Option<u64>,
+    /// Multiplier over the average window pin count when `lambda` is `None`.
+    pub auto_margin: f64,
+    /// Window step in x; 1 checks every position as in the paper, larger
+    /// strides trade coverage for encoding size.
+    pub stride_x: u32,
+    /// Window step in y.
+    pub stride_y: u32,
+}
+
+impl Default for PinDensityConfig {
+    fn default() -> PinDensityConfig {
+        PinDensityConfig {
+            beta_x: 4,
+            beta_y: 2,
+            lambda: None,
+            auto_margin: 1.15,
+            stride_x: 2,
+            stride_y: 1,
+        }
+    }
+}
+
+/// Incremental-optimization behaviour (Algorithm 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OptimizeConfig {
+    /// Maximum optimization iterations `K_iter`.
+    pub k_iter: usize,
+    /// Initial wirelength shrink factor `ζ` (0, 1].
+    pub zeta_start: f64,
+    /// Per-iteration decrease of `ζ`.
+    pub zeta_step: f64,
+    /// Lower bound on `ζ`.
+    pub zeta_min: f64,
+    /// Freeze low-priority cell/region variables via assumptions (line 9).
+    pub freeze: bool,
+    /// Fraction of cells frozen per iteration, accumulated over iterations.
+    pub freeze_fraction: f64,
+    /// If an iteration is UNSAT *because of* frozen assumptions, retry it
+    /// once without freezing before giving up.
+    pub retry_unfrozen: bool,
+    /// Conflict budget per optimization-round SAT call; `None` is unlimited.
+    pub conflict_budget: Option<u64>,
+    /// Conflict budget for the *first* (feasibility) solve, which must
+    /// succeed for any placement to exist; `None` is unlimited.
+    pub first_conflict_budget: Option<u64>,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> OptimizeConfig {
+        OptimizeConfig {
+            k_iter: 5,
+            zeta_start: 0.95,
+            zeta_step: 0.03,
+            zeta_min: 0.70,
+            freeze: true,
+            freeze_fraction: 0.25,
+            retry_unfrozen: true,
+            conflict_budget: Some(100_000),
+            first_conflict_budget: Some(3_000_000),
+        }
+    }
+}
+
+/// Full placement configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacerConfig {
+    /// Global utilization ratio `γ^ur` used for die sizing (Eq. 2).
+    pub utilization: f64,
+    /// Aspect ratio `γ^ar` (width / height).
+    pub aspect_ratio: f64,
+    /// Extra multiplicative slack on the die, useful when heavy constraints
+    /// make tight dies infeasible.
+    pub die_slack: f64,
+    /// Constraint family toggles.
+    pub toggles: ConstraintToggles,
+    /// Pin-density checking; `None` disables it (an ablation arm — the
+    /// paper argues placements may then be unroutable).
+    pub pin_density: Option<PinDensityConfig>,
+    /// Incremental wirelength optimization settings.
+    pub optimize: OptimizeConfig,
+    /// Encode exact (tight) net bounding boxes instead of relaxed ones.
+    /// Relaxed boxes are sound for optimization and smaller to encode.
+    pub exact_bbox: bool,
+    /// Encode arrays by canonical slot assignment (members pinned to slots
+    /// of the chosen shape, with common-centroid A/B partitions computed
+    /// statically) instead of the literal Eq. 9–10 packing constraints.
+    /// Dramatically easier to solve; `false` reverts to the literal
+    /// encoding for ablation.
+    pub array_slots: bool,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> PlacerConfig {
+        PlacerConfig {
+            utilization: 0.92,
+            aspect_ratio: 1.0,
+            die_slack: 1.04,
+            toggles: ConstraintToggles::all(),
+            pin_density: Some(PinDensityConfig::default()),
+            optimize: OptimizeConfig::default(),
+            exact_bbox: false,
+            array_slots: true,
+        }
+    }
+}
+
+impl PlacerConfig {
+    /// A fast preset for tests and examples: two optimization rounds, a
+    /// modest conflict budget, and roomy die sizing (arbitrary small
+    /// designs round harshly against the tight default sizing).
+    pub fn fast() -> PlacerConfig {
+        PlacerConfig {
+            utilization: 0.75,
+            die_slack: 1.25,
+            optimize: OptimizeConfig {
+                k_iter: 2,
+                conflict_budget: Some(200_000),
+                ..OptimizeConfig::default()
+            },
+            ..PlacerConfig::default()
+        }
+    }
+
+    /// The "w/o Cstr." arm of this configuration.
+    pub fn without_ams_constraints(&self) -> PlacerConfig {
+        PlacerConfig {
+            toggles: ConstraintToggles::critical_only(),
+            ..self.clone()
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.utilization > 0.0 && self.utilization <= 1.0) {
+            return Err(format!("utilization {} outside (0, 1]", self.utilization));
+        }
+        if !(self.aspect_ratio > 0.0) {
+            return Err(format!("aspect ratio {} must be positive", self.aspect_ratio));
+        }
+        if self.die_slack < 1.0 {
+            return Err(format!("die slack {} must be >= 1", self.die_slack));
+        }
+        let o = &self.optimize;
+        if !(o.zeta_start > 0.0 && o.zeta_start <= 1.0) {
+            return Err(format!("zeta_start {} outside (0, 1]", o.zeta_start));
+        }
+        if !(0.0..=1.0).contains(&o.freeze_fraction) {
+            return Err(format!("freeze_fraction {} outside [0, 1]", o.freeze_fraction));
+        }
+        if let Some(pd) = &self.pin_density {
+            if pd.beta_x == 0 || pd.beta_y == 0 || pd.stride_x == 0 || pd.stride_y == 0 {
+                return Err("pin-density window and stride must be nonzero".into());
+            }
+            if pd.auto_margin < 1.0 {
+                return Err(format!("pin-density auto margin {} must be >= 1", pd.auto_margin));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(PlacerConfig::default().validate(), Ok(()));
+        assert_eq!(PlacerConfig::fast().validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        let mut c = PlacerConfig::default();
+        c.utilization = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = PlacerConfig::default();
+        c.die_slack = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = PlacerConfig::default();
+        c.pin_density = Some(PinDensityConfig {
+            beta_x: 0,
+            ..PinDensityConfig::default()
+        });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn without_ams_keeps_critical() {
+        let c = PlacerConfig::default().without_ams_constraints();
+        assert!(!c.toggles.symmetry);
+        assert!(c.toggles.power_abutment);
+        assert!(c.pin_density.is_some());
+    }
+}

@@ -1,0 +1,39 @@
+//! SMT constraint encoders, one module per formula family of Section IV.C.
+//!
+//! All geometric comparisons are lifted one bit above the coordinate width
+//! (`zext`) before adding sizes or margins, so bit-vector wraparound can
+//! never satisfy a constraint spuriously.
+
+pub(crate) mod array;
+pub(crate) mod pin_density;
+pub(crate) mod power_abut;
+pub(crate) mod region;
+pub(crate) mod symmetry;
+pub(crate) mod wirelength;
+
+use crate::scale::ScaleInfo;
+use ams_smt::{Smt, Term};
+
+/// `zext(t, w+1) + c` — a coordinate plus a constant offset, computed one
+/// bit wide so it cannot wrap.
+pub(crate) fn off_const(smt: &mut Smt, t: Term, c: u64, lifted_width: u32) -> Term {
+    let z = smt.zext(t, lifted_width);
+    if c == 0 {
+        z
+    } else {
+        let k = smt.bv_const(lifted_width, c);
+        smt.add(z, k)
+    }
+}
+
+/// `zext(a, w+1) + zext(b, w+1)` for variable sizes (region extents).
+pub(crate) fn off_var(smt: &mut Smt, a: Term, b: Term, lifted_width: u32) -> Term {
+    let za = smt.zext(a, lifted_width);
+    let zb = smt.zext(b, lifted_width);
+    smt.add(za, zb)
+}
+
+/// Lifted widths for x/y comparisons.
+pub(crate) fn lifted(scale: &ScaleInfo) -> (u32, u32) {
+    (scale.lx + 1, scale.ly + 1)
+}

@@ -1,0 +1,70 @@
+//! Power-abutment constraints (Eq. 12, Fig. 4).
+//!
+//! Within a region that mixes power groups, cells of each group are
+//! confined to a horizontal band; bands are separated by auxiliary
+//! boundary variables `y_pow^1 < y_pow^2 < …`, so rows never abut cells of
+//! different supplies.
+
+use super::{lifted, off_const, off_var};
+use crate::power::PowerPlan;
+use crate::scale::ScaleInfo;
+use crate::vars::VarMap;
+use ams_netlist::Design;
+use ams_smt::Smt;
+
+/// Asserts the band structure for every mixed region of the plan.
+pub(crate) fn assert_power_abutment(
+    smt: &mut Smt,
+    design: &Design,
+    scale: &ScaleInfo,
+    vars: &VarMap,
+    plan: &PowerPlan,
+) {
+    let (_, lwy) = lifted(scale);
+    for (pi, rp) in plan.regions.iter().enumerate() {
+        let ri = rp.region.index();
+        let bounds = &vars.power_bounds[pi];
+        debug_assert_eq!(bounds.len() + 1, rp.bands.len());
+
+        // Boundaries are ordered and lie inside the region.
+        let region_bottom = vars.region_y[ri];
+        let region_top = off_var(smt, vars.region_y[ri], vars.region_h[ri], lwy);
+        for (k, &b) in bounds.iter().enumerate() {
+            let ge = smt.ule(region_bottom, b);
+            smt.assert(ge);
+            let bl = smt.zext(b, lwy);
+            let le = smt.ule(bl, region_top);
+            smt.assert(le);
+            if k + 1 < bounds.len() {
+                let next = bounds[k + 1];
+                let ord = smt.ule(b, next);
+                smt.assert(ord);
+            }
+        }
+
+        // Band membership per cell (Eq. 12). Band k spans
+        // [bound_{k-1}, bound_k] with the region edges as outer bounds.
+        for c in design.cells_in_region(rp.region) {
+            let group = design.cell(c).power_group;
+            let band = rp
+                .bands
+                .iter()
+                .position(|&g| g == group)
+                .expect("power plan covers every group in the region");
+            let y = vars.cell_y[c.index()];
+            let h = scale.height_of(c);
+            if band > 0 {
+                let lower = bounds[band - 1];
+                let ge = smt.ule(lower, y);
+                smt.assert(ge);
+            }
+            if band < bounds.len() {
+                let upper = bounds[band];
+                let top = off_const(smt, y, u64::from(h), lwy);
+                let ub = smt.zext(upper, lwy);
+                let le = smt.ule(top, ub);
+                smt.assert(le);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Hierarchical symmetry constraints (Eq. 8).
+
+use crate::scale::ScaleInfo;
+use crate::vars::VarMap;
+use ams_netlist::{Design, SymmetryAxis};
+use ams_smt::Smt;
+
+/// Asserts every symmetry group. For a vertical axis the doubled-axis
+/// variable `a = 2·x_sym` satisfies
+///
+/// * self-symmetric `v`:  `2·x_v + w_v = a`,
+/// * mirrored `(v, v')`:  `x_v + w_v + x_v' = a` and `y_v = y_v'`
+///   (mirror partners share a row).
+///
+/// Hierarchy comes for free: child groups alias the parent's axis variable
+/// (see [`VarMap::create`]), so one cell can satisfy several groups around
+/// the same joint axis simultaneously.
+pub(crate) fn assert_symmetry(smt: &mut Smt, design: &Design, scale: &ScaleInfo, vars: &VarMap) {
+    for (gi, g) in design.constraints().symmetry.iter().enumerate() {
+        let axis2 = vars.sym_axis2[gi];
+        for p in &g.pairs {
+            let a = p.a;
+            match (g.axis, p.b) {
+                (SymmetryAxis::Vertical, None) => {
+                    // 2·x + w = axis2, at width lx+2 to avoid wraparound.
+                    let w = scale.lx + 2;
+                    let x = smt.zext(vars.cell_x[a.index()], w);
+                    let x2 = smt.shl(x, 1);
+                    let lhs = {
+                        let c = smt.bv_const(w, u64::from(scale.width_of(a)));
+                        smt.add(x2, c)
+                    };
+                    let eq = smt.eq(lhs, axis2);
+                    smt.assert(eq);
+                }
+                (SymmetryAxis::Vertical, Some(b)) => {
+                    let w = scale.lx + 2;
+                    let xa = smt.zext(vars.cell_x[a.index()], w);
+                    let xb = smt.zext(vars.cell_x[b.index()], w);
+                    let sum = smt.add(xa, xb);
+                    let lhs = {
+                        let c = smt.bv_const(w, u64::from(scale.width_of(a)));
+                        smt.add(sum, c)
+                    };
+                    let eq = smt.eq(lhs, axis2);
+                    smt.assert(eq);
+                    // Mirror partners share a row.
+                    let same_row = smt.eq(vars.cell_y[a.index()], vars.cell_y[b.index()]);
+                    smt.assert(same_row);
+                }
+                (SymmetryAxis::Horizontal, None) => {
+                    let w = scale.ly + 2;
+                    let y = smt.zext(vars.cell_y[a.index()], w);
+                    let y2 = smt.shl(y, 1);
+                    let lhs = {
+                        let c = smt.bv_const(w, u64::from(scale.height_of(a)));
+                        smt.add(y2, c)
+                    };
+                    let eq = smt.eq(lhs, axis2);
+                    smt.assert(eq);
+                }
+                (SymmetryAxis::Horizontal, Some(b)) => {
+                    let w = scale.ly + 2;
+                    let ya = smt.zext(vars.cell_y[a.index()], w);
+                    let yb = smt.zext(vars.cell_y[b.index()], w);
+                    let sum = smt.add(ya, yb);
+                    let lhs = {
+                        let c = smt.bv_const(w, u64::from(scale.height_of(a)));
+                        smt.add(sum, c)
+                    };
+                    let eq = smt.eq(lhs, axis2);
+                    smt.assert(eq);
+                    let same_col = smt.eq(vars.cell_x[a.index()], vars.cell_x[b.index()]);
+                    smt.assert(same_col);
+                }
+            }
+        }
+        // The axis must lie inside the die: axis2 <= 2·die extent.
+        let (width, extent) = match g.axis {
+            SymmetryAxis::Vertical => (scale.lx + 2, u64::from(scale.scaled_w)),
+            SymmetryAxis::Horizontal => (scale.ly + 2, u64::from(scale.scaled_h)),
+        };
+        let bound = smt.bv_const(width, 2 * extent);
+        let within = smt.ule(axis2, bound);
+        smt.assert(within);
+    }
+}

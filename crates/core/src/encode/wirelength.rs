@@ -1,0 +1,136 @@
+//! Net bounding boxes and the weighted total-wirelength expression `Φ`
+//! (Algorithm 1, lines 1–3).
+//!
+//! Bounding boxes are encoded in *relaxed* form by default: `xl_n` is only
+//! constrained to lie at-or-below every member and `xh_n` at-or-above, so
+//! `xh_n − xl_n` over-approximates the true span. Minimization pressure from
+//! `Φ < ζ·Φ'` keeps the slack tight, and the measured wirelength is always
+//! recomputed from actual cell positions, so reported numbers are exact.
+//! `exact_bbox` additionally pins each edge to some member (the literal
+//! Table I reading) at extra encoding cost.
+
+use crate::config::PlacerConfig;
+use crate::scale::ScaleInfo;
+use crate::vars::VarMap;
+use ams_netlist::{CellId, Design, NetId};
+use ams_smt::{Smt, Term};
+
+/// Asserts the bounding-box constraints and returns the `Φ` expression plus
+/// its bit width.
+pub(crate) fn assert_wirelength(
+    smt: &mut Smt,
+    design: &Design,
+    scale: &ScaleInfo,
+    vars: &VarMap,
+    config: &PlacerConfig,
+) -> (Term, u32) {
+    let span_w = scale.lx.max(scale.ly);
+    // Width of Φ: the worst case is every net spanning the die with its
+    // full weight.
+    let total_weight: u64 = design
+        .net_ids()
+        .filter(|&n| vars.net_box[n.index()].is_some())
+        .map(|n| u64::from(design.net(n).weight.max(1)))
+        .sum();
+    let phi_w =
+        span_w + crate::scale::bits_for(total_weight.max(1) as u32) + 2;
+
+    let mut spans: Vec<Term> = Vec::new();
+    for n in design.net_ids() {
+        let Some(bx) = vars.net_box[n.index()] else {
+            continue;
+        };
+        let members = net_cells(design, n);
+        let mut touch_xl = Vec::new();
+        let mut touch_xh = Vec::new();
+        let mut touch_yl = Vec::new();
+        let mut touch_yh = Vec::new();
+        for &c in &members {
+            let x = vars.cell_x[c.index()];
+            let y = vars.cell_y[c.index()];
+            let lo_x = smt.ule(bx.xl, x);
+            smt.assert(lo_x);
+            let hi_x = smt.ule(x, bx.xh);
+            smt.assert(hi_x);
+            let lo_y = smt.ule(bx.yl, y);
+            smt.assert(lo_y);
+            let hi_y = smt.ule(y, bx.yh);
+            smt.assert(hi_y);
+            if config.exact_bbox {
+                touch_xl.push(smt.eq(bx.xl, x));
+                touch_xh.push(smt.eq(bx.xh, x));
+                touch_yl.push(smt.eq(bx.yl, y));
+                touch_yh.push(smt.eq(bx.yh, y));
+            }
+        }
+        if config.exact_bbox {
+            for touches in [touch_xl, touch_xh, touch_yl, touch_yh] {
+                let some = smt.or(&touches);
+                smt.assert(some);
+            }
+        }
+
+        // Weighted span contribution: η_n · ((xh−xl) + (yh−yl)).
+        let dx = smt.sub(bx.xh, bx.xl);
+        let dy = smt.sub(bx.yh, bx.yl);
+        let dx_w = smt.zext(dx, phi_w);
+        let dy_w = smt.zext(dy, phi_w);
+        let span = smt.add(dx_w, dy_w);
+        let weight = u64::from(design.net(n).weight.max(1));
+        let term = if weight == 1 {
+            span
+        } else {
+            let wc = smt.bv_const(phi_w, weight);
+            smt.mul(span, wc)
+        };
+        spans.push(term);
+    }
+
+    let phi = if spans.is_empty() {
+        smt.bv_const(phi_w, 0)
+    } else {
+        smt.sum(&spans, phi_w)
+    };
+    (phi, phi_w)
+}
+
+/// Distinct cells on a net, in first-seen order.
+pub(crate) fn net_cells(design: &Design, n: NetId) -> Vec<CellId> {
+    let mut out: Vec<CellId> = Vec::new();
+    for &(c, _) in design.net_connections(n) {
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Measures the true weighted HPWL (in scaled units, cell-origin based) of
+/// a model, matching what `Φ` bounds.
+pub(crate) fn measure_weighted_hpwl(
+    design: &Design,
+    vars: &VarMap,
+    xs: &[u64],
+    ys: &[u64],
+) -> u64 {
+    let mut total = 0u64;
+    for n in design.net_ids() {
+        if vars.net_box[n.index()].is_none() {
+            continue;
+        }
+        let members = net_cells(design, n);
+        if members.len() < 2 {
+            continue;
+        }
+        let (mut xl, mut xh, mut yl, mut yh) = (u64::MAX, 0u64, u64::MAX, 0u64);
+        for &c in &members {
+            xl = xl.min(xs[c.index()]);
+            xh = xh.max(xs[c.index()]);
+            yl = yl.min(ys[c.index()]);
+            yh = yh.max(ys[c.index()]);
+        }
+        let weight = u64::from(design.net(n).weight.max(1));
+        total += weight * ((xh - xl) + (yh - yl));
+    }
+    total
+}

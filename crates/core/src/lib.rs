@@ -1,0 +1,53 @@
+//! # ams-place
+//!
+//! The SMT-based routability-aware placement framework for region-based
+//! FinFET AMS layouts — the primary contribution of the DATE 2022 paper
+//! this workspace reproduces.
+//!
+//! The flow (Fig. 3 of the paper):
+//!
+//! 1. **Power analysis** ([`PowerPlan`]) derives power-abutment constraints;
+//! 2. **SMT placement** ([`SmtPlacer`]) encodes regions, non-overlap,
+//!    hierarchical symmetry, arrays/common-centroid, clusters, extensions,
+//!    power abutment, and window-based pin density into quantifier-free
+//!    bit-vector formulas, then optimizes wirelength by incremental solving
+//!    (Algorithm 1) with assumption-based variable freezing (Eq. 15);
+//! 3. **Post-processing** inserts edge and dummy cells.
+//!
+//! [`Placement::verify`] is an independent legality oracle, and
+//! [`baseline::manual_surrogate`] provides the manual-layout stand-in used
+//! by the evaluation harness.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use ams_netlist::benchmarks;
+//! use ams_place::{PlacerConfig, SmtPlacer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = benchmarks::buf();
+//! let placement = SmtPlacer::new(&design, PlacerConfig::default())?.place()?;
+//! assert!(placement.verify(&design).is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baseline;
+mod config;
+mod encode;
+mod placement;
+mod placer;
+mod post;
+mod power;
+mod scale;
+mod svg;
+mod vars;
+
+pub use config::{ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig};
+pub use placement::{
+    placement_from_rects, PinDensityCheck, PlaceStats, Placement, Violation, ViolationKind,
+};
+pub use placer::{PlaceError, SmtPlacer};
+pub use power::{PowerPlan, RegionPowerPlan};
+pub use scale::{bits_for, ScaleInfo};
+pub use svg::render_svg;

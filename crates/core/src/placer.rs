@@ -1,0 +1,438 @@
+//! The SMT placement engine (Fig. 3): encode → incremental optimization
+//! (Algorithm 1) → post-processing.
+
+use crate::config::PlacerConfig;
+use crate::encode;
+use crate::placement::{PinDensityCheck, PlaceStats, Placement};
+use crate::power::PowerPlan;
+use crate::scale::ScaleInfo;
+use crate::vars::VarMap;
+use ams_netlist::{CellId, Design, Rect, RegionId};
+use ams_smt::{Smt, SmtResult, Term};
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Placement failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlaceError {
+    /// The configuration is invalid.
+    Config(String),
+    /// The constraint system is unsatisfiable — no legal placement exists
+    /// on the sized die (raise `die_slack` or utilization headroom).
+    Infeasible,
+    /// The first solve exhausted its conflict budget without a verdict.
+    BudgetExhausted,
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            PlaceError::Infeasible => {
+                write!(f, "no legal placement exists for the sized die")
+            }
+            PlaceError::BudgetExhausted => {
+                write!(f, "conflict budget exhausted before a first solution")
+            }
+        }
+    }
+}
+
+impl Error for PlaceError {}
+
+/// Model snapshot of one SAT iteration.
+#[derive(Clone, Debug)]
+struct Model {
+    xs: Vec<u64>,
+    ys: Vec<u64>,
+    region_x: Vec<u64>,
+    region_y: Vec<u64>,
+    region_w: Vec<u64>,
+    region_h: Vec<u64>,
+}
+
+/// The SMT-based AMS placement engine.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ams_netlist::benchmarks;
+/// use ams_place::{PlacerConfig, SmtPlacer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = benchmarks::buf();
+/// let placement = SmtPlacer::new(&design, PlacerConfig::fast())?.place()?;
+/// placement.verify(&design).expect("placement is legal");
+/// println!("HPWL = {} grid units", placement.hpwl(&design));
+/// # Ok(())
+/// # }
+/// ```
+pub struct SmtPlacer<'a> {
+    design: &'a Design,
+    config: PlacerConfig,
+    scale: ScaleInfo,
+    plan: PowerPlan,
+    smt: Smt,
+    vars: VarMap,
+    phi: Term,
+    phi_w: u32,
+    pd_check: Option<PinDensityCheck>,
+}
+
+impl<'a> SmtPlacer<'a> {
+    /// Builds the full SMT encoding for a design under a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::Config`] for out-of-range parameters.
+    pub fn new(design: &'a Design, config: PlacerConfig) -> Result<SmtPlacer<'a>, PlaceError> {
+        config.validate().map_err(PlaceError::Config)?;
+
+        // Phase 1: power analysis (Fig. 3).
+        let plan = if config.toggles.power_abutment {
+            PowerPlan::analyze(design)
+        } else {
+            PowerPlan::default()
+        };
+
+        // Phase 2: scaling and variable initialization.
+        let scale = ScaleInfo::compute(design, &config);
+        let mut smt = Smt::new();
+        let vars = VarMap::create(&mut smt, design, &scale, &plan, &config);
+
+        // Constraint formulation (Section IV.C, a–g).
+        encode::region::assert_regions(&mut smt, design, &scale, &vars, &config);
+        encode::region::assert_containment(&mut smt, design, &scale, &vars);
+        let margins = encode::region::cell_margins(design, &scale, &config);
+        encode::region::assert_cell_non_overlap(&mut smt, design, &scale, &vars, &config, &margins);
+        if config.toggles.symmetry {
+            encode::symmetry::assert_symmetry(&mut smt, design, &scale, &vars);
+        }
+        if config.toggles.arrays {
+            encode::array::assert_arrays(&mut smt, design, &scale, &vars, &config);
+        }
+        if config.toggles.power_abutment {
+            encode::power_abut::assert_power_abutment(&mut smt, design, &scale, &vars, &plan);
+        }
+        let pd_check = config.pin_density.as_ref().map(|pd| {
+            let info = encode::pin_density::assert_pin_density(&mut smt, design, &scale, &vars, pd);
+            PinDensityCheck {
+                beta_x: info.beta_x,
+                beta_y: info.beta_y,
+                lambda: info.lambda,
+                stride_x: pd.stride_x,
+                stride_y: pd.stride_y,
+            }
+        });
+        let (phi, phi_w) = encode::wirelength::assert_wirelength(&mut smt, design, &scale, &vars, &config);
+
+        Ok(SmtPlacer {
+            design,
+            config,
+            scale,
+            plan,
+            smt,
+            vars,
+            phi,
+            phi_w,
+            pd_check,
+        })
+    }
+
+    /// The scaled-design geometry of this instance.
+    pub fn scale(&self) -> &ScaleInfo {
+        &self.scale
+    }
+
+    /// Number of SAT variables in the encoding so far.
+    pub fn sat_vars(&self) -> usize {
+        self.smt.num_sat_vars()
+    }
+
+    /// Number of SAT clauses in the encoding so far.
+    pub fn sat_clauses(&self) -> usize {
+        self.smt.num_sat_clauses()
+    }
+
+    /// Runs the incremental placement flow to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::Infeasible`] if the constraints admit no placement;
+    /// [`PlaceError::BudgetExhausted`] if the first solve hits its budget.
+    pub fn place(mut self) -> Result<Placement, PlaceError> {
+        let t0 = Instant::now();
+        let opt = self.config.optimize;
+        self.seed_hints();
+        self.smt.set_conflict_budget(opt.first_conflict_budget);
+
+        let mut best: Option<Model> = None;
+        let mut trace: Vec<u64> = Vec::new();
+        let mut assumptions: Vec<Term> = Vec::new();
+        let mut sat_rounds = 0usize;
+        let mut retried_unfrozen = false;
+
+        loop {
+            match self.smt.solve_with(&assumptions) {
+                SmtResult::Sat => {
+                    retried_unfrozen = false;
+                    // Optimization rounds run under the (tighter) per-round
+                    // budget; only feasibility gets the first-solve budget.
+                    self.smt.set_conflict_budget(opt.conflict_budget);
+                    let model = self.extract_model();
+                    let phi_now = encode::wirelength::measure_weighted_hpwl(
+                        self.design,
+                        &self.vars,
+                        &model.xs,
+                        &model.ys,
+                    );
+                    trace.push(phi_now);
+                    best = Some(model.clone());
+                    sat_rounds += 1;
+                    if sat_rounds > opt.k_iter || phi_now == 0 {
+                        break;
+                    }
+                    // Line 8: tighten the wirelength bound Φ < ζ·Φ'.
+                    let zeta = (opt.zeta_start - opt.zeta_step * (sat_rounds - 1) as f64)
+                        .max(opt.zeta_min);
+                    let bound = (zeta * phi_now as f64).floor() as u64;
+                    if bound == 0 {
+                        break;
+                    }
+                    let c = self.smt.bv_const(self.phi_w, bound);
+                    let lt = self.smt.ult(self.phi, c);
+                    self.smt.assert(lt);
+                    // Warm-start hints toward the current model.
+                    self.apply_hints(&model);
+                    // Line 9: freeze low-priority cells/regions.
+                    assumptions = if opt.freeze {
+                        self.freeze_assumptions(&model, sat_rounds)
+                    } else {
+                        Vec::new()
+                    };
+                }
+                SmtResult::Unsat => {
+                    if best.is_none() {
+                        return Err(PlaceError::Infeasible);
+                    }
+                    if !assumptions.is_empty() && opt.retry_unfrozen && !retried_unfrozen {
+                        // The freeze may be what blocks improvement; retry
+                        // this round with everything free.
+                        assumptions.clear();
+                        retried_unfrozen = true;
+                        continue;
+                    }
+                    break;
+                }
+                SmtResult::Unknown => {
+                    if best.is_none() {
+                        return Err(PlaceError::BudgetExhausted);
+                    }
+                    break;
+                }
+            }
+        }
+
+        let model = best.expect("loop breaks with a model or returns early");
+        let stats = PlaceStats {
+            iterations: sat_rounds,
+            runtime: t0.elapsed(),
+            conflicts: self.smt.sat_stats().conflicts,
+            hpwl_trace: trace,
+            sat_vars: self.smt.num_sat_vars(),
+            sat_clauses: self.smt.num_sat_clauses(),
+        };
+        Ok(self.finalize(model, stats))
+    }
+
+    /// Seeds the SAT polarity toward a quick greedy packing: regions
+    /// stacked left-to-right at their most-square candidate dimensions,
+    /// cells row-packed inside (power bands bottom-up). Hints are soft —
+    /// an imperfect seed only biases the first descent.
+    fn seed_hints(&mut self) {
+        let die_w = u64::from(self.scale.scaled_w);
+        let mut cursor_x = 0u64;
+        for r in self.design.region_ids() {
+            let ri = r.index();
+            let (ex, ey) = self.scale.region_edge[ri];
+            let min_w = self
+                .design
+                .cells_in_region(r)
+                .map(|c| self.scale.width_of(c))
+                .max()
+                .unwrap_or(1);
+            let min_h = self
+                .design
+                .cells_in_region(r)
+                .map(|c| self.scale.height_of(c))
+                .max()
+                .unwrap_or(1);
+            let cands = encode::region::dimension_candidates(
+                self.scale.region_target[ri],
+                min_w,
+                min_h,
+                self.scale.scaled_w,
+                self.scale.scaled_h,
+            );
+            let Some(&(w, h)) = cands
+                .iter()
+                .min_by_key(|(w, h)| (i64::from(*w) - i64::from(*h)).abs())
+            else {
+                continue;
+            };
+            let rx = (cursor_x + u64::from(ex)).min(die_w.saturating_sub(u64::from(w)));
+            let ry = u64::from(ey);
+            self.smt.hint_bv_value(self.vars.region_x[ri], rx);
+            self.smt.hint_bv_value(self.vars.region_y[ri], ry);
+            self.smt.hint_bv_value(self.vars.region_w[ri], u64::from(w));
+            self.smt.hint_bv_value(self.vars.region_h[ri], u64::from(h));
+            cursor_x = rx + u64::from(w) + u64::from(2 * ex) + 1;
+
+            // Row-pack the cells: power bands bottom-up, wide cells first.
+            let plan_bands: Vec<ams_netlist::PowerGroupId> = self
+                .plan
+                .for_region(r)
+                .map(|p| p.bands.clone())
+                .unwrap_or_default();
+            let band_of = |c: CellId| -> usize {
+                plan_bands
+                    .iter()
+                    .position(|&g| g == self.design.cell(c).power_group)
+                    .unwrap_or(0)
+            };
+            let mut cells: Vec<CellId> = self.design.cells_in_region(r).collect();
+            cells.sort_by(|&a, &b| {
+                band_of(a)
+                    .cmp(&band_of(b))
+                    .then(self.scale.width_of(b).cmp(&self.scale.width_of(a)))
+                    .then(a.cmp(&b))
+            });
+            let (mut x, mut y) = (0u64, 0u64);
+            let mut row_h = 0u64;
+            let mut band = cells.first().map(|&c| band_of(c)).unwrap_or(0);
+            for c in cells {
+                let cw = u64::from(self.scale.width_of(c));
+                let ch = u64::from(self.scale.height_of(c));
+                if x + cw > u64::from(w) || band_of(c) != band {
+                    x = 0;
+                    y += row_h.max(1);
+                    row_h = 0;
+                    band = band_of(c);
+                }
+                self.smt.hint_bv_value(self.vars.cell_x[c.index()], rx + x);
+                self.smt.hint_bv_value(self.vars.cell_y[c.index()], ry + y);
+                x += cw;
+                row_h = row_h.max(ch);
+            }
+        }
+    }
+
+    fn extract_model(&self) -> Model {
+        let xs = self.vars.cell_x.iter().map(|&t| self.smt.bv_value(t)).collect();
+        let ys = self.vars.cell_y.iter().map(|&t| self.smt.bv_value(t)).collect();
+        let region_x = self.vars.region_x.iter().map(|&t| self.smt.bv_value(t)).collect();
+        let region_y = self.vars.region_y.iter().map(|&t| self.smt.bv_value(t)).collect();
+        let region_w = self.vars.region_w.iter().map(|&t| self.smt.bv_value(t)).collect();
+        let region_h = self.vars.region_h.iter().map(|&t| self.smt.bv_value(t)).collect();
+        Model {
+            xs,
+            ys,
+            region_x,
+            region_y,
+            region_w,
+            region_h,
+        }
+    }
+
+    fn apply_hints(&mut self, model: &Model) {
+        for (i, &t) in self.vars.cell_x.iter().enumerate() {
+            self.smt.hint_bv_value(t, model.xs[i]);
+        }
+        for (i, &t) in self.vars.cell_y.iter().enumerate() {
+            self.smt.hint_bv_value(t, model.ys[i]);
+        }
+        for (i, &t) in self.vars.region_x.iter().enumerate() {
+            self.smt.hint_bv_value(t, model.region_x[i]);
+        }
+        for (i, &t) in self.vars.region_y.iter().enumerate() {
+            self.smt.hint_bv_value(t, model.region_y[i]);
+        }
+    }
+
+    /// Builds the Line-9 assumption set: the lowest-priority cells (Eq. 15)
+    /// and smallest regions are frozen at their current model positions,
+    /// with the frozen share growing each round.
+    fn freeze_assumptions(&mut self, model: &Model, round: usize) -> Vec<Term> {
+        let frac = (self.config.optimize.freeze_fraction * round as f64).min(0.9);
+        let mut out = Vec::new();
+
+        // Cells ascending by PR_v: freeze the least-connected share.
+        let mut cells: Vec<CellId> = self.design.cell_ids().collect();
+        cells.sort_by_key(|&c| self.design.cell_priority(c));
+        let n_freeze = (cells.len() as f64 * frac).floor() as usize;
+        for &c in cells.iter().take(n_freeze) {
+            let fx = self.smt.eq_const(self.vars.cell_x[c.index()], model.xs[c.index()]);
+            let fy = self.smt.eq_const(self.vars.cell_y[c.index()], model.ys[c.index()]);
+            out.push(fx);
+            out.push(fy);
+        }
+
+        // Regions ascending by PR_r = A_r: freeze the smallest share.
+        let mut regions: Vec<RegionId> = self.design.region_ids().collect();
+        regions.sort_by_key(|&r| self.design.region_cell_area(r));
+        let r_freeze = (regions.len() as f64 * frac).floor() as usize;
+        for &r in regions.iter().take(r_freeze) {
+            let i = r.index();
+            for (var, val) in [
+                (self.vars.region_x[i], model.region_x[i]),
+                (self.vars.region_y[i], model.region_y[i]),
+                (self.vars.region_w[i], model.region_w[i]),
+                (self.vars.region_h[i], model.region_h[i]),
+            ] {
+                out.push(self.smt.eq_const(var, val));
+            }
+        }
+        out
+    }
+
+    fn finalize(&self, model: Model, stats: PlaceStats) -> Placement {
+        let (uw, uh) = (self.scale.unit_w, self.scale.unit_h);
+        let cells: Vec<Rect> = self
+            .design
+            .cell_ids()
+            .map(|c| {
+                Rect::new(
+                    model.xs[c.index()] as u32 * uw,
+                    model.ys[c.index()] as u32 * uh,
+                    self.design.cell(c).width,
+                    self.design.cell(c).height,
+                )
+            })
+            .collect();
+        let regions: Vec<Rect> = (0..self.design.regions().len())
+            .map(|i| {
+                Rect::new(
+                    model.region_x[i] as u32 * uw,
+                    model.region_y[i] as u32 * uh,
+                    model.region_w[i] as u32 * uw,
+                    model.region_h[i] as u32 * uh,
+                )
+            })
+            .collect();
+        let die = Rect::new(0, 0, self.scale.scaled_w * uw, self.scale.scaled_h * uh);
+        let edge_cells = crate::post::edge_cells(self.design, &self.scale, &regions);
+        let dummy_cells = crate::post::dummy_cells(self.design, &self.scale, &regions, &cells);
+        let _ = &self.plan;
+        Placement {
+            cells,
+            regions,
+            die,
+            edge_cells,
+            dummy_cells,
+            units: (uw, uh),
+            pin_density: self.pd_check,
+            stats,
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Post-processing (Fig. 3, right): edge-cell and dummy-cell insertion.
+//!
+//! Thanks to the GCD scaling, every leftover site inside a region is an
+//! exact multiple of the `w̄ × h̄` dummy cell, so filling is a simple
+//! occupancy sweep.
+
+use crate::scale::ScaleInfo;
+use ams_netlist::{Design, Rect};
+
+/// Edge-cell strips around each region, in unscaled grid units.
+///
+/// Each region gets strips of the region's reserved edge widths on its
+/// left/right (and bottom/top when reserved).
+pub(crate) fn edge_cells(design: &Design, scale: &ScaleInfo, regions: &[Rect]) -> Vec<Rect> {
+    let mut out = Vec::new();
+    for (ri, &r) in regions.iter().enumerate() {
+        let (ex, ey) = scale.region_edge[ri];
+        let exg = ex * scale.unit_w;
+        let eyg = ey * scale.unit_h;
+        if exg > 0 {
+            out.push(Rect::new(r.x - exg, r.y, exg, r.h));
+            out.push(Rect::new(r.right(), r.y, exg, r.h));
+        }
+        if eyg > 0 {
+            out.push(Rect::new(r.x, r.y - eyg, r.w, eyg));
+            out.push(Rect::new(r.x, r.top(), r.w, eyg));
+        }
+        let _ = design;
+    }
+    out
+}
+
+/// Dummy fillers: every unoccupied `w̄ × h̄` site inside each region.
+pub(crate) fn dummy_cells(
+    design: &Design,
+    scale: &ScaleInfo,
+    regions: &[Rect],
+    cells: &[Rect],
+) -> Vec<Rect> {
+    let (uw, uh) = (scale.unit_w, scale.unit_h);
+    let mut out = Vec::new();
+    for (ri, &region) in regions.iter().enumerate() {
+        let cols = region.w / uw;
+        let rows = region.h / uh;
+        let mut occupied = vec![false; (cols * rows) as usize];
+        for c in design.cell_ids() {
+            if design.cell(c).region.index() != ri {
+                continue;
+            }
+            let r = cells[c.index()];
+            let c0 = (r.x - region.x) / uw;
+            let r0 = (r.y - region.y) / uh;
+            for dy in 0..r.h / uh {
+                for dx in 0..r.w / uw {
+                    occupied[((r0 + dy) * cols + (c0 + dx)) as usize] = true;
+                }
+            }
+        }
+        for row in 0..rows {
+            for col in 0..cols {
+                if !occupied[(row * cols + col) as usize] {
+                    out.push(Rect::new(
+                        region.x + col * uw,
+                        region.y + row * uh,
+                        uw,
+                        uh,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::benchmarks;
+
+    #[test]
+    fn dummies_tile_the_leftover_area() {
+        let d = benchmarks::buf();
+        let scale = ScaleInfo::compute(&d, &crate::PlacerConfig::default());
+        let (uw, uh) = (scale.unit_w, scale.unit_h);
+        // A tiny fake layout: one region, two cells in one row.
+        let region = Rect::new(0, 0, 4 * uw, 2 * uh);
+        let mut cells = vec![Rect::new(0, 0, 0, 0); d.cells().len()];
+        // Put the first two cells down, pretend the rest are 0-sized and
+        // belong elsewhere by testing occupancy arithmetic only.
+        cells[0] = Rect::new(0, 0, 2 * uw, uh);
+        cells[1] = Rect::new(2 * uw, 0, uw, uh);
+        // Restrict the sweep to cells 0 and 1 by building a 2-cell design.
+        let mut b = ams_netlist::DesignBuilder::new("mini");
+        let r = b.add_region("r", 0.8);
+        let pg = b.add_power_group("VDD");
+        let n = b.add_net("n", 1);
+        let c0 = b.add_cell("a", r, 2 * uw, uh, pg);
+        b.add_pin(c0, "p", Some(n), 0, 0);
+        let c1 = b.add_cell("b", r, uw, uh, pg);
+        b.add_pin(c1, "p", Some(n), 0, 0);
+        let mini = b.build().expect("valid");
+        let mini_scale = ScaleInfo::compute(&mini, &crate::PlacerConfig::default());
+        let rects = vec![cells[0], cells[1]];
+        let dummies = dummy_cells(&mini, &mini_scale, &[region], &rects);
+        // Total area must balance: region = cells + dummies.
+        let cell_area: u64 = rects.iter().map(|r| r.area()).sum();
+        let dummy_area: u64 = dummies.iter().map(|r| r.area()).sum();
+        assert_eq!(region.area(), cell_area + dummy_area);
+        // No dummy overlaps a cell.
+        for dmy in &dummies {
+            for cr in &rects {
+                assert!(!dmy.overlaps(*cr));
+            }
+        }
+    }
+}

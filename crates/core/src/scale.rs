@@ -1,0 +1,218 @@
+//! Design scaling (Section IV.B.1, Eq. 2–3).
+//!
+//! Dividing all x-quantities by the GCD of cell widths (`w̄`) and all
+//! y-quantities by the GCD of cell heights (`h̄`) shrinks the search space
+//! and — because every coordinate is then a whole number of `w̄ × h̄`
+//! sites — guarantees the row-based layout style and that leftover space is
+//! fillable by dummy cells of exactly that size.
+//!
+//! Note on Eq. 2: the paper prints `W = γ^ar · Â`, `H = Â / γ^ar`, which is
+//! dimensionally inconsistent (W·H would be Â²). We implement the evidently
+//! intended `W = sqrt(Â · γ^ar)`, `H = sqrt(Â / γ^ar)` so that `W·H = Â` and
+//! `W/H = γ^ar`.
+
+use crate::config::PlacerConfig;
+use ams_netlist::{CellId, Design, RegionId};
+
+/// Scaled-design geometry shared by every encoder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleInfo {
+    /// `w̄`: GCD of all cell widths, in grid units.
+    pub unit_w: u32,
+    /// `h̄`: GCD of all cell heights.
+    pub unit_h: u32,
+    /// `W̃`: scaled die width.
+    pub scaled_w: u32,
+    /// `H̃`: scaled die height.
+    pub scaled_h: u32,
+    /// `L_x`: bit width for x-coordinate variables (Eq. 3).
+    pub lx: u32,
+    /// `L_y`: bit width for y-coordinate variables.
+    pub ly: u32,
+    /// Scaled width of each cell, indexed by [`CellId`].
+    pub cell_w: Vec<u32>,
+    /// Scaled height of each cell.
+    pub cell_h: Vec<u32>,
+    /// Scaled target area `Â_r` of each region (cell area over the region's
+    /// utilization, rounded up).
+    pub region_target: Vec<u64>,
+    /// Scaled edge reservations `(D_x, D_y)` per region.
+    pub region_edge: Vec<(u32, u32)>,
+}
+
+impl ScaleInfo {
+    /// Computes the scaling for a design under a configuration.
+    pub fn compute(design: &Design, config: &PlacerConfig) -> ScaleInfo {
+        let unit_w = gcd_all(design.cells().iter().map(|c| c.width));
+        let unit_h = gcd_all(design.cells().iter().map(|c| c.height));
+        let cell_w: Vec<u32> = design.cells().iter().map(|c| c.width / unit_w).collect();
+        let cell_h: Vec<u32> = design.cells().iter().map(|c| c.height / unit_h).collect();
+
+        let mut region_target = Vec::new();
+        let mut region_edge = Vec::new();
+        for (ri, region) in design.regions().iter().enumerate() {
+            let rid = RegionId::from_index(ri);
+            let area: u64 = design
+                .cells_in_region(rid)
+                .map(|c| {
+                    u64::from(cell_w[c.index()]) * u64::from(cell_h[c.index()])
+                })
+                .sum();
+            let target = ((area as f64) / region.utilization).ceil() as u64;
+            region_target.push(target.max(area));
+            region_edge.push((
+                div_ceil(region.edge_x, unit_w),
+                div_ceil(region.edge_y, unit_h),
+            ));
+        }
+
+        // Die sizing (Eq. 2): area target covers every region plus its edge
+        // reservation, divided by the global utilization and slack.
+        let regions_area: f64 = region_target
+            .iter()
+            .zip(&region_edge)
+            .map(|(&a, &(ex, ey))| {
+                // Approximate each region as square for the edge overhead.
+                let side = (a as f64).sqrt();
+                (side + 2.0 * ex as f64) * (side + 2.0 * ey as f64)
+            })
+            .sum();
+        let a_hat = regions_area / config.utilization * config.die_slack;
+        let w = (a_hat * config.aspect_ratio).sqrt().ceil();
+        let h = (a_hat / config.aspect_ratio).sqrt().ceil();
+        let mut scaled_w = w as u32;
+        let mut scaled_h = h as u32;
+        // The die must at least admit the widest/tallest cell plus edges.
+        let max_cw = cell_w.iter().copied().max().unwrap_or(1);
+        let max_ch = cell_h.iter().copied().max().unwrap_or(1);
+        scaled_w = scaled_w.max(max_cw + 2);
+        scaled_h = scaled_h.max(max_ch + 2);
+
+        let lx = bits_for(scaled_w);
+        let ly = bits_for(scaled_h);
+        ScaleInfo {
+            unit_w,
+            unit_h,
+            scaled_w,
+            scaled_h,
+            lx,
+            ly,
+            cell_w,
+            cell_h,
+            region_target,
+            region_edge,
+        }
+    }
+
+    /// Scaled width of a cell.
+    pub fn width_of(&self, c: CellId) -> u32 {
+        self.cell_w[c.index()]
+    }
+
+    /// Scaled height of a cell.
+    pub fn height_of(&self, c: CellId) -> u32 {
+        self.cell_h[c.index()]
+    }
+
+    /// Converts a scaled x-coordinate back to grid units.
+    pub fn unscale_x(&self, x: u32) -> u32 {
+        x * self.unit_w
+    }
+
+    /// Converts a scaled y-coordinate back to grid units.
+    pub fn unscale_y(&self, y: u32) -> u32 {
+        y * self.unit_h
+    }
+
+    /// Scales a grid-unit x-distance, rounding up (conservative margins).
+    pub fn scale_x_ceil(&self, grid: u32) -> u32 {
+        div_ceil(grid, self.unit_w)
+    }
+
+    /// Scales a grid-unit y-distance, rounding up.
+    pub fn scale_y_ceil(&self, grid: u32) -> u32 {
+        div_ceil(grid, self.unit_h)
+    }
+}
+
+/// `Lx = log2(x) + 1` of Eq. 3: enough bits to hold `0..=x`.
+pub fn bits_for(x: u32) -> u32 {
+    32 - x.leading_zeros()
+}
+
+fn div_ceil(a: u32, b: u32) -> u32 {
+    a.div_ceil(b)
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn gcd_all<I: Iterator<Item = u32>>(values: I) -> u32 {
+    values.fold(0, gcd).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::benchmarks;
+
+    #[test]
+    fn bits_for_matches_eq3() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(15), 4);
+        assert_eq!(bits_for(16), 5);
+    }
+
+    #[test]
+    fn gcd_scaling_on_buf() {
+        let d = benchmarks::buf();
+        let s = ScaleInfo::compute(&d, &crate::PlacerConfig::default());
+        // BUF widths are ragged ({10, 14, 22, 34}) like real hand-crafted
+        // primitives; heights are all 2.
+        assert_eq!(s.unit_w, 2);
+        assert_eq!(s.unit_h, 2);
+        assert!(s.cell_w.iter().all(|&w| (5..=17).contains(&w)));
+        assert!(s.cell_h.iter().all(|&h| h == 1));
+        // Die is large enough for the cell area at the configured util.
+        let cell_area: u64 = s
+            .cell_w
+            .iter()
+            .zip(&s.cell_h)
+            .map(|(&w, &h)| u64::from(w) * u64::from(h))
+            .sum();
+        assert!(u64::from(s.scaled_w) * u64::from(s.scaled_h) >= cell_area);
+        // Bit widths cover the die.
+        assert!(2u64.pow(s.lx) > u64::from(s.scaled_w));
+        assert!(2u64.pow(s.ly) > u64::from(s.scaled_h));
+    }
+
+    #[test]
+    fn region_targets_cover_cell_area() {
+        let d = benchmarks::vco();
+        let s = ScaleInfo::compute(&d, &crate::PlacerConfig::default());
+        assert_eq!(s.region_target.len(), 2);
+        for (ri, &target) in s.region_target.iter().enumerate() {
+            let rid = RegionId::from_index(ri);
+            let area: u64 = d
+                .cells_in_region(rid)
+                .map(|c| u64::from(s.width_of(c)) * u64::from(s.height_of(c)))
+                .sum();
+            assert!(target >= area, "region {ri} target {target} < area {area}");
+        }
+    }
+
+    #[test]
+    fn unscale_roundtrip() {
+        let d = benchmarks::buf();
+        let s = ScaleInfo::compute(&d, &crate::PlacerConfig::default());
+        assert_eq!(s.unscale_x(s.scale_x_ceil(8)), 8);
+        assert_eq!(s.scale_x_ceil(3), 2); // rounds up to one unit boundary
+    }
+}

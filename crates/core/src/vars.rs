@@ -1,0 +1,155 @@
+//! SMT variable allocation (Table I of the paper).
+
+use crate::config::PlacerConfig;
+use crate::power::PowerPlan;
+use crate::scale::ScaleInfo;
+use ams_netlist::{Design, SymmetryAxis};
+use ams_smt::{Smt, Term};
+
+/// Bounding-box variables of an array constraint.
+#[derive(Clone, Copy, Debug)]
+pub struct BoxVars {
+    /// Left edge `x^l`.
+    pub xl: Term,
+    /// Right edge `x^h`.
+    pub xh: Term,
+    /// Bottom edge `y^l`.
+    pub yl: Term,
+    /// Top edge `y^h`.
+    pub yh: Term,
+}
+
+/// All bit-vector variables of one placement instance.
+#[derive(Clone, Debug)]
+pub struct VarMap {
+    /// `x_v` per cell (width `L_x`).
+    pub cell_x: Vec<Term>,
+    /// `y_v` per cell (width `L_y`).
+    pub cell_y: Vec<Term>,
+    /// `x_r` per region.
+    pub region_x: Vec<Term>,
+    /// `y_r` per region.
+    pub region_y: Vec<Term>,
+    /// `w_r` per region (decided among the Eq. 5 candidates).
+    pub region_w: Vec<Term>,
+    /// `h_r` per region.
+    pub region_h: Vec<Term>,
+    /// Net bounding boxes (`None` for nets without connections, e.g.
+    /// cleared virtual nets or nets excluded by toggles).
+    pub net_box: Vec<Option<BoxVars>>,
+    /// Doubled symmetry-axis position per symmetry group (`2·x_sym`;
+    /// shared groups alias their parent's term).
+    pub sym_axis2: Vec<Term>,
+    /// Array bounding boxes, one per array constraint.
+    pub array_box: Vec<BoxVars>,
+    /// Power-band boundaries per mixed region, aligned with
+    /// [`PowerPlan::regions`]: `bands.len() - 1` variables each.
+    pub power_bounds: Vec<Vec<Term>>,
+}
+
+impl VarMap {
+    /// Allocates every variable of the instance.
+    pub fn create(
+        smt: &mut Smt,
+        design: &Design,
+        scale: &ScaleInfo,
+        plan: &PowerPlan,
+        config: &PlacerConfig,
+    ) -> VarMap {
+        let (lx, ly) = (scale.lx, scale.ly);
+
+        let cell_x = design
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| smt.bv_var(lx, format!("x_{}{i}", c.name)))
+            .collect();
+        let cell_y = design
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| smt.bv_var(ly, format!("y_{}{i}", c.name)))
+            .collect();
+
+        let mut region_x = Vec::new();
+        let mut region_y = Vec::new();
+        let mut region_w = Vec::new();
+        let mut region_h = Vec::new();
+        for (i, r) in design.regions().iter().enumerate() {
+            region_x.push(smt.bv_var(lx, format!("xr_{}{i}", r.name)));
+            region_y.push(smt.bv_var(ly, format!("yr_{}{i}", r.name)));
+            region_w.push(smt.bv_var(lx, format!("wr_{}{i}", r.name)));
+            region_h.push(smt.bv_var(ly, format!("hr_{}{i}", r.name)));
+        }
+
+        let mut net_box = Vec::new();
+        for n in design.net_ids() {
+            let include = design.net_degree(n) >= 2
+                && (config.toggles.clusters || !design.net(n).virtual_net);
+            if include {
+                net_box.push(Some(BoxVars {
+                    xl: smt.bv_var(lx, format!("xl_n{}", n.index())),
+                    xh: smt.bv_var(lx, format!("xh_n{}", n.index())),
+                    yl: smt.bv_var(ly, format!("yl_n{}", n.index())),
+                    yh: smt.bv_var(ly, format!("yh_n{}", n.index())),
+                }));
+            } else {
+                net_box.push(None);
+            }
+        }
+
+        // Symmetry axes: shared groups alias their root's variable. The
+        // builder guarantees parents precede children.
+        let mut sym_axis2: Vec<Term> = Vec::new();
+        for (gi, g) in design.constraints().symmetry.iter().enumerate() {
+            let term = match g.share_axis_with {
+                Some(parent) => sym_axis2[parent],
+                None => {
+                    let width = match g.axis {
+                        SymmetryAxis::Vertical => lx + 2,
+                        SymmetryAxis::Horizontal => ly + 2,
+                    };
+                    smt.bv_var(width, format!("axis2_g{gi}"))
+                }
+            };
+            sym_axis2.push(term);
+        }
+
+        let array_box = design
+            .constraints()
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(ai, _)| BoxVars {
+                xl: smt.bv_var(lx, format!("xl_a{ai}")),
+                xh: smt.bv_var(lx, format!("xh_a{ai}")),
+                yl: smt.bv_var(ly, format!("yl_a{ai}")),
+                yh: smt.bv_var(ly, format!("yh_a{ai}")),
+            })
+            .collect();
+
+        let power_bounds = plan
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                (1..p.bands.len())
+                    .map(|b| smt.bv_var(ly, format!("ypow_{pi}_{b}")))
+                    .collect()
+            })
+            .collect();
+
+        VarMap {
+            cell_x,
+            cell_y,
+            region_x,
+            region_y,
+            region_w,
+            region_h,
+            net_box,
+            sym_axis2,
+            array_box,
+            power_bounds,
+        }
+    }
+}

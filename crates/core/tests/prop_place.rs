@@ -1,0 +1,76 @@
+//! Property-based placement testing: any synthetic design the generator
+//! produces must either place legally (per the independent oracle) or fail
+//! with a structured error — never produce an illegal layout.
+
+use ams_netlist::benchmarks::{synthetic, SyntheticParams};
+use ams_place::{PlacerConfig, SmtPlacer};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = SyntheticParams> {
+    (
+        1usize..=2,  // regions
+        4usize..=10, // cells per region
+        4usize..=12, // nets
+        0usize..=2,  // symmetry pairs
+        prop_oneof![Just(0usize), 2usize..=4],
+        any::<u64>(),
+    )
+        .prop_map(|(regions, cells, nets, sym, cluster, seed)| SyntheticParams {
+            regions,
+            cells_per_region: cells,
+            nets,
+            net_degree: 3,
+            symmetry_pairs: sym,
+            cluster_size: cluster,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn placements_always_pass_the_oracle(params in params_strategy()) {
+        let design = synthetic(params);
+        let mut cfg = PlacerConfig::fast();
+        cfg.optimize.k_iter = 1;
+        cfg.optimize.conflict_budget = Some(20_000);
+        match SmtPlacer::new(&design, cfg).expect("encoding never panics").place() {
+            Ok(placement) => {
+                if let Err(violations) = placement.verify(&design) {
+                    prop_assert!(
+                        false,
+                        "illegal placement for seed {}: {:?}",
+                        params.seed,
+                        violations
+                    );
+                }
+                // Stats must be coherent.
+                prop_assert!(placement.stats.iterations >= 1);
+                prop_assert_eq!(
+                    placement.stats.iterations,
+                    placement.stats.hpwl_trace.len()
+                );
+            }
+            Err(e) => {
+                // Structured failure is acceptable (tight dies exist);
+                // panics or illegal results are not.
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ams_toggles_never_unlock_an_illegal_core(params in params_strategy()) {
+        // Turning AMS families off must still satisfy the critical
+        // constraints on the stripped design.
+        let design = synthetic(params).without_constraints();
+        let mut cfg = PlacerConfig::fast().without_ams_constraints();
+        cfg.optimize.k_iter = 0;
+        cfg.optimize.conflict_budget = Some(20_000);
+        if let Ok(placement) = SmtPlacer::new(&design, cfg).expect("encode").place() {
+            prop_assert!(placement.verify(&design).is_ok());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The 16-to-1 multiplexing buffer (BUF) benchmark.
+//!
+//! A full-custom design that selects between 16 monitored signals using a
+//! 4-bit control and drives a large load through an output buffer
+//! (Fig. 6a of the paper). Synthesized structure:
+//!
+//! * 16 input receivers (4 of them differential, for the
+//!   performance-critical lanes),
+//! * a binary 2:1-mux tree of 8 + 4 + 2 + 1 primitives (stages 1–4 of
+//!   Table IV),
+//! * 4 select-line driver pairs (inverter + true-phase buffer),
+//! * a 3-stage tapered output buffer (the OUT row of Table IV),
+//!
+//! annotated with the hierarchical symmetry constraints the paper applies:
+//! every stage is mirrored about one shared vertical axis.
+
+use crate::design::{Design, DesignBuilder};
+use crate::ids::NetId;
+use crate::{SymmetryAxis, SymmetryGroup, SymmetryPair};
+
+/// Number of mux-tree stages (16-to-1 needs four 2:1 levels).
+pub(crate) const STAGES: usize = 4;
+
+/// Generates the BUF benchmark (1 region, 42 cells, 66 nets).
+pub fn buf() -> Design {
+    let mut b = DesignBuilder::new("buf");
+    let core = b.add_region("core", 0.65);
+    let vdd = b.add_power_group("VDD");
+
+    // ---- nets --------------------------------------------------------
+    // Primary inputs (external: driven from outside the block).
+    let ext_in: Vec<NetId> = (0..16).map(|i| b.add_net(format!("in{i}"), 1)).collect();
+    // Receiver outputs: lanes 0..3 are differential (p and n phases).
+    let rp: Vec<NetId> = (0..4).map(|i| b.add_net(format!("r{i}p"), 2)).collect();
+    let rn: Vec<NetId> = (0..4).map(|i| b.add_net(format!("r{i}n"), 2)).collect();
+    let rs: Vec<NetId> = (4..16).map(|i| b.add_net(format!("r{i}"), 1)).collect();
+    // Mux-tree stage outputs.
+    let t1: Vec<NetId> = (0..8).map(|i| b.add_net(format!("t1_{i}"), 1)).collect();
+    let t2: Vec<NetId> = (0..4).map(|i| b.add_net(format!("t2_{i}"), 1)).collect();
+    let t3: Vec<NetId> = (0..2).map(|i| b.add_net(format!("t3_{i}"), 2)).collect();
+    let t4 = b.add_net("t4", 2);
+    // Select distribution.
+    let sel: Vec<NetId> = (0..4).map(|i| b.add_net(format!("sel{i}"), 1)).collect();
+    let sb: Vec<NetId> = (0..4).map(|i| b.add_net(format!("sb{i}"), 1)).collect();
+    let ss: Vec<NetId> = (0..4).map(|i| b.add_net(format!("s{i}"), 1)).collect();
+    // Output buffer chain.
+    let b1 = b.add_net("b1", 2);
+    let b2 = b.add_net("b2", 2);
+    let out = b.add_net("out", 2);
+
+    // ---- cells -------------------------------------------------------
+    // Differential receivers for the four critical lanes.
+    let mut drcv = Vec::new();
+    for i in 0..4 {
+        let c = b.add_cell(format!("drcv{i}"), core, 14, 2, vdd);
+        b.add_pin(c, "in", Some(ext_in[i]), 0, 1)
+            .add_pin(c, "outp", Some(rp[i]), 13, 1)
+            .add_pin(c, "outn", Some(rn[i]), 13, 0);
+        drcv.push(c);
+    }
+    // Single-ended receivers for the remaining twelve.
+    let mut rcv = Vec::new();
+    for i in 0..12 {
+        let c = b.add_cell(format!("rcv{}", i + 4), core, 10, 2, vdd);
+        b.add_pin(c, "in", Some(ext_in[i + 4]), 0, 1)
+            .add_pin(c, "out", Some(rs[i]), 9, 1);
+        rcv.push(c);
+    }
+
+    // Mux tree. Stage s has 2^(3-s) nodes; node j of stage s selects between
+    // the outputs j*2 and j*2+1 of the previous stage using select bit s.
+    let stage_in: Vec<Vec<NetId>> = vec![
+        // Stage-1 inputs: receiver outputs (p phases for diff lanes).
+        rp.iter().chain(rs.iter()).copied().collect(),
+        t1.clone(),
+        t2.clone(),
+        t3.clone(),
+    ];
+    let stage_out: Vec<Vec<NetId>> = vec![t1.clone(), t2.clone(), t3.clone(), vec![t4]];
+    let mut mux_cells: Vec<Vec<crate::CellId>> = Vec::new();
+    for s in 0..STAGES {
+        let nodes = 8 >> s;
+        let mut row = Vec::new();
+        for j in 0..nodes {
+            let c = b.add_cell(format!("m{}_{j}", s + 1), core, 22, 2, vdd);
+            b.add_pin(c, "a", Some(stage_in[s][2 * j]), 0, 1)
+                .add_pin(c, "b", Some(stage_in[s][2 * j + 1]), 0, 0)
+                .add_pin(c, "s", Some(ss[s]), 9, 1)
+                .add_pin(c, "sb", Some(sb[s]), 12, 1)
+                .add_pin(c, "z", Some(stage_out[s][j]), 21, 1);
+            row.push(c);
+        }
+        mux_cells.push(row);
+    }
+    // Complement phases of the differential lanes terminate on the first two
+    // stage-1 muxes (their primitives have true/complement input pairs).
+    b.add_pin(mux_cells[0][0], "ab", Some(rn[0]), 1, 1)
+        .add_pin(mux_cells[0][0], "bb", Some(rn[1]), 1, 0)
+        .add_pin(mux_cells[0][1], "ab", Some(rn[2]), 1, 1)
+        .add_pin(mux_cells[0][1], "bb", Some(rn[3]), 1, 0);
+
+    // Select drivers: inverter generates the complement, buffer restores the
+    // true phase.
+    let mut sel_inv = Vec::new();
+    let mut sel_buf = Vec::new();
+    for k in 0..4 {
+        let i = b.add_cell(format!("selinv{k}"), core, 10, 2, vdd);
+        b.add_pin(i, "in", Some(sel[k]), 0, 1)
+            .add_pin(i, "out", Some(sb[k]), 9, 1);
+        sel_inv.push(i);
+        let u = b.add_cell(format!("selbuf{k}"), core, 10, 2, vdd);
+        b.add_pin(u, "in", Some(sb[k]), 0, 1)
+            .add_pin(u, "out", Some(ss[k]), 9, 1);
+        sel_buf.push(u);
+    }
+
+    // Tapered output buffer. Widths share parity with the other
+    // self-symmetric spine cells (`2x + w = 2·x_sym` constrains axis parity).
+    let ob1 = b.add_cell("ob1", core, 10, 2, vdd);
+    b.add_pin(ob1, "in", Some(t4), 0, 1).add_pin(ob1, "out", Some(b1), 9, 1);
+    let ob2 = b.add_cell("ob2", core, 22, 2, vdd);
+    b.add_pin(ob2, "in", Some(b1), 0, 1).add_pin(ob2, "out", Some(b2), 21, 1);
+    let ob3 = b.add_cell("ob3", core, 34, 2, vdd);
+    b.add_pin(ob3, "in", Some(b2), 0, 1).add_pin(ob3, "out", Some(out), 33, 1);
+
+    // External nets leave the block: tie them to boundary terminator cells?
+    // No — they simply also connect outside; model that by marking them
+    // through a second pin on the consuming cell is wrong. Instead the
+    // builder requires degree >= 2, so external nets get an explicit port
+    // pin on their single user: see `add_port_pins` below.
+    add_port_pins(&mut b, &ext_in, &sel, out);
+
+    // ---- hierarchical symmetry constraints ----------------------------
+    // One shared vertical axis; every stage forms a child group of g0.
+    let g0 = b.add_symmetry(SymmetryGroup {
+        name: "spine".into(),
+        axis: SymmetryAxis::Vertical,
+        pairs: vec![
+            SymmetryPair::self_symmetric(mux_cells[3][0]),
+            SymmetryPair::self_symmetric(ob1),
+            SymmetryPair::self_symmetric(ob2),
+            SymmetryPair::self_symmetric(ob3),
+        ],
+        share_axis_with: None,
+    });
+    b.add_symmetry(SymmetryGroup {
+        name: "stage3".into(),
+        axis: SymmetryAxis::Vertical,
+        pairs: vec![SymmetryPair::mirrored(mux_cells[2][0], mux_cells[2][1])],
+        share_axis_with: Some(g0),
+    });
+    b.add_symmetry(SymmetryGroup {
+        name: "stage2".into(),
+        axis: SymmetryAxis::Vertical,
+        pairs: vec![
+            SymmetryPair::mirrored(mux_cells[1][0], mux_cells[1][3]),
+            SymmetryPair::mirrored(mux_cells[1][1], mux_cells[1][2]),
+        ],
+        share_axis_with: Some(g0),
+    });
+    b.add_symmetry(SymmetryGroup {
+        name: "stage1".into(),
+        axis: SymmetryAxis::Vertical,
+        pairs: (0..4)
+            .map(|j| SymmetryPair::mirrored(mux_cells[0][j], mux_cells[0][7 - j]))
+            .collect(),
+        share_axis_with: Some(g0),
+    });
+    b.add_symmetry(SymmetryGroup {
+        name: "receivers".into(),
+        axis: SymmetryAxis::Vertical,
+        pairs: vec![
+            SymmetryPair::mirrored(drcv[0], drcv[3]),
+            SymmetryPair::mirrored(drcv[1], drcv[2]),
+            SymmetryPair::mirrored(rcv[0], rcv[11]),
+            SymmetryPair::mirrored(rcv[1], rcv[10]),
+            SymmetryPair::mirrored(rcv[2], rcv[9]),
+            SymmetryPair::mirrored(rcv[3], rcv[8]),
+            SymmetryPair::mirrored(rcv[4], rcv[7]),
+            SymmetryPair::mirrored(rcv[5], rcv[6]),
+        ],
+        share_axis_with: Some(g0),
+    });
+    b.add_symmetry(SymmetryGroup {
+        name: "selects".into(),
+        axis: SymmetryAxis::Vertical,
+        pairs: vec![
+            SymmetryPair::mirrored(sel_inv[0], sel_inv[3]),
+            SymmetryPair::mirrored(sel_inv[1], sel_inv[2]),
+            SymmetryPair::mirrored(sel_buf[0], sel_buf[3]),
+            SymmetryPair::mirrored(sel_buf[1], sel_buf[2]),
+        ],
+        share_axis_with: Some(g0),
+    });
+
+    b.build().expect("BUF generator produces a valid design")
+}
+
+/// External nets (block ports) connect one internal pin plus the boundary.
+/// We model the boundary connection as an extra pin on the same consumer so
+/// the degree-2 netlist invariant holds; routing treats it as pin access.
+fn add_port_pins(b: &mut DesignBuilder, ext_in: &[NetId], sel: &[NetId], out: NetId) {
+    // The receivers' ESD/termination side taps the pad net a second time.
+    for (i, &net) in ext_in.iter().enumerate() {
+        let cell = crate::CellId::from_index(i);
+        b.add_pin(cell, "pad", Some(net), 1, 0);
+    }
+    // Select inputs terminate on their inverters (cells come after receivers
+    // and the 15 mux primitives: 16 + 15 = 31, inverters interleave with
+    // buffers).
+    for (k, &net) in sel.iter().enumerate() {
+        let inv = crate::CellId::from_index(31 + 2 * k);
+        b.add_pin(inv, "pad", Some(net), 1, 0);
+    }
+    // The output pad taps ob3.
+    let ob3 = crate::CellId::from_index(41);
+    b.add_pin(ob3, "pad", Some(out), 30, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table2_statistics() {
+        let d = buf();
+        assert_eq!(d.regions().len(), 1, "Table II: 1 region");
+        assert_eq!(d.cells().len(), 42, "Table II: 42 cells");
+        assert_eq!(d.nets().len(), 66, "Table II: 66 nets");
+    }
+
+    #[test]
+    fn every_net_is_connected() {
+        let d = buf();
+        for n in d.net_ids() {
+            assert!(d.net_degree(n) >= 2, "net {} underconnected", d.net(n).name);
+        }
+    }
+
+    #[test]
+    fn has_hierarchical_symmetry() {
+        let d = buf();
+        let groups = &d.constraints().symmetry;
+        assert!(groups.len() >= 5);
+        // All child groups share the spine axis.
+        assert!(groups[1..].iter().all(|g| g.share_axis_with == Some(0)));
+    }
+
+    #[test]
+    fn port_pins_land_on_named_cells() {
+        let d = buf();
+        // sel0's pad pin must be on selinv0.
+        let selnet = d
+            .net_ids()
+            .find(|&n| d.net(n).name == "sel0")
+            .expect("sel0 exists");
+        let conns = d.net_connections(selnet);
+        assert!(conns
+            .iter()
+            .any(|&(c, _)| d.cell(c).name == "selinv0"));
+    }
+
+    #[test]
+    fn single_power_group_and_uniform_height() {
+        let d = buf();
+        assert_eq!(d.power_groups().len(), 1);
+        assert!(d.cells().iter().all(|c| c.height == 2));
+    }
+}

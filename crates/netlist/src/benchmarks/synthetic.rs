@@ -1,0 +1,210 @@
+//! Parametric random design generation for scaling studies and
+//! property-based testing.
+
+use crate::design::{Design, DesignBuilder};
+use crate::ids::{CellId, NetId};
+use crate::{ClusterConstraint, SymmetryAxis, SymmetryGroup, SymmetryPair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a [`synthetic`] design.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyntheticParams {
+    /// Number of placement regions (>= 1).
+    pub regions: usize,
+    /// Cells per region (>= 2).
+    pub cells_per_region: usize,
+    /// Number of signal nets.
+    pub nets: usize,
+    /// Average pins per net (>= 2).
+    pub net_degree: usize,
+    /// Add mirrored symmetry pairs per region.
+    pub symmetry_pairs: usize,
+    /// Add one cluster spanning this many cells (0 disables).
+    pub cluster_size: usize,
+    /// RNG seed: identical parameters and seed give identical designs.
+    pub seed: u64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> SyntheticParams {
+        SyntheticParams {
+            regions: 1,
+            cells_per_region: 12,
+            nets: 16,
+            net_degree: 3,
+            symmetry_pairs: 2,
+            cluster_size: 0,
+            seed: 0xA115,
+        }
+    }
+}
+
+/// Generates a random but always-valid region-based design.
+///
+/// Cell widths are even values in `[2, 8]`; heights are uniform per region.
+/// Nets are wired by sampling distinct cells; symmetry pairs are drawn from
+/// equal-width cells of the same region.
+///
+/// # Panics
+///
+/// Panics if `regions == 0`, `cells_per_region < 2`, or `net_degree < 2`.
+pub fn synthetic(params: SyntheticParams) -> Design {
+    assert!(params.regions >= 1, "at least one region");
+    assert!(params.cells_per_region >= 2, "at least two cells per region");
+    assert!(params.net_degree >= 2, "nets need at least two pins");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = DesignBuilder::new(format!("synthetic_{:x}", params.seed));
+
+    let vdd = b.add_power_group("VDD");
+    let mut all_cells: Vec<CellId> = Vec::new();
+    let mut region_cells: Vec<Vec<CellId>> = Vec::new();
+
+    for r in 0..params.regions {
+        let region = b.add_region(format!("r{r}"), 0.6 + 0.2 * rng.gen::<f64>());
+        let height = 2;
+        let mut cells = Vec::new();
+        for c in 0..params.cells_per_region {
+            let width = 2 * rng.gen_range(1..=4);
+            let cell = b.add_cell(format!("c{r}_{c}"), region, width, height, vdd);
+            // One or two pins at random in-bounds offsets; nets come later.
+            cells.push(cell);
+            all_cells.push(cell);
+        }
+        region_cells.push(cells);
+    }
+
+    // Wire nets by sampling distinct cells; each endpoint becomes a pin at
+    // the cell's next free site (spreading pins avoids artificial pin
+    // stacking that no real primitive exhibits).
+    let mut pin_count: std::collections::HashMap<CellId, u32> = std::collections::HashMap::new();
+    for n in 0..params.nets {
+        let degree = 2 + rng.gen_range(0..=(params.net_degree.saturating_sub(2) * 2));
+        let degree = degree.min(all_cells.len());
+        let net: NetId = b.add_net(format!("n{n}"), 1 + rng.gen_range(0..2));
+        let mut chosen = Vec::new();
+        while chosen.len() < degree {
+            let c = all_cells[rng.gen_range(0..all_cells.len())];
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        for (i, &c) in chosen.iter().enumerate() {
+            let k = pin_count.entry(c).or_insert(0);
+            let w = b.cell_width(c);
+            let dx = *k % w;
+            let dy = (*k / w) % 2;
+            *k += 1;
+            b.add_pin(c, format!("p{n}_{i}"), Some(net), dx, dy);
+        }
+    }
+
+    // Symmetry pairs among equal-width cells of each region.
+    for cells in &region_cells {
+        let mut pairs = Vec::new();
+        let mut used = vec![false; cells.len()];
+        'outer: for _ in 0..params.symmetry_pairs {
+            for ai in 0..cells.len() {
+                if used[ai] {
+                    continue;
+                }
+                for bi in (ai + 1)..cells.len() {
+                    if used[bi] {
+                        continue;
+                    }
+                    // Builder validation requires equal dimensions; cells
+                    // are equal-height by construction.
+                    if widths_equal(&b, cells[ai], cells[bi]) {
+                        pairs.push(SymmetryPair::mirrored(cells[ai], cells[bi]));
+                        used[ai] = true;
+                        used[bi] = true;
+                        continue 'outer;
+                    }
+                }
+            }
+            break;
+        }
+        if !pairs.is_empty() {
+            b.add_symmetry(SymmetryGroup {
+                name: format!("sym{}", pairs.len()),
+                axis: SymmetryAxis::Vertical,
+                pairs,
+                share_axis_with: None,
+            });
+        }
+    }
+
+    if params.cluster_size >= 2 && params.cluster_size <= all_cells.len() {
+        b.add_cluster(ClusterConstraint {
+            name: "cluster0".into(),
+            cells: all_cells[..params.cluster_size].to_vec(),
+            weight: 4,
+        });
+    }
+
+    b.build().expect("synthetic generator produces valid designs")
+}
+
+fn widths_equal(b: &DesignBuilder, a: CellId, c: CellId) -> bool {
+    // DesignBuilder does not expose cells; track widths via names instead.
+    // Widths are deterministic per seed, so re-deriving is avoided by
+    // keeping this helper in the builder module... but a simpler route:
+    // both cells round-trip through the builder's internal storage.
+    b.cell_width(a) == b.cell_width(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = SyntheticParams::default();
+        let a = synthetic(p);
+        let b = synthetic(p);
+        assert_eq!(a, b);
+        let c = synthetic(SyntheticParams { seed: 99, ..p });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_parameters() {
+        let p = SyntheticParams {
+            regions: 3,
+            cells_per_region: 8,
+            nets: 10,
+            ..Default::default()
+        };
+        let d = synthetic(p);
+        assert_eq!(d.regions().len(), 3);
+        assert_eq!(d.cells().len(), 24);
+        assert_eq!(d.nets().iter().filter(|n| !n.virtual_net).count(), 10);
+    }
+
+    #[test]
+    fn cluster_adds_virtual_net() {
+        let p = SyntheticParams {
+            cluster_size: 4,
+            ..Default::default()
+        };
+        let d = synthetic(p);
+        assert_eq!(d.nets().iter().filter(|n| n.virtual_net).count(), 1);
+    }
+
+    #[test]
+    fn all_generated_designs_validate() {
+        for seed in 0..20 {
+            let p = SyntheticParams {
+                regions: 1 + (seed as usize % 3),
+                cells_per_region: 4 + (seed as usize % 9),
+                nets: 6 + (seed as usize % 11),
+                symmetry_pairs: seed as usize % 4,
+                cluster_size: if seed % 2 == 0 { 3 } else { 0 },
+                seed,
+                ..Default::default()
+            };
+            let d = synthetic(p);
+            assert!(!d.cells().is_empty());
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The four-stage voltage-controlled oscillator (VCO) benchmark.
+//!
+//! Generates complementary in-phase and quadrature clocks at a nominal
+//! 750 mV supply; includes startup circuitry and 3-bit thermometer-encoded
+//! control of digitally tunable capacitors for frequency trimming
+//! (Fig. 6b of the paper). Two regions: the analog oscillator core and the
+//! digital trim-control block — exercising every constraint family:
+//!
+//! * hierarchical symmetry on the differential delay stages,
+//! * common-centroid arrays on each stage's capacitor banks (8 units per
+//!   side: 7 thermometer-switched plus one fixed matching unit, keeping
+//!   the per-axis centroid sums even and therefore exactly satisfiable),
+//! * clusters on the startup and bias circuitry,
+//! * extension margins around the capacitor arrays and the bias cell,
+//! * two power groups (`VDD_A`, `VDD_D`) triggering power-abutment
+//!   constraints inside the core region.
+
+use crate::design::{Design, DesignBuilder};
+use crate::ids::{CellId, NetId};
+use crate::{
+    ArrayConstraint, ArrayPattern, ClusterConstraint, ExtensionConstraint, ExtensionTarget,
+    SymmetryAxis, SymmetryGroup, SymmetryPair,
+};
+
+/// Number of differential delay stages.
+pub(crate) const STAGES: usize = 4;
+/// Thermometer steps of the 3-bit trim DAC (2^3 - 1).
+pub(crate) const THERMO: usize = 7;
+/// Capacitor units per bank: the thermometer steps plus one fixed unit.
+pub(crate) const BANK: usize = THERMO + 1;
+
+/// Generates the VCO benchmark (2 regions, 110 cells, 71 nets).
+pub fn vco() -> Design {
+    let mut b = DesignBuilder::new("vco");
+    let core = b.add_region("core", 0.75);
+    let ctrl = b.add_region("ctrl", 0.82);
+    let vdd_a = b.add_power_group("VDD_A");
+    let vdd_d = b.add_power_group("VDD_D");
+
+    // ---- nets --------------------------------------------------------
+    let php: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("php{k}"), 3)).collect();
+    let phn: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("phn{k}"), 3)).collect();
+    let tail: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("tail{k}"), 1)).collect();
+    let casc: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("casc{k}"), 1)).collect();
+    let cmfb: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("cmfb{k}"), 1)).collect();
+    let railp: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("railp{k}"), 1)).collect();
+    let railn: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("railn{k}"), 1)).collect();
+    // Trim-control distribution (complementary rails for the transmission-
+    // gate switched capacitors).
+    let trim: Vec<NetId> = (0..3).map(|i| b.add_net(format!("trim{i}"), 1)).collect();
+    let trimbuf: Vec<NetId> = (0..3).map(|i| b.add_net(format!("trimbuf{i}"), 1)).collect();
+    let tbar: Vec<NetId> = (0..3).map(|i| b.add_net(format!("tbar{i}"), 1)).collect();
+    let dec: Vec<NetId> = (0..THERMO).map(|j| b.add_net(format!("dec{j}"), 1)).collect();
+    let thermo: Vec<NetId> = (0..THERMO).map(|j| b.add_net(format!("th{j}"), 1)).collect();
+    let thermob: Vec<NetId> = (0..THERMO).map(|j| b.add_net(format!("thb{j}"), 1)).collect();
+    // Startup chain.
+    let en = b.add_net("en", 1);
+    let st_a = b.add_net("st_a", 1);
+    let st_b = b.add_net("st_b", 1);
+    let st_c = b.add_net("st_c", 1);
+    // Bias network and analog test.
+    let vctrl = b.add_net("vctrl", 2);
+    let vbias = b.add_net("vbias", 2);
+    let bmir = b.add_net("bmir", 1);
+    let vdd_sense = b.add_net("vdd_sense", 1);
+    let atest = b.add_net("atest", 1);
+    // Clock outputs.
+    let clk: Vec<NetId> = ["clki", "clkib", "clkq", "clkqb"]
+        .iter()
+        .map(|n| b.add_net(*n, 2))
+        .collect();
+
+    // ---- core region cells --------------------------------------------
+    let mut gm_p = Vec::new();
+    let mut gm_n = Vec::new();
+    let mut load_p = Vec::new();
+    let mut load_n = Vec::new();
+    let mut caps_p: Vec<Vec<CellId>> = Vec::new();
+    let mut caps_n: Vec<Vec<CellId>> = Vec::new();
+
+    for k in 0..STAGES {
+        let prev = (k + STAGES - 1) % STAGES;
+        let gp = b.add_cell(format!("gm_p{k}"), core, 6, 2, vdd_a);
+        b.add_pin(gp, "in", Some(phn[prev]), 0, 1)
+            .add_pin(gp, "out", Some(php[k]), 5, 1)
+            .add_pin(gp, "tail", Some(tail[k]), 2, 0);
+        gm_p.push(gp);
+        let gn = b.add_cell(format!("gm_n{k}"), core, 6, 2, vdd_a);
+        b.add_pin(gn, "in", Some(php[prev]), 0, 1)
+            .add_pin(gn, "out", Some(phn[k]), 5, 1)
+            .add_pin(gn, "tail", Some(tail[k]), 2, 0);
+        gm_n.push(gn);
+        let lp = b.add_cell(format!("load_p{k}"), core, 4, 2, vdd_a);
+        b.add_pin(lp, "node", Some(php[k]), 0, 1)
+            .add_pin(lp, "c", Some(casc[k]), 2, 1)
+            .add_pin(lp, "vb", Some(vbias), 1, 0)
+            .add_pin(lp, "cm", Some(cmfb[k]), 3, 1)
+            .add_pin(lp, "rail", Some(railp[k]), 3, 0);
+        load_p.push(lp);
+        let ln = b.add_cell(format!("load_n{k}"), core, 4, 2, vdd_a);
+        b.add_pin(ln, "node", Some(phn[k]), 0, 1)
+            .add_pin(ln, "c", Some(casc[k]), 2, 1)
+            .add_pin(ln, "vb", Some(vbias), 1, 0)
+            .add_pin(ln, "cm", Some(cmfb[k]), 3, 1)
+            .add_pin(ln, "rail", Some(railn[k]), 3, 0);
+        load_n.push(ln);
+        // Capacitor banks: 7 thermometer-switched units plus one fixed
+        // matching unit per side.
+        let mut bank_p = Vec::new();
+        let mut bank_n = Vec::new();
+        for j in 0..BANK {
+            let cp = b.add_cell(format!("cap_p{k}_{j}"), core, 2, 2, vdd_a);
+            b.add_pin(cp, "node", Some(php[k]), 0, 1)
+                .add_pin(cp, "rail", Some(railp[k]), 0, 0);
+            if j < THERMO {
+                b.add_pin(cp, "ctl", Some(thermo[j]), 1, 1)
+                    .add_pin(cp, "ctlb", Some(thermob[j]), 1, 0);
+            }
+            bank_p.push(cp);
+            let cn = b.add_cell(format!("cap_n{k}_{j}"), core, 2, 2, vdd_a);
+            b.add_pin(cn, "node", Some(phn[k]), 0, 1)
+                .add_pin(cn, "rail", Some(railn[k]), 0, 0);
+            if j < THERMO {
+                b.add_pin(cn, "ctl", Some(thermo[j]), 1, 1)
+                    .add_pin(cn, "ctlb", Some(thermob[j]), 1, 0);
+            }
+            bank_n.push(cn);
+        }
+        caps_p.push(bank_p);
+        caps_n.push(bank_n);
+    }
+
+    // Startup chain injecting into phase 0.
+    let mut startup = Vec::new();
+    let st_nets = [en, st_a, st_b, st_c];
+    for (i, _) in st_nets.iter().enumerate() {
+        let c = b.add_cell(format!("st{i}"), core, 4, 2, vdd_a);
+        b.add_pin(c, "in", Some(st_nets[i]), 0, 1);
+        let out_net = if i + 1 < st_nets.len() { st_nets[i + 1] } else { php[0] };
+        b.add_pin(c, "out", Some(out_net), 3, 1);
+        startup.push(c);
+    }
+
+    // Bias generation.
+    let bias0 = b.add_cell("bias0", core, 4, 2, vdd_a);
+    b.add_pin(bias0, "vctrl", Some(vctrl), 0, 1)
+        .add_pin(bias0, "vb", Some(vbias), 3, 1)
+        .add_pin(bias0, "mir", Some(bmir), 2, 0)
+        .add_pin(bias0, "atest", Some(atest), 1, 1);
+    let bias1 = b.add_cell("bias1", core, 4, 2, vdd_a);
+    b.add_pin(bias1, "mir", Some(bmir), 0, 0)
+        .add_pin(bias1, "sense", Some(vdd_sense), 3, 1);
+
+    // Output clock buffers (digital supply inside the analog region —
+    // exercises the power-abutment constraint of Fig. 4).
+    let tap_nets = [php[0], phn[0], php[2], phn[2]];
+    let mut outbufs = Vec::new();
+    for (i, &t) in tap_nets.iter().enumerate() {
+        let c = b.add_cell(format!("ob{i}"), core, 4, 2, vdd_d);
+        b.add_pin(c, "in", Some(t), 0, 1).add_pin(c, "out", Some(clk[i]), 3, 1);
+        b.add_pin(c, "pad", Some(clk[i]), 2, 0);
+        outbufs.push(c);
+    }
+    // The analog test bus reaches the first clock buffer's probe pin.
+    b.add_pin(outbufs[0], "atest", Some(atest), 1, 1);
+
+    // ---- control region cells ------------------------------------------
+    let mut tbufs = Vec::new();
+    let mut invs = Vec::new();
+    for i in 0..3 {
+        let t = b.add_cell(format!("tbuf{i}"), ctrl, 4, 2, vdd_d);
+        b.add_pin(t, "in", Some(trim[i]), 0, 1)
+            .add_pin(t, "pad", Some(trim[i]), 1, 0)
+            .add_pin(t, "out", Some(trimbuf[i]), 3, 1);
+        tbufs.push(t);
+        let v = b.add_cell(format!("tinv{i}"), ctrl, 4, 2, vdd_d);
+        b.add_pin(v, "in", Some(trimbuf[i]), 0, 1)
+            .add_pin(v, "out", Some(tbar[i]), 3, 1);
+        invs.push(v);
+    }
+    let mut decs = Vec::new();
+    for j in 0..THERMO {
+        let c = b.add_cell(format!("dec{j}"), ctrl, 6, 2, vdd_d);
+        b.add_pin(c, "b0", Some(if j & 1 == 0 { trimbuf[0] } else { tbar[0] }), 0, 1)
+            .add_pin(c, "b1", Some(if j & 2 == 0 { trimbuf[1] } else { tbar[1] }), 2, 1)
+            .add_pin(c, "b2", Some(if j & 4 == 0 { trimbuf[2] } else { tbar[2] }), 4, 1)
+            .add_pin(c, "out", Some(dec[j]), 5, 1);
+        decs.push(c);
+    }
+    let mut drvs = Vec::new();
+    for j in 0..THERMO {
+        let c = b.add_cell(format!("drv{j}"), ctrl, 4, 2, vdd_d);
+        b.add_pin(c, "in", Some(dec[j]), 0, 1)
+            .add_pin(c, "out", Some(thermo[j]), 3, 1)
+            .add_pin(c, "outb", Some(thermob[j]), 3, 0);
+        drvs.push(c);
+    }
+    // External control/enable pads terminate on their consumers.
+    b.add_pin(startup[0], "pad", Some(en), 1, 1);
+    b.add_pin(bias0, "pad", Some(vctrl), 1, 0);
+    b.add_pin(bias1, "pad", Some(vdd_sense), 1, 1);
+
+    // ---- constraints ----------------------------------------------------
+    // Hierarchical symmetry: one vertical spine axis shared by all stages.
+    let g0 = b.add_symmetry(SymmetryGroup {
+        name: "osc_spine".into(),
+        axis: SymmetryAxis::Vertical,
+        pairs: vec![
+            SymmetryPair::mirrored(outbufs[0], outbufs[1]),
+            SymmetryPair::mirrored(outbufs[2], outbufs[3]),
+        ],
+        share_axis_with: None,
+    });
+    for k in 0..STAGES {
+        b.add_symmetry(SymmetryGroup {
+            name: format!("stage{k}"),
+            axis: SymmetryAxis::Vertical,
+            pairs: vec![
+                SymmetryPair::mirrored(gm_p[k], gm_n[k]),
+                SymmetryPair::mirrored(load_p[k], load_n[k]),
+            ],
+            share_axis_with: Some(g0),
+        });
+    }
+
+    // Common-centroid capacitor arrays, one per stage.
+    let mut array_idx = Vec::new();
+    for k in 0..STAGES {
+        let cells: Vec<CellId> = caps_p[k].iter().chain(caps_n[k].iter()).copied().collect();
+        let idx = b.add_array(ArrayConstraint {
+            name: format!("capbank{k}"),
+            cells: cells.clone(),
+            pattern: ArrayPattern::CommonCentroid {
+                group_a: caps_p[k].clone(),
+                group_b: caps_n[k].clone(),
+            },
+        });
+        array_idx.push(idx);
+    }
+
+    // Clusters: startup chain and bias pair stay tight.
+    b.add_cluster(ClusterConstraint {
+        name: "startup".into(),
+        cells: startup.clone(),
+        weight: 6,
+    });
+    b.add_cluster(ClusterConstraint {
+        name: "bias".into(),
+        cells: vec![bias0, bias1],
+        weight: 6,
+    });
+
+    // Extensions: breathing room around each capacitor array and the bias
+    // reference (diffusion extension against layout-dependent effects).
+    for &idx in &array_idx {
+        b.add_extension(ExtensionConstraint {
+            target: ExtensionTarget::Array(idx),
+            left: 1,
+            right: 1,
+            bottom: 0,
+            top: 0,
+        });
+    }
+    b.add_extension(ExtensionConstraint {
+        target: ExtensionTarget::Cell(bias0),
+        left: 1,
+        right: 1,
+        bottom: 0,
+        top: 0,
+    });
+
+    b.build().expect("VCO generator produces a valid design")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table2_statistics() {
+        let d = vco();
+        assert_eq!(d.regions().len(), 2, "Table II: 2 regions");
+        assert_eq!(d.cells().len(), 110, "Table II: 110 cells");
+        let physical = d.nets().iter().filter(|n| !n.virtual_net).count();
+        assert_eq!(physical, 71, "Table II: 71 nets");
+    }
+
+    #[test]
+    fn every_net_is_connected() {
+        let d = vco();
+        for n in d.net_ids() {
+            assert!(d.net_degree(n) >= 2, "net {} underconnected", d.net(n).name);
+        }
+    }
+
+    #[test]
+    fn exercises_all_constraint_families() {
+        let d = vco();
+        let cs = d.constraints();
+        assert!(cs.symmetry.len() >= 5);
+        assert_eq!(cs.arrays.len(), 4);
+        assert_eq!(cs.clusters.len(), 2);
+        assert_eq!(cs.extensions.len(), 5);
+    }
+
+    #[test]
+    fn two_power_groups_in_core_region() {
+        let d = vco();
+        assert_eq!(d.power_groups().len(), 2);
+        let core = d.region_ids().next().expect("core region");
+        let groups: std::collections::HashSet<_> = d
+            .cells_in_region(core)
+            .map(|c| d.cell(c).power_group)
+            .collect();
+        assert_eq!(groups.len(), 2, "core region mixes power groups");
+    }
+
+    #[test]
+    fn cap_arrays_have_even_centroid_sums() {
+        let d = vco();
+        for a in &d.constraints().arrays {
+            assert_eq!(a.cells.len(), 2 * BANK);
+            let ArrayPattern::CommonCentroid { group_a, group_b } = &a.pattern else {
+                panic!("cap banks are common-centroid");
+            };
+            assert_eq!(group_a.len(), group_b.len());
+            // Even per-side unit count keeps Eq. 10 integer-satisfiable.
+            assert_eq!(group_a.len() % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The four AMS placement constraint families of the paper (Section I):
+//! hierarchical symmetry, array (with optional common-centroid pattern),
+//! cluster, and extension constraints.
+
+use crate::ids::{CellId, RegionId};
+use serde::{Deserialize, Serialize};
+
+/// Orientation of a symmetry axis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SymmetryAxis {
+    /// Mirror across a vertical line (x-symmetry, Eq. 8 of the paper).
+    Vertical,
+    /// Mirror across a horizontal line.
+    Horizontal,
+}
+
+/// One symmetry relation inside a group: a mirrored pair, or a
+/// self-symmetric cell straddling the axis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SymmetryPair {
+    /// The first cell.
+    pub a: CellId,
+    /// The mirror partner; `None` marks `a` as self-symmetric.
+    pub b: Option<CellId>,
+}
+
+impl SymmetryPair {
+    /// A mirrored pair.
+    pub fn mirrored(a: CellId, b: CellId) -> SymmetryPair {
+        SymmetryPair { a, b: Some(b) }
+    }
+
+    /// A self-symmetric cell.
+    pub fn self_symmetric(a: CellId) -> SymmetryPair {
+        SymmetryPair { a, b: None }
+    }
+}
+
+/// Index of a symmetry group inside a [`crate::ConstraintSet`].
+pub type SymmetryGroupIdx = usize;
+
+/// A (possibly hierarchical) symmetry group.
+///
+/// Hierarchy is expressed by `share_axis_with`: a group referencing another
+/// group shares that group's axis variable, so a cell can be constrained
+/// with respect to multiple joint axes simultaneously — the paper's
+/// *hierarchical symmetry* (Fig. 2a).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SymmetryGroup {
+    /// Constraint name for diagnostics.
+    pub name: String,
+    /// Axis orientation.
+    pub axis: SymmetryAxis,
+    /// The symmetry relations of this group.
+    pub pairs: Vec<SymmetryPair>,
+    /// Optional parent group whose axis this group reuses.
+    pub share_axis_with: Option<SymmetryGroupIdx>,
+}
+
+/// Layout pattern imposed on an array constraint.
+///
+/// The paper (Fig. 2b) names interdigitation, common-centroid, and
+/// central-symmetric as the optional patterns of an array constraint; all
+/// three are supported, plus plain dense packing.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+pub enum ArrayPattern {
+    /// Dense rectangular packing only (Eq. 9).
+    #[default]
+    Dense,
+    /// Common-centroid: two disjoint sub-groups share a centroid (Eq. 10).
+    CommonCentroid {
+        /// First device group (e.g. the "A" devices).
+        group_a: Vec<CellId>,
+        /// Second device group.
+        group_b: Vec<CellId>,
+    },
+    /// Interdigitation: the device groups alternate along each row
+    /// (`ABAB…`), equalizing gradients for matched devices.
+    Interdigitated {
+        /// Equal-size device groups, interleaved in the given order.
+        groups: Vec<Vec<CellId>>,
+    },
+    /// Central symmetry: each pair of cells sits point-symmetric about the
+    /// array center.
+    CentralSymmetric {
+        /// The mirrored pairs.
+        pairs: Vec<(CellId, CellId)>,
+    },
+}
+
+/// An array constraint: cells packed densely into a rectangle, optionally
+/// with a matching pattern (Fig. 2b).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ArrayConstraint {
+    /// Constraint name for diagnostics.
+    pub name: String,
+    /// Cells in the array; must share dimensions and a region.
+    pub cells: Vec<CellId>,
+    /// Matching pattern.
+    pub pattern: ArrayPattern,
+}
+
+/// A cluster constraint: cells pulled together by a weighted virtual net
+/// (Fig. 2c). May span regions.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ClusterConstraint {
+    /// Constraint name for diagnostics.
+    pub name: String,
+    /// Clustered cells.
+    pub cells: Vec<CellId>,
+    /// Weight of the synthesized virtual net.
+    pub weight: u32,
+}
+
+/// Target of an extension constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ExtensionTarget {
+    /// Reserve space around a single cell.
+    Cell(CellId),
+    /// Reserve space around a whole region.
+    Region(RegionId),
+    /// Reserve space around the bounding box of an array constraint,
+    /// identified by its index in the constraint set.
+    Array(usize),
+}
+
+/// An extension constraint: reserved space around the target, later filled
+/// with dummy cells (Fig. 2d); reduces electromigration and layout-dependent
+/// effects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ExtensionConstraint {
+    /// What the margin applies to.
+    pub target: ExtensionTarget,
+    /// Reserved space to the left (`D^L`), in grid units.
+    pub left: u32,
+    /// Reserved space to the right (`D^R`).
+    pub right: u32,
+    /// Reserved space below.
+    pub bottom: u32,
+    /// Reserved space above.
+    pub top: u32,
+}
+
+/// All placement constraints of a design.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    /// Hierarchical symmetry groups.
+    pub symmetry: Vec<SymmetryGroup>,
+    /// Array constraints.
+    pub arrays: Vec<ArrayConstraint>,
+    /// Cluster constraints.
+    pub clusters: Vec<ClusterConstraint>,
+    /// Extension constraints.
+    pub extensions: Vec<ExtensionConstraint>,
+}
+
+impl ConstraintSet {
+    /// Whether no constraints are present.
+    pub fn is_empty(&self) -> bool {
+        self.symmetry.is_empty()
+            && self.arrays.is_empty()
+            && self.clusters.is_empty()
+            && self.extensions.is_empty()
+    }
+
+    /// Total number of constraints across the four families.
+    pub fn len(&self) -> usize {
+        self.symmetry.len() + self.arrays.len() + self.clusters.len() + self.extensions.len()
+    }
+
+    /// A copy with every constraint family removed — the paper's
+    /// "w/o Cstr." evaluation arm.
+    pub fn cleared(&self) -> ConstraintSet {
+        ConstraintSet::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_constructors() {
+        let a = CellId::from_index(0);
+        let b = CellId::from_index(1);
+        assert_eq!(SymmetryPair::mirrored(a, b).b, Some(b));
+        assert_eq!(SymmetryPair::self_symmetric(a).b, None);
+    }
+
+    #[test]
+    fn empty_set() {
+        let cs = ConstraintSet::default();
+        assert!(cs.is_empty());
+        assert_eq!(cs.len(), 0);
+    }
+
+    #[test]
+    fn cleared_removes_everything() {
+        let cs = ConstraintSet {
+            clusters: vec![ClusterConstraint {
+                name: "cl".into(),
+                cells: vec![CellId::from_index(0)],
+                weight: 4,
+            }],
+            ..Default::default()
+        };
+        assert!(!cs.is_empty());
+        assert!(cs.cleared().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Grid geometry primitives.
+//!
+//! All placement coordinates are unsigned integers on the manufacturing
+//! grid. A [`Pitch`] maps one grid unit to physical nanometres; physical
+//! quantities (µm, µm²) appear only at reporting boundaries.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the placement grid.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal grid coordinate.
+    pub x: u32,
+    /// Vertical grid coordinate.
+    pub y: u32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: u32, y: u32) -> Point {
+        Point { x, y }
+    }
+
+    /// Manhattan distance to `other`.
+    pub fn manhattan(self, other: Point) -> u64 {
+        u64::from(self.x.abs_diff(other.x)) + u64::from(self.y.abs_diff(other.y))
+    }
+}
+
+/// An axis-aligned rectangle on the placement grid (half-open extents).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x: u32,
+    /// Bottom edge.
+    pub y: u32,
+    /// Width (may be zero for degenerate rects).
+    pub w: u32,
+    /// Height.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle from its bottom-left corner and size.
+    pub fn new(x: u32, y: u32, w: u32, h: u32) -> Rect {
+        Rect { x, y, w, h }
+    }
+
+    /// Right edge (exclusive).
+    pub fn right(self) -> u32 {
+        self.x + self.w
+    }
+
+    /// Top edge (exclusive).
+    pub fn top(self) -> u32 {
+        self.y + self.h
+    }
+
+    /// Area in grid units.
+    pub fn area(self) -> u64 {
+        u64::from(self.w) * u64::from(self.h)
+    }
+
+    /// Whether the interiors of `self` and `other` intersect.
+    pub fn overlaps(self, other: Rect) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.top()
+            && other.y < self.top()
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    pub fn contains_rect(self, other: Rect) -> bool {
+        other.x >= self.x
+            && other.right() <= self.right()
+            && other.y >= self.y
+            && other.top() <= self.top()
+    }
+
+    /// Whether the point lies within the rectangle (half-open).
+    pub fn contains_point(self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.right() && p.y >= self.y && p.y < self.top()
+    }
+
+    /// Center point, rounded down.
+    pub fn center(self) -> Point {
+        Point::new(self.x + self.w / 2, self.y + self.h / 2)
+    }
+
+    /// The smallest rectangle covering both `self` and `other`.
+    pub fn union(self, other: Rect) -> Rect {
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        let r = self.right().max(other.right());
+        let t = self.top().max(other.top());
+        Rect::new(x, y, r - x, t - y)
+    }
+
+    /// Grows the rectangle by the given margins, clamping at zero.
+    pub fn expanded(self, left: u32, right: u32, bottom: u32, top: u32) -> Rect {
+        let x = self.x.saturating_sub(left);
+        let y = self.y.saturating_sub(bottom);
+        Rect::new(x, y, self.right() + right - x, self.top() + top - y)
+    }
+}
+
+/// Physical size of one grid unit.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Pitch {
+    /// Width of one horizontal grid unit, in nanometres.
+    pub x_nm: f64,
+    /// Height of one vertical grid unit (one fin row pitch), in nanometres.
+    pub y_nm: f64,
+}
+
+impl Pitch {
+    /// A pitch representative of an N5-class FinFET process
+    /// (54 nm poly pitch × 210 nm row-quantum).
+    pub fn n5() -> Pitch {
+        Pitch {
+            x_nm: 54.0,
+            y_nm: 210.0,
+        }
+    }
+
+    /// Converts a grid-unit area to µm².
+    pub fn area_um2(self, grid_area: u64) -> f64 {
+        grid_area as f64 * self.x_nm * self.y_nm * 1e-6
+    }
+
+    /// Converts a horizontal grid length to µm.
+    pub fn x_um(self, units: u64) -> f64 {
+        units as f64 * self.x_nm * 1e-3
+    }
+
+    /// Converts a vertical grid length to µm.
+    pub fn y_um(self, units: u64) -> f64 {
+        units as f64 * self.y_nm * 1e-3
+    }
+
+    /// Converts a Manhattan length (equal x/y weighting) to µm using the
+    /// average pitch; used for HPWL-style aggregate reporting.
+    pub fn manhattan_um(self, units: u64) -> f64 {
+        units as f64 * (self.x_nm + self.y_nm) * 0.5 * 1e-3
+    }
+}
+
+impl Default for Pitch {
+    fn default() -> Pitch {
+        Pitch::n5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(3, 3, 2, 2);
+        let c = Rect::new(4, 0, 2, 2);
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c)); // abutment is not overlap
+        assert!(!c.overlaps(a));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0, 0, 10, 10);
+        let inner = Rect::new(2, 3, 4, 5);
+        assert!(outer.contains_rect(inner));
+        assert!(!inner.contains_rect(outer));
+        assert!(outer.contains_rect(outer));
+        assert!(outer.contains_point(Point::new(9, 9)));
+        assert!(!outer.contains_point(Point::new(10, 0)));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(5, 7, 1, 1);
+        let u = a.union(b);
+        assert!(u.contains_rect(a) && u.contains_rect(b));
+        assert_eq!(u, Rect::new(0, 0, 6, 8));
+    }
+
+    #[test]
+    fn expansion_clamps_at_zero() {
+        let a = Rect::new(1, 1, 2, 2);
+        let e = a.expanded(5, 1, 5, 1);
+        assert_eq!(e, Rect::new(0, 0, 4, 4));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Point::new(1, 2).manhattan(Point::new(4, 0)), 5);
+    }
+
+    #[test]
+    fn pitch_conversions() {
+        let p = Pitch::n5();
+        assert!((p.area_um2(1000) - 1000.0 * 54.0 * 210.0 * 1e-6).abs() < 1e-9);
+        assert!((p.x_um(100) - 5.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Typed identifiers for netlist entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from its dense index.
+            pub fn from_index(index: usize) -> $name {
+                $name(index as u32)
+            }
+
+            /// The dense index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a primitive cell within a [`crate::Design`].
+    CellId,
+    "c"
+);
+id_type!(
+    /// Identifier of a signal net within a [`crate::Design`].
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a placement region within a [`crate::Design`].
+    RegionId,
+    "r"
+);
+id_type!(
+    /// Identifier of a power group within a [`crate::Design`].
+    PowerGroupId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_format() {
+        let c = CellId::from_index(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "c3");
+        assert_eq!(format!("{:?}", NetId::from_index(0)), "n0");
+        assert_eq!(format!("{}", RegionId::from_index(7)), "r7");
+        assert_eq!(format!("{}", PowerGroupId::from_index(1)), "p1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(CellId::from_index(1) < CellId::from_index(2));
+    }
+}

@@ -1,0 +1,223 @@
+//! The three-layer routing grid.
+//!
+//! Layers alternate preferred direction (H–V–H), matching a typical lower
+//! metal stack; cell pins are accessed on layer 0. Every unit segment has
+//! unit capacity (detailed routing), and the negotiated-congestion router
+//! tracks present usage and history cost per edge.
+
+use ams_netlist::Point;
+
+/// Number of routing layers.
+pub const LAYERS: usize = 3;
+
+/// A node in the routing graph: `(layer, x, y)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Node {
+    /// Metal layer, `0..LAYERS`.
+    pub layer: u8,
+    /// Horizontal track index.
+    pub x: u16,
+    /// Vertical track index.
+    pub y: u16,
+}
+
+impl Node {
+    /// Creates a node.
+    pub fn new(layer: u8, x: u16, y: u16) -> Node {
+        Node { layer, x, y }
+    }
+
+    /// The planar point of this node.
+    pub fn point(self) -> Point {
+        Point::new(u32::from(self.x), u32::from(self.y))
+    }
+}
+
+/// Direction of a graph edge out of a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// One track in +x (layers with horizontal preference).
+    East,
+    /// One track in +y (layers with vertical preference).
+    North,
+    /// Up one layer.
+    Via,
+}
+
+/// Dense edge storage for the routing graph.
+///
+/// Each node owns up to two undirected edges: its positive-direction wire
+/// segment (East on horizontal layers, North on vertical ones) and the via
+/// to the next layer up.
+#[derive(Clone, Debug)]
+pub struct RouteGrid {
+    width: u16,
+    height: u16,
+    /// Tracks available per unit edge (cell sites span several tracks).
+    capacity: u8,
+    /// Present usage per (node, kind): kind 0 = wire, kind 1 = via.
+    usage: Vec<u8>,
+    /// Accumulated history cost per edge (negotiated congestion).
+    history: Vec<u32>,
+}
+
+/// Whether a layer routes horizontally.
+pub fn is_horizontal(layer: u8) -> bool {
+    layer % 2 == 0
+}
+
+impl RouteGrid {
+    /// Creates an empty grid of `width × height` tracks with the given
+    /// per-edge capacity.
+    pub fn new(width: u16, height: u16, capacity: u8) -> RouteGrid {
+        let n = usize::from(width) * usize::from(height) * LAYERS * 2;
+        RouteGrid {
+            width,
+            height,
+            capacity: capacity.max(1),
+            usage: vec![0; n],
+            history: vec![0; n],
+        }
+    }
+
+    /// Tracks available per unit edge.
+    pub fn capacity(&self) -> u8 {
+        self.capacity
+    }
+
+    /// How far the edge is over capacity (0 when within).
+    pub fn overuse(&self, node: Node, step: Step) -> u8 {
+        self.usage(node, step).saturating_sub(self.capacity)
+    }
+
+    /// Grid width in tracks.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Grid height in tracks.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    #[inline]
+    fn index(&self, node: Node, via: bool) -> usize {
+        ((usize::from(node.layer) * usize::from(self.height) + usize::from(node.y))
+            * usize::from(self.width)
+            + usize::from(node.x))
+            * 2
+            + usize::from(via)
+    }
+
+    /// Whether the node lies on the grid.
+    pub fn contains(&self, node: Node) -> bool {
+        node.layer < LAYERS as u8 && node.x < self.width && node.y < self.height
+    }
+
+    /// The neighbor reached from `node` by `step`, if on-grid and legal for
+    /// the layer's preferred direction.
+    pub fn neighbor(&self, node: Node, step: Step) -> Option<Node> {
+        let next = match step {
+            Step::East => {
+                if !is_horizontal(node.layer) || node.x + 1 >= self.width {
+                    return None;
+                }
+                Node::new(node.layer, node.x + 1, node.y)
+            }
+            Step::North => {
+                if is_horizontal(node.layer) || node.y + 1 >= self.height {
+                    return None;
+                }
+                Node::new(node.layer, node.x, node.y + 1)
+            }
+            Step::Via => {
+                if node.layer + 1 >= LAYERS as u8 {
+                    return None;
+                }
+                Node::new(node.layer + 1, node.x, node.y)
+            }
+        };
+        Some(next)
+    }
+
+    /// Present usage of the edge leaving `node` via `step`.
+    pub fn usage(&self, node: Node, step: Step) -> u8 {
+        self.usage[self.index(node, matches!(step, Step::Via))]
+    }
+
+    /// History cost of the edge.
+    pub fn history(&self, node: Node, step: Step) -> u32 {
+        self.history[self.index(node, matches!(step, Step::Via))]
+    }
+
+    /// Marks one more use of the edge.
+    pub fn occupy(&mut self, node: Node, step: Step) {
+        let i = self.index(node, matches!(step, Step::Via));
+        self.usage[i] = self.usage[i].saturating_add(1);
+    }
+
+    /// Releases one use of the edge.
+    pub fn release(&mut self, node: Node, step: Step) {
+        let i = self.index(node, matches!(step, Step::Via));
+        debug_assert!(self.usage[i] > 0);
+        self.usage[i] -= 1;
+    }
+
+    /// Bumps history cost on every currently over-used edge; returns how
+    /// many edges are over capacity.
+    pub fn penalize_overuse(&mut self) -> usize {
+        let mut over = 0;
+        for i in 0..self.usage.len() {
+            if self.usage[i] > self.capacity {
+                self.history[i] += u32::from(self.usage[i] - self.capacity);
+                over += 1;
+            }
+        }
+        over
+    }
+
+    /// Number of edges currently over capacity.
+    pub fn overflow(&self) -> usize {
+        self.usage.iter().filter(|&&u| u > self.capacity).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_respect_preferred_direction() {
+        let g = RouteGrid::new(4, 4, 1);
+        let h = Node::new(0, 1, 1); // horizontal layer
+        assert!(g.neighbor(h, Step::East).is_some());
+        assert!(g.neighbor(h, Step::North).is_none());
+        let v = Node::new(1, 1, 1); // vertical layer
+        assert!(g.neighbor(v, Step::East).is_none());
+        assert!(g.neighbor(v, Step::North).is_some());
+    }
+
+    #[test]
+    fn boundaries_are_respected() {
+        let g = RouteGrid::new(3, 3, 1);
+        assert!(g.neighbor(Node::new(0, 2, 0), Step::East).is_none());
+        assert!(g.neighbor(Node::new(1, 0, 2), Step::North).is_none());
+        assert!(g.neighbor(Node::new(2, 0, 0), Step::Via).is_none());
+        assert!(g.neighbor(Node::new(1, 0, 0), Step::Via).is_some());
+    }
+
+    #[test]
+    fn occupancy_roundtrip() {
+        let mut g = RouteGrid::new(3, 3, 1);
+        let n = Node::new(0, 0, 0);
+        assert_eq!(g.usage(n, Step::East), 0);
+        g.occupy(n, Step::East);
+        g.occupy(n, Step::East);
+        assert_eq!(g.usage(n, Step::East), 2);
+        assert_eq!(g.overflow(), 1);
+        assert_eq!(g.penalize_overuse(), 1);
+        assert_eq!(g.history(n, Step::East), 1);
+        g.release(n, Step::East);
+        assert_eq!(g.overflow(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ams-route
+//!
+//! A gridded, congestion-negotiated analog detail router — the substrate
+//! standing in for the analog router (ref. [18]) the paper uses to measure
+//! routed wirelength (RWL) and via counts of its placements.
+//!
+//! Three alternating-direction layers (H–V–H), unit edge capacity,
+//! multi-terminal nets grown terminal-by-terminal with Dijkstra search, and
+//! PathFinder-style rip-up-and-reroute on over-used edges.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use ams_netlist::benchmarks;
+//! use ams_place::{PlacerConfig, SmtPlacer};
+//! use ams_route::{route, RouterConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = benchmarks::buf();
+//! let placement = SmtPlacer::new(&design, PlacerConfig::fast())?.place()?;
+//! let routed = route(&design, &placement, RouterConfig::default());
+//! println!("RWL = {} tracks, {} vias", routed.wirelength, routed.vias);
+//! # Ok(())
+//! # }
+//! ```
+
+mod grid;
+mod router;
+
+pub use grid::{is_horizontal, Node, RouteGrid, Step, LAYERS};
+pub use router::{route, NetRoute, RouteResult, RouterConfig};

@@ -1,0 +1,388 @@
+//! Negotiated-congestion multi-terminal grid routing.
+//!
+//! Stand-in for the analog detail router of the paper's ref. [18]: each net
+//! is routed terminal-by-terminal onto its growing route tree with
+//! Dijkstra search; overflowing edges are penalized and their nets ripped
+//! up and rerouted (PathFinder-style) until congestion clears or the
+//! iteration limit is reached.
+
+use crate::grid::{is_horizontal, Node, RouteGrid, Step, LAYERS};
+use ams_netlist::{Design, NetId, Pitch};
+use ams_place::Placement;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Router tuning parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouterConfig {
+    /// Cost of one via (the paper reports via counts; typical detail
+    /// routers price a via at 2–4 track segments).
+    pub via_cost: u32,
+    /// Penalty added per unit of present over-use during search.
+    pub congestion_penalty: u32,
+    /// Maximum rip-up-and-reroute rounds.
+    pub max_iterations: usize,
+    /// Routing tracks per unit edge (a placement grid unit spans several
+    /// metal tracks in an N5-class stack).
+    pub capacity: u8,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            via_cost: 3,
+            congestion_penalty: 16,
+            max_iterations: 16,
+            capacity: 2,
+        }
+    }
+}
+
+/// The routed geometry of one net.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetRoute {
+    /// Wire segments as (from, to) node pairs on the same layer.
+    pub wires: Vec<(Node, Node)>,
+    /// Via locations as the lower-layer node.
+    pub vias: Vec<Node>,
+}
+
+impl NetRoute {
+    /// Total wire length in tracks.
+    pub fn wirelength(&self) -> u64 {
+        self.wires.len() as u64
+    }
+
+    /// Horizontal/vertical split of the wirelength, for anisotropic pitch.
+    pub fn wirelength_xy(&self) -> (u64, u64) {
+        let mut x = 0;
+        let mut y = 0;
+        for &(a, _) in &self.wires {
+            if is_horizontal(a.layer) {
+                x += 1;
+            } else {
+                y += 1;
+            }
+        }
+        (x, y)
+    }
+}
+
+/// Result of routing a placed design.
+#[derive(Clone, Debug, Default)]
+pub struct RouteResult {
+    /// Per-net routes, indexed by net id (empty for skipped nets).
+    pub nets: Vec<NetRoute>,
+    /// Total routed wirelength in tracks.
+    pub wirelength: u64,
+    /// Total via count.
+    pub vias: u64,
+    /// Edges still over capacity after the final iteration (0 = clean).
+    pub overflow: usize,
+    /// Rip-up-and-reroute rounds used.
+    pub iterations: usize,
+}
+
+impl RouteResult {
+    /// Routed wirelength in µm under the given pitch.
+    pub fn wirelength_um(&self, pitch: Pitch) -> f64 {
+        let (x, y) = self
+            .nets
+            .iter()
+            .fold((0, 0), |(ax, ay), n| {
+                let (x, y) = n.wirelength_xy();
+                (ax + x, ay + y)
+            });
+        pitch.x_um(x) + pitch.y_um(y)
+    }
+}
+
+/// Routes every physical net of a placed design.
+///
+/// # Panics
+///
+/// Panics if a pin lies outside the placement die.
+pub fn route(design: &Design, placement: &Placement, config: RouterConfig) -> RouteResult {
+    let mut ctx = Router::new(design, placement, config);
+    ctx.run()
+}
+
+struct Router<'a> {
+    design: std::marker::PhantomData<&'a Design>,
+    config: RouterConfig,
+    grid: RouteGrid,
+    terminals: Vec<Vec<Node>>,
+    order: Vec<NetId>,
+    routes: Vec<NetRoute>,
+}
+
+impl<'a> Router<'a> {
+    fn new(design: &'a Design, placement: &'a Placement, config: RouterConfig) -> Router<'a> {
+        let grid = RouteGrid::new(
+            (placement.die.w + 1).min(u32::from(u16::MAX)) as u16,
+            (placement.die.h + 1).min(u32::from(u16::MAX)) as u16,
+            config.capacity,
+        );
+        // Terminals: one layer-0 node per pin, deduplicated per net.
+        let mut terminals: Vec<Vec<Node>> = vec![Vec::new(); design.nets().len()];
+        for n in design.net_ids() {
+            if design.net(n).virtual_net {
+                continue;
+            }
+            let mut seen = HashSet::new();
+            for &(c, pi) in design.net_connections(n) {
+                let pin = &design.cell(c).pins[pi];
+                let r = placement.cells[c.index()];
+                let node = Node::new(0, (r.x + pin.dx) as u16, (r.y + pin.dy) as u16);
+                assert!(grid.contains(node), "pin off the routing grid");
+                if seen.insert(node) {
+                    terminals[n.index()].push(node);
+                }
+            }
+        }
+        // Net order: heavier and shorter nets first, deterministic.
+        let mut order: Vec<NetId> = design
+            .net_ids()
+            .filter(|&n| terminals[n.index()].len() >= 2)
+            .collect();
+        order.sort_by_key(|&n| {
+            let ts = &terminals[n.index()];
+            let span: u64 = ts
+                .iter()
+                .map(|t| t.point().manhattan(ts[0].point()))
+                .sum();
+            (std::cmp::Reverse(design.net(n).weight), span, n)
+        });
+        Router {
+            design: std::marker::PhantomData,
+            config,
+            grid,
+            terminals,
+            order,
+            routes: vec![NetRoute::default(); design.nets().len()],
+        }
+    }
+
+    fn run(&mut self) -> RouteResult {
+        let mut iterations = 0;
+        for round in 0..self.config.max_iterations {
+            iterations = round + 1;
+            if round == 0 {
+                for i in 0..self.order.len() {
+                    let n = self.order[i];
+                    self.route_net(n);
+                }
+            } else {
+                // Rip up and reroute nets crossing over-used edges.
+                let victims = self.overflow_victims();
+                if victims.is_empty() {
+                    break;
+                }
+                self.grid.penalize_overuse();
+                for &n in &victims {
+                    self.unroute_net(n);
+                }
+                for &n in &victims {
+                    self.route_net(n);
+                }
+            }
+            if self.grid.overflow() == 0 {
+                break;
+            }
+        }
+        let mut result = RouteResult {
+            nets: std::mem::take(&mut self.routes),
+            overflow: self.grid.overflow(),
+            iterations,
+            ..RouteResult::default()
+        };
+        for r in &result.nets {
+            result.wirelength += r.wirelength();
+            result.vias += r.vias.len() as u64;
+        }
+        result
+    }
+
+    fn overflow_victims(&self) -> Vec<NetId> {
+        let mut victims = Vec::new();
+        for &n in &self.order {
+            let route = &self.routes[n.index()];
+            let crosses = route
+                .wires
+                .iter()
+                .any(|&(a, _)| self.grid.overuse(a, wire_step(a)) > 0)
+                || route.vias.iter().any(|&v| self.grid.overuse(v, Step::Via) > 0);
+            if crosses {
+                victims.push(n);
+            }
+        }
+        victims
+    }
+
+    fn unroute_net(&mut self, n: NetId) {
+        let route = std::mem::take(&mut self.routes[n.index()]);
+        for (a, _) in route.wires {
+            self.grid.release(a, wire_step(a));
+        }
+        for v in route.vias {
+            self.grid.release(v, Step::Via);
+        }
+    }
+
+    /// Routes one net: grow a tree from the first terminal, connecting each
+    /// remaining terminal by a cheapest path to the current tree.
+    fn route_net(&mut self, n: NetId) {
+        let terminals = self.terminals[n.index()].clone();
+        debug_assert!(terminals.len() >= 2);
+        let mut tree: HashSet<Node> = HashSet::new();
+        tree.insert(terminals[0]);
+        let mut route = NetRoute::default();
+
+        for &t in &terminals[1..] {
+            if tree.contains(&t) {
+                continue;
+            }
+            match self.search(&tree, t) {
+                Some(path) => {
+                    for w in path.windows(2) {
+                        let (a, b) = (w[0], w[1]);
+                        tree.insert(a);
+                        tree.insert(b);
+                        if a.layer == b.layer {
+                            let owner = edge_owner(a, b);
+                            self.grid.occupy(owner, wire_step(owner));
+                            route.wires.push((owner, other_end(owner, b, a)));
+                        } else {
+                            let lower = if a.layer < b.layer { a } else { b };
+                            self.grid.occupy(lower, Step::Via);
+                            route.vias.push(lower);
+                        }
+                    }
+                }
+                None => {
+                    // Disconnected terminal (should not happen on an open
+                    // grid); leave it — overflow accounting will show it.
+                }
+            }
+        }
+        self.routes[n.index()] = route;
+    }
+
+    /// Dijkstra from the target terminal back to any tree node.
+    fn search(&self, tree: &HashSet<Node>, from: Node) -> Option<Vec<Node>> {
+        #[derive(PartialEq, Eq)]
+        struct Entry(u64, Node);
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other.0.cmp(&self.0).then_with(|| other.1.cmp(&self.1))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut dist: HashMap<Node, u64> = HashMap::new();
+        let mut prev: HashMap<Node, Node> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(from, 0);
+        heap.push(Entry(0, from));
+
+        while let Some(Entry(d, node)) = heap.pop() {
+            if tree.contains(&node) {
+                // Reconstruct path from the tree node back to `from`.
+                let mut path = vec![node];
+                let mut cur = node;
+                while let Some(&p) = prev.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                return Some(path);
+            }
+            if d > *dist.get(&node).unwrap_or(&u64::MAX) {
+                continue;
+            }
+            for (next, owner, step) in self.expansions(node) {
+                let cost = d + self.edge_cost(owner, step);
+                if cost < *dist.get(&next).unwrap_or(&u64::MAX) {
+                    dist.insert(next, cost);
+                    prev.insert(next, node);
+                    heap.push(Entry(cost, next));
+                }
+            }
+        }
+        None
+    }
+
+    /// All undirected expansions from a node: forward edges it owns plus
+    /// backward edges owned by its negative-direction neighbors.
+    fn expansions(&self, node: Node) -> Vec<(Node, Node, Step)> {
+        let mut out = Vec::with_capacity(4);
+        // Forward wire.
+        if let Some(next) = self.grid.neighbor(node, Step::East) {
+            out.push((next, node, Step::East));
+        }
+        if let Some(next) = self.grid.neighbor(node, Step::North) {
+            out.push((next, node, Step::North));
+        }
+        // Backward wire (edge owned by the neighbor).
+        if is_horizontal(node.layer) && node.x > 0 {
+            let west = Node::new(node.layer, node.x - 1, node.y);
+            out.push((west, west, Step::East));
+        }
+        if !is_horizontal(node.layer) && node.y > 0 {
+            let south = Node::new(node.layer, node.x, node.y - 1);
+            out.push((south, south, Step::North));
+        }
+        // Vias up and down.
+        if node.layer + 1 < LAYERS as u8 {
+            out.push((Node::new(node.layer + 1, node.x, node.y), node, Step::Via));
+        }
+        if node.layer > 0 {
+            let below = Node::new(node.layer - 1, node.x, node.y);
+            out.push((below, below, Step::Via));
+        }
+        out
+    }
+
+    fn edge_cost(&self, owner: Node, step: Step) -> u64 {
+        let base = match step {
+            Step::Via => u64::from(self.config.via_cost),
+            _ => 1,
+        };
+        let usage = u64::from(self.grid.usage(owner, step));
+        let capacity = u64::from(self.grid.capacity());
+        let history = u64::from(self.grid.history(owner, step));
+        let present = if usage >= capacity {
+            u64::from(self.config.congestion_penalty) * (usage - capacity + 1)
+        } else {
+            0
+        };
+        base + present + history
+    }
+}
+
+fn wire_step(owner: Node) -> Step {
+    if is_horizontal(owner.layer) {
+        Step::East
+    } else {
+        Step::North
+    }
+}
+
+fn edge_owner(a: Node, b: Node) -> Node {
+    debug_assert_eq!(a.layer, b.layer);
+    if (a.x, a.y) <= (b.x, b.y) {
+        a
+    } else {
+        b
+    }
+}
+
+fn other_end(owner: Node, b: Node, a: Node) -> Node {
+    if owner == a {
+        b
+    } else {
+        a
+    }
+}

@@ -1,0 +1,162 @@
+//! Router integration tests on hand-built placements: every net's routed
+//! geometry must form one connected component containing all terminals.
+
+use ams_netlist::{DesignBuilder, Rect};
+use ams_place::{PlacerConfig, ScaleInfo};
+use ams_route::{route, Node, RouteResult, RouterConfig};
+use std::collections::{HashMap, HashSet};
+
+/// A deterministic 2-region design with multi-terminal nets.
+fn fixture() -> (ams_netlist::Design, ams_place::Placement) {
+    let mut b = DesignBuilder::new("fixture");
+    let r0 = b.add_region("left", 0.8);
+    let r1 = b.add_region("right", 0.8);
+    let pg = b.add_power_group("VDD");
+    let bus = b.add_net("bus", 2);
+    let pair = b.add_net("pair", 1);
+    let cross = b.add_net("cross", 1);
+
+    let mut cells = Vec::new();
+    for i in 0..4 {
+        let c = b.add_cell(format!("l{i}"), r0, 4, 2, pg);
+        b.add_pin(c, "p", Some(bus), 1, 1);
+        cells.push(c);
+    }
+    b.add_pin(cells[0], "q", Some(pair), 3, 0);
+    b.add_pin(cells[1], "q", Some(pair), 3, 0);
+    for i in 0..2 {
+        let c = b.add_cell(format!("r{i}"), r1, 4, 2, pg);
+        b.add_pin(c, "p", Some(cross), 1, 1);
+        cells.push(c);
+    }
+    b.add_pin(cells[0], "x", Some(cross), 2, 1);
+    let design = b.build().expect("valid");
+
+    // Hand placement: left cells stacked in region 0, right cells in
+    // region 1, with a gap between the regions.
+    let cell_rects = vec![
+        Rect::new(2, 2, 4, 2),
+        Rect::new(6, 2, 4, 2),
+        Rect::new(2, 4, 4, 2),
+        Rect::new(6, 4, 4, 2),
+        Rect::new(14, 2, 4, 2),
+        Rect::new(14, 4, 4, 2),
+    ];
+    let scale = ScaleInfo::compute(&design, &PlacerConfig::default());
+    let placement = ams_place::placement_from_rects(
+        cell_rects,
+        vec![Rect::new(2, 2, 8, 4), Rect::new(14, 2, 4, 4)],
+        Rect::new(0, 0, 20, 8),
+        &scale,
+    );
+    (design, placement)
+}
+
+/// Asserts that each routed net connects all its terminals.
+fn assert_connected(design: &ams_netlist::Design, placement: &ams_place::Placement, result: &RouteResult) {
+    for n in design.net_ids() {
+        let route = &result.nets[n.index()];
+        let mut adj: HashMap<Node, Vec<Node>> = HashMap::new();
+        let mut link = |a: Node, b: Node| {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        };
+        for &(a, b) in &route.wires {
+            link(a, b);
+        }
+        for &v in &route.vias {
+            link(v, Node::new(v.layer + 1, v.x, v.y));
+        }
+        let terminals: HashSet<Node> = design
+            .net_connections(n)
+            .iter()
+            .map(|&(c, pi)| {
+                let pin = &design.cell(c).pins[pi];
+                let r = placement.cells[c.index()];
+                Node::new(0, (r.x + pin.dx) as u16, (r.y + pin.dy) as u16)
+            })
+            .collect();
+        if terminals.len() < 2 {
+            continue;
+        }
+        // BFS from one terminal over the routed graph.
+        let start = *terminals.iter().next().expect("nonempty");
+        let mut seen = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(node) = stack.pop() {
+            if !seen.insert(node) {
+                continue;
+            }
+            if let Some(next) = adj.get(&node) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        for t in &terminals {
+            assert!(
+                seen.contains(t),
+                "net {} terminal {:?} unreached",
+                design.net(n).name,
+                t
+            );
+        }
+    }
+}
+
+#[test]
+fn fixture_routes_fully_connected() {
+    let (design, placement) = fixture();
+    let result = route(&design, &placement, RouterConfig::default());
+    assert_eq!(result.overflow, 0);
+    assert_connected(&design, &placement, &result);
+    assert!(result.wirelength > 0);
+}
+
+#[test]
+fn via_count_tracks_layer_changes() {
+    let (design, placement) = fixture();
+    let result = route(&design, &placement, RouterConfig::default());
+    let via_sum: usize = result.nets.iter().map(|r| r.vias.len()).sum();
+    assert_eq!(via_sum as u64, result.vias);
+    // Any net with both x- and y-extent needs at least one via (layers
+    // have preferred directions).
+    let cross = design
+        .net_ids()
+        .find(|&n| design.net(n).name == "cross")
+        .expect("cross net");
+    assert!(!result.nets[cross.index()].vias.is_empty());
+}
+
+#[test]
+fn unit_capacity_forces_detours_not_overflow() {
+    // With capacity 1 and parallel 2-pin nets between facing rows, the
+    // router must spread wires rather than stack them.
+    let mut b = DesignBuilder::new("parallel");
+    let r0 = b.add_region("r", 0.9);
+    let pg = b.add_power_group("VDD");
+    let mut rects = Vec::new();
+    for i in 0..3u32 {
+        let n = b.add_net(format!("n{i}"), 1);
+        let a = b.add_cell(format!("a{i}"), r0, 2, 2, pg);
+        b.add_pin(a, "p", Some(n), 1, 1);
+        let c = b.add_cell(format!("b{i}"), r0, 2, 2, pg);
+        b.add_pin(c, "p", Some(n), 1, 1);
+        rects.push(Rect::new(2 + 2 * i, 2, 2, 2));
+        rects.push(Rect::new(2 + 2 * i, 8, 2, 2));
+    }
+    let design = b.build().expect("valid");
+    // Interleave rects to cell order (a0, b0, a1, b1, ...).
+    let scale = ScaleInfo::compute(&design, &PlacerConfig::default());
+    let placement = ams_place::placement_from_rects(
+        rects,
+        vec![Rect::new(2, 2, 8, 8)],
+        Rect::new(0, 0, 12, 12),
+        &scale,
+    );
+    let cfg = RouterConfig {
+        capacity: 1,
+        ..RouterConfig::default()
+    };
+    let result = route(&design, &placement, cfg);
+    assert_eq!(result.overflow, 0, "negotiation must clear congestion");
+    assert_connected(&design, &placement, &result);
+}

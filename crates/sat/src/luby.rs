@@ -1,0 +1,44 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (1-based) of the Luby sequence:
+/// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+///
+/// Restart limits are `base * luby(i)` conflicts, the universally good
+/// strategy for CDCL restarts.
+pub fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    // Find the finite subsequence that contains index x (0-based), then the
+    // index inside that subsequence (Knuth's formulation).
+    let mut x = i - 1;
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::luby;
+
+    #[test]
+    fn prefix_matches_known_sequence() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        let got: Vec<u64> = (1..=expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 1..200 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: CDCL agrees with brute force on random small formulas,
+//! and stays consistent under incremental use.
+
+use ams_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A small random CNF as (num_vars, clauses of literal codes).
+#[derive(Debug, Clone)]
+struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<(usize, bool)>>,
+}
+
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    (2..=max_vars).prop_flat_map(move |nv| {
+        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=4);
+        proptest::collection::vec(clause, 1..=max_clauses)
+            .prop_map(move |clauses| Cnf { num_vars: nv, clauses })
+    })
+}
+
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars;
+    assert!(n <= 16, "brute force limited to 16 vars");
+    'assign: for bits in 0u32..(1 << n) {
+        for clause in &cnf.clauses {
+            let sat = clause
+                .iter()
+                .any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos);
+            if !sat {
+                continue 'assign;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn build_solver(cnf: &Cnf) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..cnf.num_vars).map(|_| solver.new_var()).collect();
+    for clause in &cnf.clauses {
+        let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| Lit::new(vars[v], pos)).collect();
+        solver.add_clause(&lits);
+    }
+    (solver, vars)
+}
+
+fn model_satisfies(solver: &Solver, cnf: &Cnf, vars: &[Var]) -> bool {
+    cnf.clauses.iter().all(|clause| {
+        clause
+            .iter()
+            .any(|&(v, pos)| solver.value(vars[v]) == pos)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn agrees_with_brute_force(cnf in cnf_strategy(10, 40)) {
+        let expected = brute_force_sat(&cnf);
+        let (mut solver, vars) = build_solver(&cnf);
+        let result = solver.solve();
+        match result {
+            SolveResult::Sat => {
+                prop_assert!(expected, "CDCL said SAT, brute force says UNSAT");
+                prop_assert!(model_satisfies(&solver, &cnf, &vars), "model does not satisfy CNF");
+            }
+            SolveResult::Unsat => prop_assert!(!expected, "CDCL said UNSAT, brute force says SAT"),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn assumptions_match_hardcoding(cnf in cnf_strategy(8, 24), fixed in proptest::collection::vec(any::<bool>(), 2)) {
+        // Solving under assumptions must agree with adding them as units.
+        let (mut s_assume, vars) = build_solver(&cnf);
+        let assumptions: Vec<Lit> = fixed
+            .iter()
+            .enumerate()
+            .map(|(i, &pos)| Lit::new(vars[i], pos))
+            .collect();
+        let r_assume = s_assume.solve_with(&assumptions);
+
+        let (mut s_hard, vars2) = build_solver(&cnf);
+        let mut consistent = true;
+        for (i, &pos) in fixed.iter().enumerate() {
+            consistent &= s_hard.add_clause(&[Lit::new(vars2[i], pos)]);
+        }
+        let r_hard = if consistent { s_hard.solve() } else { SolveResult::Unsat };
+        prop_assert_eq!(r_assume, r_hard);
+    }
+
+    #[test]
+    fn incremental_solving_is_consistent(cnf in cnf_strategy(8, 30)) {
+        // Solve after each clause; once UNSAT, must stay UNSAT.
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..cnf.num_vars).map(|_| solver.new_var()).collect();
+        let mut was_unsat = false;
+        for (i, clause) in cnf.clauses.iter().enumerate() {
+            let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| Lit::new(vars[v], pos)).collect();
+            solver.add_clause(&lits);
+            let r = solver.solve();
+            if was_unsat {
+                prop_assert_eq!(r, SolveResult::Unsat, "UNSAT must be sticky");
+            }
+            was_unsat = r == SolveResult::Unsat;
+            let prefix = Cnf { num_vars: cnf.num_vars, clauses: cnf.clauses[..=i].to_vec() };
+            prop_assert_eq!(r == SolveResult::Sat, brute_force_sat(&prefix));
+        }
+    }
+
+    #[test]
+    fn failed_core_is_sound(cnf in cnf_strategy(8, 24), polarity in proptest::collection::vec(any::<bool>(), 8)) {
+        let (mut solver, vars) = build_solver(&cnf);
+        let assumptions: Vec<Lit> = vars
+            .iter()
+            .zip(&polarity)
+            .map(|(&v, &pos)| Lit::new(v, pos))
+            .collect();
+        if solver.solve_with(&assumptions) == SolveResult::Unsat {
+            let core: Vec<Lit> = solver.failed_assumptions().to_vec();
+            for l in &core {
+                prop_assert!(assumptions.contains(l), "core literal {:?} not among assumptions", l);
+            }
+            // The core alone must already be unsatisfiable with the formula.
+            let (mut s2, vars2) = build_solver(&cnf);
+            let remapped: Vec<Lit> = core
+                .iter()
+                .map(|l| Lit::new(vars2[l.var().index()], l.is_positive()))
+                .collect();
+            prop_assert_eq!(s2.solve_with(&remapped), SolveResult::Unsat, "core is not a core");
+        }
+    }
+}

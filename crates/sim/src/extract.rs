@@ -1,0 +1,182 @@
+//! Parasitic extraction from routed geometry.
+//!
+//! Builds, per net, the total wire capacitance and the per-sink path
+//! resistance through the actual route tree (walking the
+//! [`ams_route::NetRoute`] segments), so downstream Elmore timing sees the
+//! layout differences between placements.
+
+use crate::tech::Tech;
+use ams_netlist::{CellId, Design, NetId};
+use ams_place::Placement;
+use ams_route::{is_horizontal, Node, RouteResult};
+use std::collections::HashMap;
+
+/// Extracted parasitics of one sink pin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SinkPath {
+    /// The sink cell.
+    pub cell: CellId,
+    /// Pin index within the cell.
+    pub pin: usize,
+    /// Resistance from the driver pin to this sink along the route, in Ω.
+    pub resistance: f64,
+}
+
+/// Extracted parasitics of one net.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtractedNet {
+    /// Total wire + via + sink-pin capacitance, in F.
+    pub capacitance: f64,
+    /// Total routed wire resistance, in Ω.
+    pub wire_resistance: f64,
+    /// The driving pin `(cell, pin index)`, by output-name convention.
+    pub driver: (CellId, usize),
+    /// Per-sink resistive paths.
+    pub sinks: Vec<SinkPath>,
+}
+
+/// Pin-direction heuristic: generator cells name their outputs following
+/// this convention.
+pub fn is_output_pin(name: &str) -> bool {
+    name == "z"
+        || name == "q"
+        || name.starts_with("out")
+        || name == "vb"
+        || name == "sense"
+        || name == "mir"
+}
+
+/// Extracts every physical net; `None` for virtual or unrouted nets.
+pub fn extract(
+    design: &Design,
+    placement: &Placement,
+    routes: &RouteResult,
+    tech: &Tech,
+) -> Vec<Option<ExtractedNet>> {
+    design
+        .net_ids()
+        .map(|n| extract_net(design, placement, routes, tech, n))
+        .collect()
+}
+
+fn pin_node(design: &Design, placement: &Placement, c: CellId, pi: usize) -> Node {
+    let pin = &design.cell(c).pins[pi];
+    let r = placement.cells[c.index()];
+    Node::new(0, (r.x + pin.dx) as u16, (r.y + pin.dy) as u16)
+}
+
+fn extract_net(
+    design: &Design,
+    placement: &Placement,
+    routes: &RouteResult,
+    tech: &Tech,
+    n: NetId,
+) -> Option<ExtractedNet> {
+    if design.net(n).virtual_net {
+        return None;
+    }
+    let conns = design.net_connections(n);
+    if conns.len() < 2 {
+        return None;
+    }
+    let route = &routes.nets[n.index()];
+
+    // Capacitance: every wire segment, via, and sink pin.
+    let mut capacitance = 0.0;
+    let mut wire_resistance = 0.0;
+    for &(a, _) in &route.wires {
+        if is_horizontal(a.layer) {
+            capacitance += tech.c_per_track_x;
+            wire_resistance += tech.r_per_track_x;
+        } else {
+            capacitance += tech.c_per_track_y;
+            wire_resistance += tech.r_per_track_y;
+        }
+    }
+    capacitance += route.vias.len() as f64 * tech.c_via;
+    capacitance += conns.len() as f64 * tech.c_pin;
+
+    // Driver selection by the output-pin naming convention; falls back to
+    // the first connection.
+    let driver = conns
+        .iter()
+        .copied()
+        .find(|&(c, pi)| is_output_pin(&design.cell(c).pins[pi].name))
+        .unwrap_or(conns[0]);
+
+    // Per-sink resistance: BFS over the route graph from the driver node.
+    let mut adjacency: HashMap<Node, Vec<(Node, f64)>> = HashMap::new();
+    let mut connect = |a: Node, b: Node, r: f64| {
+        adjacency.entry(a).or_default().push((b, r));
+        adjacency.entry(b).or_default().push((a, r));
+    };
+    for &(a, b) in &route.wires {
+        let r = if is_horizontal(a.layer) {
+            tech.r_per_track_x
+        } else {
+            tech.r_per_track_y
+        };
+        connect(a, b, r);
+    }
+    for &v in &route.vias {
+        let upper = Node::new(v.layer + 1, v.x, v.y);
+        connect(v, upper, tech.r_via);
+    }
+
+    let source = pin_node(design, placement, driver.0, driver.1);
+    let mut dist: HashMap<Node, f64> = HashMap::new();
+    dist.insert(source, 0.0);
+    // Route graphs are trees (or near-trees); a simple relaxation queue
+    // suffices.
+    let mut queue = vec![source];
+    while let Some(node) = queue.pop() {
+        let d = dist[&node];
+        if let Some(edges) = adjacency.get(&node) {
+            for &(next, r) in edges {
+                let nd = d + r;
+                if dist.get(&next).map_or(true, |&old| nd < old) {
+                    dist.insert(next, nd);
+                    queue.push(next);
+                }
+            }
+        }
+    }
+
+    let sinks = conns
+        .iter()
+        .copied()
+        .filter(|&p| p != driver)
+        .map(|(c, pi)| {
+            let node = pin_node(design, placement, c, pi);
+            // Unreached sinks (unrouted nets) see the full wire resistance.
+            let resistance = dist.get(&node).copied().unwrap_or(wire_resistance);
+            SinkPath {
+                cell: c,
+                pin: pi,
+                resistance,
+            }
+        })
+        .collect();
+
+    Some(ExtractedNet {
+        capacitance,
+        wire_resistance,
+        driver,
+        sinks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_name_convention() {
+        assert!(is_output_pin("z"));
+        assert!(is_output_pin("out"));
+        assert!(is_output_pin("outp"));
+        assert!(!is_output_pin("in"));
+        assert!(!is_output_pin("a"));
+        assert!(!is_output_pin("pad"));
+    }
+}

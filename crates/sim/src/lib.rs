@@ -1,0 +1,27 @@
+//! # ams-sim
+//!
+//! Post-layout analysis substrate standing in for the parasitic extraction
+//! and SPICE simulation of the paper's evaluation:
+//!
+//! * [`extract`] — per-net RC from the routed geometry (wire/via/pin),
+//!   including per-sink resistive paths through the route tree;
+//! * [`timing`] — Elmore-delay analysis of the multiplexing buffer's 16
+//!   input-to-output paths (Table IV: per-stage insertion delay and
+//!   rise/fall statistics);
+//! * [`vco`] — an α-power-law current-starved ring-oscillator model whose
+//!   load includes the extracted phase-node parasitics (Table VI power and
+//!   frequency vs. supply; Fig. 7 frequency vs. supply per trim code).
+//!
+//! Absolute numbers are governed by the representative [`Tech`] constants;
+//! the reproduction's claims live in the *relative* behaviour between
+//! layouts, which derives entirely from extracted geometry.
+
+mod extract;
+mod tech;
+mod timing;
+mod vco;
+
+pub use extract::{extract, is_output_pin, ExtractedNet, SinkPath};
+pub use tech::Tech;
+pub use timing::{analyze_buf, BufTimingReport, StageTiming};
+pub use vco::{VcoModel, VcoPoint};

@@ -1,0 +1,79 @@
+//! Technology constants of the simulated N5-class process.
+//!
+//! These stand in for the foundry extraction deck and SPICE models the
+//! paper's post-layout analysis used. Absolute values are representative,
+//! not foundry data; what the reproduction relies on is only that delays
+//! and oscillation frequency respond to routed parasitics the way
+//! first-order RC physics dictates.
+
+/// Interconnect and device constants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tech {
+    /// Wire resistance per horizontal track, in Ω.
+    pub r_per_track_x: f64,
+    /// Wire resistance per vertical track (wider pitch, thicker metal).
+    pub r_per_track_y: f64,
+    /// Wire capacitance per horizontal track, in F.
+    pub c_per_track_x: f64,
+    /// Wire capacitance per vertical track.
+    pub c_per_track_y: f64,
+    /// Resistance of one via, in Ω.
+    pub r_via: f64,
+    /// Capacitance of one via, in F.
+    pub c_via: f64,
+    /// Input (gate) capacitance per pin, in F.
+    pub c_pin: f64,
+    /// Drive resistance of a minimum-width (one grid unit) device, in Ω;
+    /// a cell of scaled width `w` drives with `r_drive_unit / w`.
+    pub r_drive_unit: f64,
+    /// PMOS/NMOS drive asymmetry: rise uses `r · r_asym`, fall `r / r_asym`.
+    pub r_asym: f64,
+    /// Threshold voltage, in V (α-power-law device model).
+    pub v_th: f64,
+    /// Velocity-saturation exponent α of the drive current law.
+    pub alpha: f64,
+    /// Drive-current coefficient, in A/V^α per unit width.
+    pub k_drive: f64,
+    /// Intrinsic (unloaded) stage delay per logic hop, in ps.
+    pub t_intrinsic_ps: f64,
+}
+
+impl Tech {
+    /// Representative N5-class constants.
+    pub fn n5() -> Tech {
+        Tech {
+            r_per_track_x: 18.0,
+            r_per_track_y: 9.0,
+            c_per_track_x: 0.019e-15,
+            c_per_track_y: 0.032e-15,
+            r_via: 12.0,
+            c_via: 0.01e-15,
+            c_pin: 0.055e-15,
+            r_drive_unit: 8.0e3,
+            r_asym: 1.08,
+            v_th: 0.32,
+            alpha: 1.10,
+            k_drive: 0.9e-3,
+            t_intrinsic_ps: 7.0,
+        }
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Tech {
+        Tech::n5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_physical() {
+        let t = Tech::n5();
+        assert!(t.r_per_track_x > 0.0 && t.c_per_track_x > 0.0);
+        assert!(t.v_th > 0.0 && t.v_th < 0.65, "Vth below min supply");
+        assert!(t.alpha > 1.0 && t.alpha < 2.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Elmore-delay timing analysis of the multiplexing buffer (Table IV).
+//!
+//! Each of the 16 input-to-output paths is traced through the netlist
+//! (receiver → four mux stages → output buffer); stage delays are
+//! first-order Elmore terms over the extracted RC, so layouts with longer
+//! or more lopsided routes show higher averages and higher variability —
+//! the effect the paper's Table IV quantifies.
+
+use crate::extract::{is_output_pin, ExtractedNet};
+use crate::tech::Tech;
+use ams_netlist::{CellId, Design, NetId};
+
+/// ln(2) · 1e12 — Elmore to 50%-point delay, expressed in ps per (Ω·F).
+const LN2_PS: f64 = 0.693 * 1e12;
+/// 10%–90% rise-time factor.
+const RISE_PS: f64 = 2.2 * 1e12;
+
+/// Aggregate timing of one logical stage across all traced paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTiming {
+    /// Mean insertion delay, ps.
+    pub delay_avg_ps: f64,
+    /// Standard deviation of the insertion delay across paths, ps.
+    pub delay_sd_ps: f64,
+    /// Mean rise time, ps.
+    pub rise_avg_ps: f64,
+    /// Mean fall time, ps.
+    pub fall_avg_ps: f64,
+    /// Standard deviation of rise time, ps.
+    pub rise_sd_ps: f64,
+    /// Standard deviation of fall time, ps.
+    pub fall_sd_ps: f64,
+}
+
+/// Full Table-IV style report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BufTimingReport {
+    /// Internal mux stages 1..=4.
+    pub stages: Vec<StageTiming>,
+    /// The output buffer chain.
+    pub out: StageTiming,
+    /// Total insertion delay (avg, sd) over full paths, ps.
+    pub total_avg_ps: f64,
+    /// Standard deviation of the total across the 16 paths.
+    pub total_sd_ps: f64,
+}
+
+/// One hop of a traced path: a cell driving a net.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Hop {
+    cell: CellId,
+    net: NetId,
+    sink_resistance: f64,
+}
+
+/// Analyzes the BUF benchmark's 16 paths.
+///
+/// `nets` comes from [`crate::extract::extract`]. Cells are grouped into
+/// stages by the generator's naming convention (`m1_*` … `m4_*`, `ob*`).
+///
+/// # Panics
+///
+/// Panics if the design lacks the BUF structure (use it on
+/// [`ams_netlist::benchmarks::buf`] variants).
+pub fn analyze_buf(design: &Design, nets: &[Option<ExtractedNet>], tech: &Tech) -> BufTimingReport {
+    // Paths: for each primary input i, hop receiver -> m1 -> m2 -> m3 ->
+    // m4 -> ob1 -> ob2 -> ob3. Stage k delay = delay of the hop whose
+    // driver is the stage-(k-1) cell (i.e. the net between stages).
+    let mut per_stage: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut per_stage_rise: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut per_stage_fall: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut totals: Vec<f64> = Vec::new();
+    let mut out_delays: Vec<f64> = Vec::new();
+    let mut out_rise: Vec<f64> = Vec::new();
+    let mut out_fall: Vec<f64> = Vec::new();
+
+    for input in 0..16 {
+        let Some(path) = trace_path(design, nets, input) else {
+            continue;
+        };
+        let mut total = 0.0;
+        for (hi, hop) in path.iter().enumerate() {
+            let (d, r, f) = hop_delay(design, nets, tech, *hop);
+            total += d;
+            match hi {
+                // Hops 0..4 leave the receiver and the four mux stages;
+                // hop 0 (receiver→m1) folds into stage 1's input network.
+                0 | 1 => {
+                    if hi == 1 {
+                        per_stage[0].push(total);
+                        per_stage_rise[0].push(r);
+                        per_stage_fall[0].push(f);
+                        total = 0.0;
+                    }
+                }
+                2 | 3 | 4 => {
+                    per_stage[hi - 1].push(d);
+                    per_stage_rise[hi - 1].push(r);
+                    per_stage_fall[hi - 1].push(f);
+                }
+                _ => {
+                    out_delays.push(d);
+                    out_rise.push(r);
+                    out_fall.push(f);
+                }
+            }
+        }
+        // Total = everything along the path.
+        let full: f64 = path
+            .iter()
+            .map(|&h| hop_delay(design, nets, tech, h).0)
+            .sum();
+        totals.push(full);
+    }
+
+    let stage_report = |ds: &[f64], rs: &[f64], fs: &[f64]| StageTiming {
+        delay_avg_ps: mean(ds),
+        delay_sd_ps: sd(ds),
+        rise_avg_ps: mean(rs),
+        fall_avg_ps: mean(fs),
+        rise_sd_ps: sd(rs),
+        fall_sd_ps: sd(fs),
+    };
+
+    // The buffer chain contributes three hops per path; group them as the
+    // single OUT row (delays summed per path).
+    let out_per_path: Vec<f64> = out_delays.chunks(3).map(|c| c.iter().sum()).collect();
+    let out_rise_pp: Vec<f64> = out_rise.chunks(3).map(|c| mean(c)).collect();
+    let out_fall_pp: Vec<f64> = out_fall.chunks(3).map(|c| mean(c)).collect();
+
+    BufTimingReport {
+        stages: (0..4)
+            .map(|s| stage_report(&per_stage[s], &per_stage_rise[s], &per_stage_fall[s]))
+            .collect(),
+        out: stage_report(&out_per_path, &out_rise_pp, &out_fall_pp),
+        total_avg_ps: mean(&totals),
+        total_sd_ps: sd(&totals),
+    }
+}
+
+/// Follows input `i` to the output; returns the hop list
+/// (driver cell, net, sink path resistance).
+fn trace_path(design: &Design, nets: &[Option<ExtractedNet>], input: usize) -> Option<Vec<Hop>> {
+    // Start at the receiver output net (the net the `rcv`/`drcv` drives).
+    let start_cell = design
+        .cells()
+        .iter()
+        .position(|c| c.name == format!("drcv{input}") || c.name == format!("rcv{input}"))?;
+    let mut cell = CellId::from_index(start_cell);
+    let mut hops = Vec::new();
+    loop {
+        // The cell's primary output net ("outp" for differential receivers,
+        // otherwise the output-convention pin driving a real net).
+        let out_net = design.cell(cell).pins.iter().find_map(|p| {
+            if (p.name == "outp" || is_output_pin(&p.name)) && p.net.is_some() {
+                p.net
+            } else {
+                None
+            }
+        })?;
+        // Next consumer along the datapath: a mux or buffer stage.
+        let next = design
+            .net_connections(out_net)
+            .iter()
+            .copied()
+            .find(|&(c, pi)| {
+                c != cell && !is_output_pin(&design.cell(c).pins[pi].name)
+                    && matches!(
+                        design.cell(c).name.chars().next(),
+                        Some('m') | Some('o')
+                    )
+            });
+        let sink_resistance = next
+            .and_then(|(c, pi)| {
+                nets[out_net.index()].as_ref().and_then(|e| {
+                    e.sinks
+                        .iter()
+                        .find(|s| s.cell == c && s.pin == pi)
+                        .map(|s| s.resistance)
+                })
+            })
+            .unwrap_or(0.0);
+        hops.push(Hop {
+            cell,
+            net: out_net,
+            sink_resistance,
+        });
+        match next {
+            Some((c, _)) => cell = c,
+            None => break, // reached the block output
+        }
+        if hops.len() > 16 {
+            return None; // defensive: no cycles expected
+        }
+    }
+    Some(hops)
+}
+
+/// Elmore delay and rise/fall of one hop, in ps.
+fn hop_delay(
+    design: &Design,
+    nets: &[Option<ExtractedNet>],
+    tech: &Tech,
+    hop: Hop,
+) -> (f64, f64, f64) {
+    let Some(net) = nets[hop.net.index()].as_ref() else {
+        return (0.0, 0.0, 0.0);
+    };
+    // Drive strength scales with cell width (wider primitives = stronger).
+    let width = f64::from(design.cell(hop.cell).width).max(1.0);
+    let r_drv = tech.r_drive_unit / width;
+    let c_load = net.capacitance;
+    let rc = r_drv * c_load + hop.sink_resistance * 0.5 * c_load;
+    let delay = tech.t_intrinsic_ps + LN2_PS * rc;
+    let rise = 0.8 * tech.t_intrinsic_ps + RISE_PS * rc * tech.r_asym;
+    let fall = 0.8 * tech.t_intrinsic_ps + RISE_PS * rc / tech.r_asym;
+    (delay, rise, fall)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn sd(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_sd() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(sd(&[5.0, 5.0, 5.0]) < 1e-12);
+        assert!((sd(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sd(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! The defining property of the post-layout models: metrics must respond
+//! to layout quality. Two surrogate layouts of the same circuit — one
+//! compact, one spread out — must order consistently in every model.
+
+use ams_netlist::benchmarks;
+use ams_place::baseline::{manual_surrogate, BaselineConfig};
+use ams_route::{route, RouterConfig};
+use ams_sim::{analyze_buf, extract, Tech, VcoModel};
+
+fn packed(utilization: f64) -> BaselineConfig {
+    BaselineConfig {
+        utilization,
+        aspect_ratio: 1.0,
+    }
+}
+
+#[test]
+fn spread_buf_layout_is_slower_and_noisier() {
+    let design = benchmarks::buf();
+    let tech = Tech::n5();
+
+    let tight = manual_surrogate(&design, packed(0.85));
+    let loose = manual_surrogate(&design, packed(0.25));
+    assert!(loose.area_grid() > tight.area_grid());
+
+    let report = |placement: &ams_place::Placement| {
+        let routed = route(&design, placement, RouterConfig::default());
+        let nets = extract(&design, placement, &routed, &tech);
+        analyze_buf(&design, &nets, &tech)
+    };
+    let rt = report(&tight);
+    let rl = report(&loose);
+
+    assert!(
+        rl.total_avg_ps > rt.total_avg_ps,
+        "longer wires must slow the paths: loose {} vs tight {}",
+        rl.total_avg_ps,
+        rt.total_avg_ps
+    );
+    // Rise/fall track the same RC growth.
+    for (s_loose, s_tight) in rl.stages.iter().zip(&rt.stages) {
+        assert!(s_loose.rise_avg_ps >= s_tight.rise_avg_ps * 0.9);
+    }
+}
+
+#[test]
+fn spread_vco_layout_oscillates_slower() {
+    let design = benchmarks::vco();
+    let tech = Tech::n5();
+
+    let model_for = |utilization: f64| {
+        let placement = manual_surrogate(&design, packed(utilization));
+        let routed = route(&design, &placement, RouterConfig::default());
+        let nets = extract(&design, &placement, &routed, &tech);
+        VcoModel::from_layout(&design, &nets, tech)
+    };
+    let tight = model_for(0.85);
+    let loose = model_for(0.25);
+
+    assert!(
+        loose.c_parasitic_per_stage > tight.c_parasitic_per_stage,
+        "spread layout must extract more phase capacitance"
+    );
+    for v in [0.65, 0.75, 0.9] {
+        let ft = tight.evaluate(v, 3).frequency_ghz;
+        let fl = loose.evaluate(v, 3).frequency_ghz;
+        assert!(fl < ft, "at {v} V: loose {fl} must be slower than tight {ft}");
+    }
+}
+
+#[test]
+fn trim_code_dominates_over_layout_noise() {
+    // The 3-bit trim range must exceed the layout-induced spread, as in
+    // Fig. 7 where all code curves are cleanly separated.
+    let design = benchmarks::vco();
+    let tech = Tech::n5();
+    let placement = manual_surrogate(&design, packed(0.6));
+    let routed = route(&design, &placement, RouterConfig::default());
+    let nets = extract(&design, &placement, &routed, &tech);
+    let model = VcoModel::from_layout(&design, &nets, tech);
+
+    let mut last = f64::INFINITY;
+    for code in 0..=7 {
+        let f = model.evaluate(0.75, code).frequency_ghz;
+        assert!(f < last, "code {code} must be slower than code {}", code - 1);
+        last = f;
+    }
+}

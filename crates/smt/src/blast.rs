@@ -1,0 +1,480 @@
+//! Tseitin bit-blasting of the term graph into CNF.
+//!
+//! Every Boolean term maps to one SAT literal and every bit-vector term to a
+//! little-endian literal vector. All gate encodings are *biconditional*
+//! (`gate ↔ definition`), so any blasted Boolean term can be asserted,
+//! negated, or used as a solver assumption.
+//!
+//! Blasted terms are cached, which is what makes incremental solving cheap:
+//! re-solving after new assertions reuses the existing CNF.
+
+use crate::term::{Term, TermKind, TermPool};
+use ams_sat::{Lit, Solver};
+use std::collections::HashMap;
+
+/// Gate-level structural hashing key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum GateKey {
+    And(Lit, Lit),
+    Xor(Lit, Lit),
+    Maj(Lit, Lit, Lit),
+    Ite(Lit, Lit, Lit),
+}
+
+/// Bit-blaster with term- and gate-level caches.
+#[derive(Default)]
+pub(crate) struct Blaster {
+    bool_cache: HashMap<Term, Lit>,
+    bv_cache: HashMap<Term, Vec<Lit>>,
+    gate_cache: HashMap<GateKey, Lit>,
+    true_lit: Option<Lit>,
+}
+
+impl Blaster {
+    /// The constant-true literal (allocated on first use).
+    pub(crate) fn lit_true(&mut self, sat: &mut Solver) -> Lit {
+        match self.true_lit {
+            Some(l) => l,
+            None => {
+                let l = sat.new_var().positive();
+                sat.add_clause(&[l]);
+                self.true_lit = Some(l);
+                l
+            }
+        }
+    }
+
+    fn lit_false(&mut self, sat: &mut Solver) -> Lit {
+        !self.lit_true(sat)
+    }
+
+    fn lit_of_bool(&mut self, sat: &mut Solver, b: bool) -> Lit {
+        if b {
+            self.lit_true(sat)
+        } else {
+            self.lit_false(sat)
+        }
+    }
+
+    /// Is `l` the constant true/false literal?
+    fn known(&self, l: Lit) -> Option<bool> {
+        let t = self.true_lit?;
+        if l == t {
+            Some(true)
+        } else if l == !t {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gate helpers (biconditional Tseitin encodings)
+    // ------------------------------------------------------------------
+
+    fn gate_and2(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        match (self.known(a), self.known(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.lit_false(sat),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.lit_false(sat);
+        }
+        let (a, b) = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        let key = GateKey::And(a, b);
+        if let Some(&g) = self.gate_cache.get(&key) {
+            return g;
+        }
+        let g = sat.new_var().positive();
+        sat.add_clause(&[!g, a]);
+        sat.add_clause(&[!g, b]);
+        sat.add_clause(&[g, !a, !b]);
+        self.gate_cache.insert(key, g);
+        g
+    }
+
+    fn gate_or2(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        !self.gate_and2(sat, !a, !b)
+    }
+
+    fn gate_xor2(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        match (self.known(a), self.known(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return !b,
+            (_, Some(true)) => return !a,
+            _ => {}
+        }
+        if a == b {
+            return self.lit_false(sat);
+        }
+        if a == !b {
+            return self.lit_true(sat);
+        }
+        // Normalize to positive phase: xor(a,b) = !xor(!a,b) = !xor(a,!b).
+        let mut flip = false;
+        let mut a = a;
+        let mut b = b;
+        if !a.is_positive() {
+            a = !a;
+            flip = !flip;
+        }
+        if !b.is_positive() {
+            b = !b;
+            flip = !flip;
+        }
+        let (a, b) = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        let key = GateKey::Xor(a, b);
+        let g = match self.gate_cache.get(&key) {
+            Some(&g) => g,
+            None => {
+                let g = sat.new_var().positive();
+                sat.add_clause(&[!g, a, b]);
+                sat.add_clause(&[!g, !a, !b]);
+                sat.add_clause(&[g, !a, b]);
+                sat.add_clause(&[g, a, !b]);
+                self.gate_cache.insert(key, g);
+                g
+            }
+        };
+        if flip {
+            !g
+        } else {
+            g
+        }
+    }
+
+    /// Majority-of-three (the full-adder carry).
+    fn gate_maj(&mut self, sat: &mut Solver, a: Lit, b: Lit, c: Lit) -> Lit {
+        match (self.known(a), self.known(b), self.known(c)) {
+            (Some(true), _, _) => return self.gate_or2(sat, b, c),
+            (Some(false), _, _) => return self.gate_and2(sat, b, c),
+            (_, Some(true), _) => return self.gate_or2(sat, a, c),
+            (_, Some(false), _) => return self.gate_and2(sat, a, c),
+            (_, _, Some(true)) => return self.gate_or2(sat, a, b),
+            (_, _, Some(false)) => return self.gate_and2(sat, a, b),
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if a == c {
+            return a;
+        }
+        if b == c {
+            return b;
+        }
+        if a == !b {
+            return c;
+        }
+        if a == !c {
+            return b;
+        }
+        if b == !c {
+            return a;
+        }
+        let mut v = [a, b, c];
+        v.sort_by_key(|l| l.code());
+        let key = GateKey::Maj(v[0], v[1], v[2]);
+        if let Some(&g) = self.gate_cache.get(&key) {
+            return g;
+        }
+        let [a, b, c] = v;
+        let g = sat.new_var().positive();
+        sat.add_clause(&[!g, a, b]);
+        sat.add_clause(&[!g, a, c]);
+        sat.add_clause(&[!g, b, c]);
+        sat.add_clause(&[g, !a, !b]);
+        sat.add_clause(&[g, !a, !c]);
+        sat.add_clause(&[g, !b, !c]);
+        self.gate_cache.insert(key, g);
+        g
+    }
+
+    fn gate_ite(&mut self, sat: &mut Solver, c: Lit, t: Lit, e: Lit) -> Lit {
+        match self.known(c) {
+            Some(true) => return t,
+            Some(false) => return e,
+            None => {}
+        }
+        if t == e {
+            return t;
+        }
+        match (self.known(t), self.known(e)) {
+            (Some(true), _) => return self.gate_or2(sat, c, e),
+            (Some(false), _) => return self.gate_and2(sat, !c, e),
+            (_, Some(true)) => return self.gate_or2(sat, !c, t),
+            (_, Some(false)) => return self.gate_and2(sat, c, t),
+            _ => {}
+        }
+        if t == !e {
+            return self.gate_xor2(sat, !c, t);
+        }
+        let key = GateKey::Ite(c, t, e);
+        if let Some(&g) = self.gate_cache.get(&key) {
+            return g;
+        }
+        let g = sat.new_var().positive();
+        sat.add_clause(&[!g, !c, t]);
+        sat.add_clause(&[!g, c, e]);
+        sat.add_clause(&[g, !c, !t]);
+        sat.add_clause(&[g, c, !e]);
+        // Redundant but propagation-strengthening: t ∧ e → g, ¬t ∧ ¬e → ¬g.
+        sat.add_clause(&[g, !t, !e]);
+        sat.add_clause(&[!g, t, e]);
+        self.gate_cache.insert(key, g);
+        g
+    }
+
+    fn gate_and_many(&mut self, sat: &mut Solver, inputs: &[Lit]) -> Lit {
+        let mut ins: Vec<Lit> = Vec::with_capacity(inputs.len());
+        for &l in inputs {
+            match self.known(l) {
+                Some(false) => return self.lit_false(sat),
+                Some(true) => {}
+                None => ins.push(l),
+            }
+        }
+        ins.sort_unstable_by_key(|l| l.code());
+        ins.dedup();
+        for w in ins.windows(2) {
+            if w[0] == !w[1] {
+                return self.lit_false(sat);
+            }
+        }
+        match ins.len() {
+            0 => self.lit_true(sat),
+            1 => ins[0],
+            2 => self.gate_and2(sat, ins[0], ins[1]),
+            _ => {
+                let g = sat.new_var().positive();
+                let mut long = Vec::with_capacity(ins.len() + 1);
+                long.push(g);
+                for &l in &ins {
+                    sat.add_clause(&[!g, l]);
+                    long.push(!l);
+                }
+                sat.add_clause(&long);
+                g
+            }
+        }
+    }
+
+    fn gate_or_many(&mut self, sat: &mut Solver, inputs: &[Lit]) -> Lit {
+        let negated: Vec<Lit> = inputs.iter().map(|&l| !l).collect();
+        !self.gate_and_many(sat, &negated)
+    }
+
+    // ------------------------------------------------------------------
+    // Word-level helpers
+    // ------------------------------------------------------------------
+
+    fn full_adder(&mut self, sat: &mut Solver, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let axb = self.gate_xor2(sat, a, b);
+        let sum = self.gate_xor2(sat, axb, cin);
+        let cout = self.gate_maj(sat, a, b, cin);
+        (sum, cout)
+    }
+
+    fn add_vec(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit], mut carry: Lit) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let (s, c) = self.full_adder(sat, a[i], b[i], carry);
+            out.push(s);
+            carry = c;
+        }
+        out
+    }
+
+    /// Literal for unsigned `a <= b`.
+    fn ule_vec(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        let mut le = self.lit_true(sat);
+        for i in 0..a.len() {
+            // le_i = (¬a_i ∧ b_i) ∨ ((a_i ↔ b_i) ∧ le_{i-1})
+            //      = ite(a_i ⊕ b_i, ¬a_i, le_{i-1})
+            let diff = self.gate_xor2(sat, a[i], b[i]);
+            le = self.gate_ite(sat, diff, !a[i], le);
+        }
+        le
+    }
+
+    fn eq_vec(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        let bits: Vec<Lit> = (0..a.len())
+            .map(|i| !self.gate_xor2(sat, a[i], b[i]))
+            .collect();
+        self.gate_and_many(sat, &bits)
+    }
+
+    // ------------------------------------------------------------------
+    // Term blasting
+    // ------------------------------------------------------------------
+
+    /// Blasts a Boolean term to a literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not Boolean.
+    pub(crate) fn blast_bool(&mut self, pool: &TermPool, sat: &mut Solver, t: Term) -> Lit {
+        if let Some(&l) = self.bool_cache.get(&t) {
+            return l;
+        }
+        let lit = match pool.kind(t) {
+            TermKind::BoolConst(b) => self.lit_of_bool(sat, *b),
+            TermKind::BoolVar(_) => sat.new_var().positive(),
+            TermKind::Not(a) => {
+                let la = self.blast_bool(pool, sat, *a);
+                !la
+            }
+            TermKind::And(ops) => {
+                let lits: Vec<Lit> = ops.iter().map(|&o| self.blast_bool(pool, sat, o)).collect();
+                self.gate_and_many(sat, &lits)
+            }
+            TermKind::Or(ops) => {
+                let lits: Vec<Lit> = ops.iter().map(|&o| self.blast_bool(pool, sat, o)).collect();
+                self.gate_or_many(sat, &lits)
+            }
+            TermKind::Xor(a, b) => {
+                let la = self.blast_bool(pool, sat, *a);
+                let lb = self.blast_bool(pool, sat, *b);
+                self.gate_xor2(sat, la, lb)
+            }
+            TermKind::Eq(a, b) => match pool.sort(*a) {
+                crate::term::Sort::Bool => {
+                    let la = self.blast_bool(pool, sat, *a);
+                    let lb = self.blast_bool(pool, sat, *b);
+                    !self.gate_xor2(sat, la, lb)
+                }
+                crate::term::Sort::Bv(_) => {
+                    let va = self.blast_bv(pool, sat, *a);
+                    let vb = self.blast_bv(pool, sat, *b);
+                    self.eq_vec(sat, &va, &vb)
+                }
+            },
+            TermKind::Ule(a, b) => {
+                let va = self.blast_bv(pool, sat, *a);
+                let vb = self.blast_bv(pool, sat, *b);
+                self.ule_vec(sat, &va, &vb)
+            }
+            TermKind::Ult(a, b) => {
+                let va = self.blast_bv(pool, sat, *a);
+                let vb = self.blast_bv(pool, sat, *b);
+                !self.ule_vec(sat, &vb, &va)
+            }
+            TermKind::Ite(c, a, b) => {
+                let lc = self.blast_bool(pool, sat, *c);
+                let la = self.blast_bool(pool, sat, *a);
+                let lb = self.blast_bool(pool, sat, *b);
+                self.gate_ite(sat, lc, la, lb)
+            }
+            other => panic!("blast_bool on non-Boolean term {other:?}"),
+        };
+        self.bool_cache.insert(t, lit);
+        lit
+    }
+
+    /// Blasts a bit-vector term to its little-endian literal vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is Boolean.
+    pub(crate) fn blast_bv(&mut self, pool: &TermPool, sat: &mut Solver, t: Term) -> Vec<Lit> {
+        if let Some(v) = self.bv_cache.get(&t) {
+            return v.clone();
+        }
+        let bits = match pool.kind(t) {
+            TermKind::BvConst { width, value } => {
+                let (width, value) = (*width, *value);
+                (0..width)
+                    .map(|i| self.lit_of_bool(sat, (value >> i) & 1 == 1))
+                    .collect()
+            }
+            TermKind::BvVar { width, .. } => {
+                let width = *width;
+                (0..width).map(|_| sat.new_var().positive()).collect()
+            }
+            TermKind::Add(a, b) => {
+                let va = self.blast_bv(pool, sat, *a);
+                let vb = self.blast_bv(pool, sat, *b);
+                let f = self.lit_false(sat);
+                self.add_vec(sat, &va, &vb, f)
+            }
+            TermKind::Sub(a, b) => {
+                let va = self.blast_bv(pool, sat, *a);
+                let vb: Vec<Lit> = self
+                    .blast_bv(pool, sat, *b)
+                    .iter()
+                    .map(|&l| !l)
+                    .collect();
+                let t1 = self.lit_true(sat);
+                self.add_vec(sat, &va, &vb, t1)
+            }
+            TermKind::Mul(a, b) => {
+                let va = self.blast_bv(pool, sat, *a);
+                let vb = self.blast_bv(pool, sat, *b);
+                self.mul_vec(sat, &va, &vb)
+            }
+            TermKind::Shl(a, k) => {
+                let va = self.blast_bv(pool, sat, *a);
+                let k = *k as usize;
+                let f = self.lit_false(sat);
+                let mut out = vec![f; k];
+                out.extend_from_slice(&va[..va.len() - k]);
+                out
+            }
+            TermKind::ZExt(a, new_width) => {
+                let va = self.blast_bv(pool, sat, *a);
+                let f = self.lit_false(sat);
+                let mut out = va;
+                out.resize(*new_width as usize, f);
+                out
+            }
+            TermKind::Ite(c, a, b) => {
+                let lc = self.blast_bool(pool, sat, *c);
+                let va = self.blast_bv(pool, sat, *a);
+                let vb = self.blast_bv(pool, sat, *b);
+                (0..va.len())
+                    .map(|i| self.gate_ite(sat, lc, va[i], vb[i]))
+                    .collect()
+            }
+            other => panic!("blast_bv on non-bit-vector term {other:?}"),
+        };
+        self.bv_cache.insert(t, bits.clone());
+        bits
+    }
+
+    fn mul_vec(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let f = self.lit_false(sat);
+        let mut acc = vec![f; w];
+        for i in 0..w {
+            if self.known(b[i]) == Some(false) {
+                continue;
+            }
+            // addend = (a << i) AND b[i]
+            let mut addend = vec![f; w];
+            for j in 0..w - i {
+                addend[i + j] = self.gate_and2(sat, a[j], b[i]);
+            }
+            acc = self.add_vec(sat, &acc, &addend, f);
+        }
+        acc
+    }
+
+    /// Cached literals of an already-blasted bit-vector term.
+    pub(crate) fn cached_bits(&self, t: Term) -> Option<&[Lit]> {
+        self.bv_cache.get(&t).map(Vec::as_slice)
+    }
+
+    /// Cached literal of an already-blasted Boolean term.
+    pub(crate) fn peek_bool(&self, t: Term) -> Option<Lit> {
+        self.bool_cache.get(&t).copied()
+    }
+}

@@ -1,0 +1,38 @@
+//! # ams-smt
+//!
+//! A quantifier-free bit-vector (QF_BV) SMT layer over the [`ams_sat`] CDCL
+//! core, standing in for the Z3 configuration used by the DATE 2022 paper
+//! this workspace reproduces ("pure BV formulas, fully transferable to
+//! propositional logic").
+//!
+//! * hash-consed term graph with constant folding ([`TermPool`]),
+//! * biconditional Tseitin bit-blasting with gate-level structural hashing,
+//! * weighted pseudo-Boolean `at-most-k` constraints (sequential weighted
+//!   counter) for the paper's pin-density formulation,
+//! * incremental solving with retractable assumptions and failed-assumption
+//!   cores — the substrate of the paper's Algorithm 1.
+//!
+//! ## Example
+//!
+//! ```
+//! use ams_smt::{Smt, SmtResult};
+//!
+//! let mut smt = Smt::new();
+//! let x = smt.bv_var(8, "x");
+//! let c5 = smt.bv_const(8, 5);
+//! let c9 = smt.bv_const(8, 9);
+//! let lower = smt.ugt(x, c5);
+//! let upper = smt.ult(x, c9);
+//! smt.assert(lower);
+//! smt.assert(upper);
+//! assert_eq!(smt.solve(), SmtResult::Sat);
+//! assert!(smt.bv_value(x) > 5 && smt.bv_value(x) < 9);
+//! ```
+
+mod blast;
+mod pb;
+mod solver;
+mod term;
+
+pub use solver::{Smt, SmtResult};
+pub use term::{Sort, Term, TermKind, TermPool};

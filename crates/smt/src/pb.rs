@@ -1,0 +1,158 @@
+//! Weighted pseudo-Boolean "at most k" constraints.
+//!
+//! Implements the generalized sequential weighted counter encoding
+//! (Hölldobler & Manthey style): registers `s[i][j]` mean "the weighted sum
+//! of the first `i` items is at least `j+1`". The encoding is
+//! implication-complete for the asserted direction (`Σ wᵢ·xᵢ ≤ k`) and unit
+//! propagation detects every violation as soon as it is forced — exactly
+//! what the pin-density formulation (Eq. 14 of the paper) needs.
+
+use ams_sat::{Lit, Solver};
+
+/// Asserts `Σ weight_i · [lit_i] ≤ bound` into `sat`.
+///
+/// Items with zero weight are ignored; items whose weight alone exceeds the
+/// bound are forced false. `bound == 0` forces every weighted literal false.
+pub fn assert_at_most(sat: &mut Solver, items: &[(Lit, u64)], bound: u64) {
+    let mut active: Vec<(Lit, u64)> = Vec::with_capacity(items.len());
+    for &(lit, w) in items {
+        if w == 0 {
+            continue;
+        }
+        if w > bound {
+            sat.add_clause(&[!lit]);
+        } else {
+            active.push((lit, w));
+        }
+    }
+    if active.is_empty() {
+        return;
+    }
+    let total: u64 = active.iter().map(|&(_, w)| w).sum();
+    if total <= bound {
+        return; // vacuously satisfied
+    }
+    let k = bound as usize;
+
+    // prev[j] == Some(s) : literal s is true when the prefix sum >= j+1.
+    // None means the prefix sum provably cannot reach j+1 yet.
+    let mut prev: Vec<Option<Lit>> = vec![None; k];
+    for (i, &(x, w)) in active.iter().enumerate() {
+        let w = w as usize;
+        let last = i + 1 == active.len();
+
+        // Overflow: prefix >= k+1-w together with x exceeds the bound.
+        if k >= w {
+            if let Some(s) = prev.get(k - w).copied().flatten() {
+                sat.add_clause(&[!x, !s]);
+            }
+        }
+        if last {
+            break; // the final register column is never read
+        }
+
+        let mut cur: Vec<Option<Lit>> = vec![None; k];
+        for j in 0..k {
+            // Candidates that force cur[j] ("sum of first i+1 items >= j+1"):
+            //   prev[j]                   (already reached without x)
+            //   x, if w >= j+1            (x alone reaches it)
+            //   x ∧ prev[j-w], if j >= w  (x lifts a smaller prefix)
+            let carry = prev[j];
+            let alone = w >= j + 1;
+            let lifted = if j >= w { prev[j - w] } else { None };
+            if carry.is_none() && !alone && lifted.is_none() {
+                continue;
+            }
+            let s = sat.new_var().positive();
+            if let Some(c) = carry {
+                sat.add_clause(&[!c, s]);
+            }
+            if alone {
+                sat.add_clause(&[!x, s]);
+            }
+            if let Some(l) = lifted {
+                sat.add_clause(&[!x, !l, s]);
+            }
+            cur[j] = Some(s);
+        }
+        prev = cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_sat::{SolveResult, Solver};
+
+    fn vars(sat: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| sat.new_var().positive()).collect()
+    }
+
+    /// Checks `assert_at_most` against exhaustive enumeration.
+    fn check_exhaustive(weights: &[u64], bound: u64) {
+        let n = weights.len();
+        for forced in 0u32..(1 << n) {
+            let mut sat = Solver::new();
+            let xs = vars(&mut sat, n);
+            let items: Vec<(Lit, u64)> = xs.iter().copied().zip(weights.iter().copied()).collect();
+            assert_at_most(&mut sat, &items, bound);
+            let mut sum = 0u64;
+            for i in 0..n {
+                let set = (forced >> i) & 1 == 1;
+                sat.add_clause(&[if set { xs[i] } else { !xs[i] }]);
+                if set {
+                    sum += weights[i];
+                }
+            }
+            let expect = sum <= bound;
+            let got = sat.solve() == SolveResult::Sat;
+            assert_eq!(
+                got, expect,
+                "weights {weights:?} bound {bound} assignment {forced:b}: sum {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_weights_small_bounds() {
+        check_exhaustive(&[1, 1, 1], 0);
+        check_exhaustive(&[1, 1, 1], 1);
+        check_exhaustive(&[1, 1, 1], 2);
+        check_exhaustive(&[1, 1, 1, 1], 2);
+    }
+
+    #[test]
+    fn mixed_weights() {
+        check_exhaustive(&[3, 2, 1], 3);
+        check_exhaustive(&[5, 4, 3, 2], 7);
+        check_exhaustive(&[2, 2, 2], 4);
+        check_exhaustive(&[7, 1, 1, 1], 3);
+    }
+
+    #[test]
+    fn zero_weight_is_free() {
+        check_exhaustive(&[0, 2, 3], 3);
+    }
+
+    #[test]
+    fn vacuous_bound_adds_nothing() {
+        let mut sat = Solver::new();
+        let xs = vars(&mut sat, 3);
+        let items: Vec<(Lit, u64)> = xs.iter().map(|&l| (l, 1)).collect();
+        assert_at_most(&mut sat, &items, 10);
+        assert_eq!(sat.num_clauses(), 0);
+        for &x in &xs {
+            sat.add_clause(&[x]);
+        }
+        assert_eq!(sat.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn overweight_item_is_forced_false() {
+        let mut sat = Solver::new();
+        let xs = vars(&mut sat, 2);
+        assert_at_most(&mut sat, &[(xs[0], 9), (xs[1], 1)], 2);
+        assert_eq!(sat.solve_with(&[xs[0]]), SolveResult::Unsat);
+        assert_eq!(sat.solve_with(&[xs[1]]), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,612 @@
+//! The incremental SMT solver facade.
+
+use crate::blast::Blaster;
+use crate::pb;
+use crate::term::{truncate, Sort, Term, TermKind, TermPool};
+use ams_sat::{Lit, SolveResult, Solver};
+use std::collections::HashMap;
+
+/// Result of an [`Smt::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SmtResult {
+    /// Satisfiable; read values with [`Smt::bv_value`] / [`Smt::bool_value`].
+    Sat,
+    /// Unsatisfiable under the current assertions (and assumptions).
+    Unsat,
+    /// A solver budget expired.
+    Unknown,
+}
+
+/// An incremental QF_BV SMT solver over a CDCL SAT core.
+///
+/// Terms are built through the constructor methods (which delegate to the
+/// internal [`TermPool`]) and asserted with [`Smt::assert`]. Solving is
+/// incremental: assertions persist across [`Smt::solve`] calls, and
+/// [`Smt::solve_with`] solves under retractable Boolean assumptions — the
+/// mechanism the placement engine uses to freeze cell coordinates
+/// (Algorithm 1, line 9 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use ams_smt::{Smt, SmtResult};
+///
+/// let mut smt = Smt::new();
+/// let x = smt.bv_var(8, "x");
+/// let y = smt.bv_var(8, "y");
+/// let sum = smt.add(x, y);
+/// let c42 = smt.bv_const(8, 42);
+/// let c10 = smt.bv_const(8, 10);
+/// let want = smt.eq(sum, c42);
+/// let xlow = smt.ult(x, c10);
+/// smt.assert(want);
+/// smt.assert(xlow);
+/// assert_eq!(smt.solve(), SmtResult::Sat);
+/// assert_eq!(smt.bv_value(x) + smt.bv_value(y), 42);
+/// assert!(smt.bv_value(x) < 10);
+/// ```
+#[derive(Default)]
+pub struct Smt {
+    pool: TermPool,
+    sat: Solver,
+    blaster: Blaster,
+    /// Assertions not yet blasted into the SAT solver.
+    pending: Vec<Term>,
+    /// All assertions ever made (for model-debugging and statistics).
+    asserted: Vec<Term>,
+    /// Maps assumption literals of the last `solve_with` back to terms.
+    assumption_map: HashMap<Lit, Term>,
+    failed: Vec<Term>,
+}
+
+impl std::fmt::Debug for Smt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Smt")
+            .field("terms", &self.pool.len())
+            .field("assertions", &self.asserted.len())
+            .field("sat_vars", &self.sat.num_vars())
+            .field("sat_clauses", &self.sat.num_clauses())
+            .finish()
+    }
+}
+
+macro_rules! delegate_unary {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, a: Term) -> Term {
+            self.pool.$name(a)
+        }
+    };
+}
+
+macro_rules! delegate_binary {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, a: Term, b: Term) -> Term {
+            self.pool.$name(a, b)
+        }
+    };
+}
+
+impl Smt {
+    /// Creates an empty solver.
+    pub fn new() -> Smt {
+        Smt::default()
+    }
+
+    /// Read-only access to the term pool.
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// Number of assertions made so far.
+    pub fn num_assertions(&self) -> usize {
+        self.asserted.len()
+    }
+
+    /// Underlying SAT statistics.
+    pub fn sat_stats(&self) -> ams_sat::Stats {
+        self.sat.stats()
+    }
+
+    /// Number of SAT variables allocated by blasting.
+    pub fn num_sat_vars(&self) -> usize {
+        self.sat.num_vars()
+    }
+
+    /// Number of SAT clauses produced by blasting.
+    pub fn num_sat_clauses(&self) -> usize {
+        self.sat.num_clauses()
+    }
+
+    /// Bounds the conflicts of subsequent `solve` calls (anytime solving).
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.sat.set_conflict_budget(conflicts);
+    }
+
+    // --- term constructors -------------------------------------------
+
+    /// The constant `true`.
+    pub fn tru(&mut self) -> Term {
+        self.pool.tru()
+    }
+
+    /// The constant `false`.
+    pub fn fals(&mut self) -> Term {
+        self.pool.fals()
+    }
+
+    /// A fresh Boolean variable.
+    pub fn bool_var(&mut self, name: impl Into<String>) -> Term {
+        self.pool.bool_var(name)
+    }
+
+    /// A fresh bit-vector variable of the given width (1..=64).
+    pub fn bv_var(&mut self, width: u32, name: impl Into<String>) -> Term {
+        self.pool.bv_var(width, name)
+    }
+
+    /// A bit-vector constant, truncated to `width` bits.
+    pub fn bv_const(&mut self, width: u32, value: u64) -> Term {
+        self.pool.bv_const(width, value)
+    }
+
+    delegate_unary! {
+        /// Logical negation.
+        not
+    }
+    delegate_binary! {
+        /// Boolean exclusive-or.
+        xor
+    }
+    delegate_binary! {
+        /// Implication `a → b`.
+        implies
+    }
+    delegate_binary! {
+        /// Equality over Booleans or equal-width bit-vectors.
+        eq
+    }
+    delegate_binary! {
+        /// Disequality.
+        ne
+    }
+    delegate_binary! {
+        /// Wrapping bit-vector addition.
+        add
+    }
+    delegate_binary! {
+        /// Wrapping bit-vector subtraction.
+        sub
+    }
+    delegate_binary! {
+        /// Wrapping bit-vector multiplication.
+        mul
+    }
+    delegate_binary! {
+        /// Unsigned `a <= b`.
+        ule
+    }
+    delegate_binary! {
+        /// Unsigned `a < b`.
+        ult
+    }
+    delegate_binary! {
+        /// Unsigned `a >= b`.
+        uge
+    }
+    delegate_binary! {
+        /// Unsigned `a > b`.
+        ugt
+    }
+    delegate_binary! {
+        /// Binary conjunction.
+        and2
+    }
+    delegate_binary! {
+        /// Binary disjunction.
+        or2
+    }
+
+    /// N-ary conjunction.
+    pub fn and(&mut self, operands: &[Term]) -> Term {
+        self.pool.and(operands)
+    }
+
+    /// N-ary disjunction.
+    pub fn or(&mut self, operands: &[Term]) -> Term {
+        self.pool.or(operands)
+    }
+
+    /// If-then-else.
+    pub fn ite(&mut self, cond: Term, then: Term, els: Term) -> Term {
+        self.pool.ite(cond, then, els)
+    }
+
+    /// Left shift by a constant.
+    pub fn shl(&mut self, a: Term, amount: u32) -> Term {
+        self.pool.shl(a, amount)
+    }
+
+    /// Zero extension to `new_width`.
+    pub fn zext(&mut self, a: Term, new_width: u32) -> Term {
+        self.pool.zext(a, new_width)
+    }
+
+    /// Sum of terms, zero-extended to `width`.
+    pub fn sum(&mut self, terms: &[Term], width: u32) -> Term {
+        self.pool.sum(terms, width)
+    }
+
+    /// Convenience: `a == constant` with the constant sized to `a`.
+    pub fn eq_const(&mut self, a: Term, value: u64) -> Term {
+        let w = self.pool.width(a);
+        let c = self.pool.bv_const(w, value);
+        self.pool.eq(a, c)
+    }
+
+    // --- assertions and solving --------------------------------------
+
+    /// Asserts a Boolean term. Takes effect at the next `solve`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not Boolean.
+    pub fn assert(&mut self, t: Term) {
+        assert_eq!(self.pool.sort(t), Sort::Bool, "assertions must be Boolean");
+        self.pending.push(t);
+        self.asserted.push(t);
+    }
+
+    /// Asserts the weighted pseudo-Boolean constraint
+    /// `Σ weightᵢ · itemᵢ ≤ bound` (items must be Boolean terms).
+    ///
+    /// This is assert-only (it cannot be negated or assumed), matching its
+    /// use as the paper's pin-density constraint (Eq. 14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item is not Boolean.
+    pub fn assert_at_most(&mut self, items: &[(Term, u64)], bound: u64) {
+        self.flush_pending();
+        let lits: Vec<(Lit, u64)> = items
+            .iter()
+            .map(|&(t, w)| {
+                assert_eq!(self.pool.sort(t), Sort::Bool, "PB items must be Boolean");
+                (self.blaster.blast_bool(&self.pool, &mut self.sat, t), w)
+            })
+            .collect();
+        pb::assert_at_most(&mut self.sat, &lits, bound);
+    }
+
+    fn flush_pending(&mut self) {
+        for t in std::mem::take(&mut self.pending) {
+            let l = self.blaster.blast_bool(&self.pool, &mut self.sat, t);
+            self.sat.add_clause(&[l]);
+        }
+    }
+
+    /// Solves the conjunction of all assertions.
+    pub fn solve(&mut self) -> SmtResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under retractable Boolean assumptions.
+    ///
+    /// On `Unsat`, [`Smt::failed_assumptions`] names a subset of the
+    /// assumptions sufficient for unsatisfiability.
+    pub fn solve_with(&mut self, assumptions: &[Term]) -> SmtResult {
+        self.flush_pending();
+        self.assumption_map.clear();
+        self.failed.clear();
+        let mut lits = Vec::with_capacity(assumptions.len());
+        for &t in assumptions {
+            assert_eq!(self.pool.sort(t), Sort::Bool, "assumptions must be Boolean");
+            let l = self.blaster.blast_bool(&self.pool, &mut self.sat, t);
+            self.assumption_map.insert(l, t);
+            lits.push(l);
+        }
+        match self.sat.solve_with(&lits) {
+            SolveResult::Sat => SmtResult::Sat,
+            SolveResult::Unknown => SmtResult::Unknown,
+            SolveResult::Unsat => {
+                self.failed = self
+                    .sat
+                    .failed_assumptions()
+                    .iter()
+                    .filter_map(|l| self.assumption_map.get(l).copied())
+                    .collect();
+                SmtResult::Unsat
+            }
+        }
+    }
+
+    /// After `Unsat` from [`Smt::solve_with`], the failing assumption terms.
+    pub fn failed_assumptions(&self) -> &[Term] {
+        &self.failed
+    }
+
+    // --- model access -------------------------------------------------
+
+    /// Model value of a bit-vector term after `Sat`.
+    ///
+    /// Terms that never reached the SAT solver are evaluated structurally
+    /// (free variables default to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is Boolean or if the last solve was not `Sat`.
+    pub fn bv_value(&self, t: Term) -> u64 {
+        match self.pool.sort(t) {
+            Sort::Bv(_) => self.eval_bv(t),
+            Sort::Bool => panic!("bv_value on a Boolean term"),
+        }
+    }
+
+    /// Model value of a Boolean term after `Sat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is a bit-vector or if the last solve was not `Sat`.
+    pub fn bool_value(&self, t: Term) -> bool {
+        match self.pool.sort(t) {
+            Sort::Bool => self.eval_bool(t),
+            Sort::Bv(_) => panic!("bool_value on a bit-vector term"),
+        }
+    }
+
+    fn eval_bool(&self, t: Term) -> bool {
+        if let Some(lit) = self.blaster.peek_bool(t) {
+            return self.sat.lit_model(lit);
+        }
+        match self.pool.kind(t) {
+            TermKind::BoolConst(b) => *b,
+            TermKind::BoolVar(_) => false, // unconstrained
+            TermKind::Not(a) => !self.eval_bool(*a),
+            TermKind::And(ops) => ops.iter().all(|&o| self.eval_bool(o)),
+            TermKind::Or(ops) => ops.iter().any(|&o| self.eval_bool(o)),
+            TermKind::Xor(a, b) => self.eval_bool(*a) ^ self.eval_bool(*b),
+            TermKind::Eq(a, b) => match self.pool.sort(*a) {
+                Sort::Bool => self.eval_bool(*a) == self.eval_bool(*b),
+                Sort::Bv(_) => self.eval_bv(*a) == self.eval_bv(*b),
+            },
+            TermKind::Ule(a, b) => self.eval_bv(*a) <= self.eval_bv(*b),
+            TermKind::Ult(a, b) => self.eval_bv(*a) < self.eval_bv(*b),
+            TermKind::Ite(c, a, b) => {
+                if self.eval_bool(*c) {
+                    self.eval_bool(*a)
+                } else {
+                    self.eval_bool(*b)
+                }
+            }
+            other => unreachable!("non-Boolean kind {other:?}"),
+        }
+    }
+
+    fn eval_bv(&self, t: Term) -> u64 {
+        if let Some(bits) = self.blaster.cached_bits(t) {
+            let mut v = 0u64;
+            for (i, &l) in bits.iter().enumerate() {
+                if self.sat.lit_model(l) {
+                    v |= 1 << i;
+                }
+            }
+            return v;
+        }
+        let w = self.pool.width(t);
+        let raw = match self.pool.kind(t) {
+            TermKind::BvConst { value, .. } => *value,
+            TermKind::BvVar { .. } => 0, // unconstrained
+            TermKind::Add(a, b) => self.eval_bv(*a).wrapping_add(self.eval_bv(*b)),
+            TermKind::Sub(a, b) => self.eval_bv(*a).wrapping_sub(self.eval_bv(*b)),
+            TermKind::Mul(a, b) => self.eval_bv(*a).wrapping_mul(self.eval_bv(*b)),
+            TermKind::Shl(a, k) => self.eval_bv(*a) << k,
+            TermKind::ZExt(a, _) => self.eval_bv(*a),
+            TermKind::Ite(c, a, b) => {
+                if self.eval_bool(*c) {
+                    self.eval_bv(*a)
+                } else {
+                    self.eval_bv(*b)
+                }
+            }
+            other => unreachable!("non-bit-vector kind {other:?}"),
+        };
+        truncate(raw, w)
+    }
+
+    // --- warm-start hints ----------------------------------------------
+
+    /// Hints the SAT solver to prefer `value` for the bits of `t` the next
+    /// time it branches on them. Used for warm starts between incremental
+    /// wirelength-optimization rounds.
+    pub fn hint_bv_value(&mut self, t: Term, value: u64) {
+        self.flush_pending();
+        let bits = self.blaster.blast_bv(&self.pool, &mut self.sat, t);
+        for (i, l) in bits.iter().enumerate() {
+            let bit = (value >> i) & 1 == 1;
+            let positive = if l.is_positive() { bit } else { !bit };
+            self.sat.set_polarity_hint(l.var(), positive);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_constraint_is_satisfied() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(6, "x");
+        let y = smt.bv_var(6, "y");
+        let s = smt.add(x, y);
+        let c = smt.eq_const(s, 40);
+        smt.assert(c);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        assert_eq!((smt.bv_value(x) + smt.bv_value(y)) % 64, 40);
+    }
+
+    #[test]
+    fn unsat_on_contradiction() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(4, "x");
+        let lt = smt.eq_const(x, 3);
+        let gt = smt.eq_const(x, 5);
+        smt.assert(lt);
+        smt.assert(gt);
+        assert_eq!(smt.solve(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn comparisons_behave_unsigned() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(4, "x");
+        let c12 = smt.bv_const(4, 12);
+        let c14 = smt.bv_const(4, 14);
+        let lo = smt.ugt(x, c12);
+        let hi = smt.ult(x, c14);
+        smt.assert(lo);
+        smt.assert(hi);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        assert_eq!(smt.bv_value(x), 13);
+    }
+
+    #[test]
+    fn subtraction_wraps() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(4, "x");
+        let y = smt.bv_var(4, "y");
+        let d = smt.sub(x, y);
+        let cx = smt.eq_const(x, 2);
+        let cy = smt.eq_const(y, 5);
+        smt.assert(cx);
+        smt.assert(cy);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        assert_eq!(smt.bv_value(d), (2u64.wrapping_sub(5)) & 0xF);
+    }
+
+    #[test]
+    fn multiplication() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(8, "x");
+        let y = smt.bv_var(8, "y");
+        let p = smt.mul(x, y);
+        let cp = smt.eq_const(p, 77);
+        let c1 = smt.bv_const(8, 1);
+        let nx = smt.ne(x, c1);
+        let ny = smt.ne(y, c1);
+        smt.assert(cp);
+        smt.assert(nx);
+        smt.assert(ny);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        let (vx, vy) = (smt.bv_value(x), smt.bv_value(y));
+        assert_eq!((vx * vy) & 0xFF, 77);
+        assert!(vx != 1 && vy != 1); // 7 * 11 in some order
+    }
+
+    #[test]
+    fn assumptions_and_core() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(4, "x");
+        let is3 = smt.eq_const(x, 3);
+        let is5 = smt.eq_const(x, 5);
+        let free = smt.bool_var("free");
+        assert_eq!(smt.solve_with(&[is3, is5, free]), SmtResult::Unsat);
+        let failed = smt.failed_assumptions();
+        assert!(failed.contains(&is3) || failed.contains(&is5));
+        assert!(!failed.contains(&free));
+        // Retractable: solver still usable.
+        assert_eq!(smt.solve_with(&[is3]), SmtResult::Sat);
+        assert_eq!(smt.bv_value(x), 3);
+    }
+
+    #[test]
+    fn incremental_tightening() {
+        // Mimics the wirelength loop: repeatedly add a stricter bound.
+        let mut smt = Smt::new();
+        let x = smt.bv_var(8, "x");
+        let c100 = smt.bv_const(8, 100);
+        let ge = smt.uge(x, c100);
+        smt.assert(ge);
+        let mut bound = 255;
+        let mut rounds = 0;
+        loop {
+            let c = smt.bv_const(8, bound);
+            let lt = smt.ule(x, c);
+            smt.assert(lt);
+            match smt.solve() {
+                SmtResult::Sat => {
+                    bound = smt.bv_value(x).saturating_sub(1);
+                    rounds += 1;
+                }
+                SmtResult::Unsat => break,
+                SmtResult::Unknown => panic!("no budget set"),
+            }
+        }
+        assert!(rounds >= 1);
+        assert!(bound < 100);
+    }
+
+    #[test]
+    fn pb_constraint_bounds_weighted_sum() {
+        let mut smt = Smt::new();
+        let items: Vec<(Term, u64)> = (0..5)
+            .map(|i| (smt.bool_var(format!("b{i}")), (i + 1) as u64))
+            .collect();
+        smt.assert_at_most(&items, 6);
+        // Forcing 3+4 = 7 > 6 must be unsat.
+        assert_eq!(smt.solve_with(&[items[2].0, items[3].0]), SmtResult::Unsat);
+        // 2+4 = 6 <= 6 is fine.
+        assert_eq!(smt.solve_with(&[items[1].0, items[3].0]), SmtResult::Sat);
+    }
+
+    #[test]
+    fn ite_selects_branch() {
+        let mut smt = Smt::new();
+        let c = smt.bool_var("c");
+        let a = smt.bv_const(8, 11);
+        let b = smt.bv_const(8, 22);
+        let x = smt.ite(c, a, b);
+        let is22 = smt.eq_const(x, 22);
+        smt.assert(is22);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        assert!(!smt.bool_value(c));
+    }
+
+    #[test]
+    fn sum_with_extension() {
+        let mut smt = Smt::new();
+        let xs: Vec<Term> = (0..4).map(|i| smt.bv_var(4, format!("x{i}"))).collect();
+        let total = smt.sum(&xs, 8);
+        let want = smt.eq_const(total, 60);
+        smt.assert(want);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        let s: u64 = xs.iter().map(|&x| smt.bv_value(x)).sum();
+        assert_eq!(s, 60); // 4 nibbles of 15 each
+    }
+
+    #[test]
+    fn hint_steers_model() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(8, "x");
+        let c = smt.bv_const(8, 200);
+        let some = smt.ule(x, c);
+        smt.assert(some);
+        smt.hint_bv_value(x, 123);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        assert_eq!(smt.bv_value(x), 123);
+    }
+
+    #[test]
+    fn eval_of_unblasted_terms() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(8, "x");
+        let is7 = smt.eq_const(x, 7);
+        smt.assert(is7);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        // y was never asserted on; structural evaluation applies.
+        let y = smt.bv_const(8, 5);
+        let z = smt.add(x, y);
+        assert_eq!(smt.bv_value(z), 12);
+    }
+}

@@ -1,0 +1,654 @@
+//! Hash-consed term graph for the QF_BV fragment used by the placer.
+//!
+//! Terms are interned in a [`TermPool`]; a [`Term`] is an index into it.
+//! Constructors perform constant folding and light normalization
+//! (commutative-operand sorting) so structurally equal terms share a node.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to an interned term. Only meaningful for the pool that created it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Term(pub(crate) u32);
+
+impl Term {
+    /// Dense index of this term in its pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The sort of a term: Boolean or a fixed-width bit-vector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// Propositional sort.
+    Bool,
+    /// Bit-vector of the given width (1..=64).
+    Bv(u32),
+}
+
+impl Sort {
+    /// Bit-vector width; zero for `Bool`.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::Bool => 0,
+            Sort::Bv(w) => w,
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::Bv(w) => write!(f, "BV{w}"),
+        }
+    }
+}
+
+/// Node payload of an interned term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TermKind {
+    /// Boolean constant.
+    BoolConst(bool),
+    /// Free Boolean variable (index is the variable id).
+    BoolVar(u32),
+    /// Logical negation.
+    Not(Term),
+    /// N-ary conjunction (operands sorted, deduplicated, n >= 2).
+    And(Box<[Term]>),
+    /// N-ary disjunction (operands sorted, deduplicated, n >= 2).
+    Or(Box<[Term]>),
+    /// Exclusive or.
+    Xor(Term, Term),
+    /// Equality over Booleans or same-width bit-vectors.
+    Eq(Term, Term),
+    /// Unsigned less-or-equal over same-width bit-vectors.
+    Ule(Term, Term),
+    /// Unsigned strictly-less over same-width bit-vectors.
+    Ult(Term, Term),
+    /// If-then-else; branches share a sort, condition is Boolean.
+    Ite(Term, Term, Term),
+
+    /// Free bit-vector variable.
+    BvVar {
+        /// Bit width.
+        width: u32,
+        /// Variable id.
+        id: u32,
+    },
+    /// Bit-vector constant (value truncated to width).
+    BvConst {
+        /// Bit width.
+        width: u32,
+        /// Constant value.
+        value: u64,
+    },
+    /// Wrapping addition.
+    Add(Term, Term),
+    /// Wrapping subtraction.
+    Sub(Term, Term),
+    /// Wrapping multiplication.
+    Mul(Term, Term),
+    /// Left shift by a constant amount (width preserved).
+    Shl(Term, u32),
+    /// Zero extension to a wider sort.
+    ZExt(Term, u32),
+}
+
+/// Interning pool for [`Term`]s.
+#[derive(Debug, Default)]
+pub struct TermPool {
+    kinds: Vec<TermKind>,
+    sorts: Vec<Sort>,
+    names: HashMap<u32, String>,
+    intern: HashMap<TermKind, Term>,
+    next_bool_var: u32,
+    next_bv_var: u32,
+}
+
+impl TermPool {
+    /// Creates an empty pool.
+    pub fn new() -> TermPool {
+        TermPool::default()
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The node payload of `t`.
+    pub fn kind(&self, t: Term) -> &TermKind {
+        &self.kinds[t.index()]
+    }
+
+    /// The sort of `t`.
+    pub fn sort(&self, t: Term) -> Sort {
+        self.sorts[t.index()]
+    }
+
+    /// Bit width of `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is Boolean.
+    pub fn width(&self, t: Term) -> u32 {
+        match self.sort(t) {
+            Sort::Bv(w) => w,
+            Sort::Bool => panic!("term {t:?} is Boolean, not a bit-vector"),
+        }
+    }
+
+    /// Debug name of a variable term, if one was given.
+    pub fn name(&self, t: Term) -> Option<&str> {
+        match *self.kind(t) {
+            TermKind::BoolVar(id) => self.names.get(&id).map(String::as_str),
+            TermKind::BvVar { id, .. } => self.names.get(&(u32::MAX - id)).map(String::as_str),
+            _ => None,
+        }
+    }
+
+    fn mk(&mut self, kind: TermKind, sort: Sort) -> Term {
+        if let Some(&t) = self.intern.get(&kind) {
+            return t;
+        }
+        let t = Term(self.kinds.len() as u32);
+        self.kinds.push(kind.clone());
+        self.sorts.push(sort);
+        self.intern.insert(kind, t);
+        t
+    }
+
+    /// Constant value of `t` if it is a Boolean or bit-vector constant.
+    pub fn as_const(&self, t: Term) -> Option<u64> {
+        match *self.kind(t) {
+            TermKind::BoolConst(b) => Some(u64::from(b)),
+            TermKind::BvConst { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Leaf constructors
+    // ------------------------------------------------------------------
+
+    /// The Boolean constant `true`.
+    pub fn tru(&mut self) -> Term {
+        self.mk(TermKind::BoolConst(true), Sort::Bool)
+    }
+
+    /// The Boolean constant `false`.
+    pub fn fals(&mut self) -> Term {
+        self.mk(TermKind::BoolConst(false), Sort::Bool)
+    }
+
+    /// A Boolean constant.
+    pub fn bool_const(&mut self, b: bool) -> Term {
+        self.mk(TermKind::BoolConst(b), Sort::Bool)
+    }
+
+    /// A fresh Boolean variable.
+    pub fn bool_var(&mut self, name: impl Into<String>) -> Term {
+        let id = self.next_bool_var;
+        self.next_bool_var += 1;
+        self.names.insert(id, name.into());
+        self.mk(TermKind::BoolVar(id), Sort::Bool)
+    }
+
+    /// A fresh bit-vector variable of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    pub fn bv_var(&mut self, width: u32, name: impl Into<String>) -> Term {
+        assert!((1..=64).contains(&width), "bit-vector width must be 1..=64");
+        let id = self.next_bv_var;
+        self.next_bv_var += 1;
+        self.names.insert(u32::MAX - id, name.into());
+        self.mk(TermKind::BvVar { width, id }, Sort::Bv(width))
+    }
+
+    /// A bit-vector constant; `value` is truncated to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    pub fn bv_const(&mut self, width: u32, value: u64) -> Term {
+        assert!((1..=64).contains(&width), "bit-vector width must be 1..=64");
+        let value = truncate(value, width);
+        self.mk(TermKind::BvConst { width, value }, Sort::Bv(width))
+    }
+
+    // ------------------------------------------------------------------
+    // Boolean connectives
+    // ------------------------------------------------------------------
+
+    /// Logical negation (double negation and constants fold away).
+    pub fn not(&mut self, a: Term) -> Term {
+        self.expect_bool(a, "not");
+        match *self.kind(a) {
+            TermKind::BoolConst(b) => self.bool_const(!b),
+            TermKind::Not(inner) => inner,
+            _ => self.mk(TermKind::Not(a), Sort::Bool),
+        }
+    }
+
+    /// N-ary conjunction.
+    pub fn and(&mut self, operands: &[Term]) -> Term {
+        self.nary(operands, true)
+    }
+
+    /// N-ary disjunction.
+    pub fn or(&mut self, operands: &[Term]) -> Term {
+        self.nary(operands, false)
+    }
+
+    fn nary(&mut self, operands: &[Term], is_and: bool) -> Term {
+        let mut ops: Vec<Term> = Vec::with_capacity(operands.len());
+        for &o in operands {
+            self.expect_bool(o, if is_and { "and" } else { "or" });
+            match *self.kind(o) {
+                TermKind::BoolConst(b) => {
+                    if b != is_and {
+                        // false in an AND / true in an OR dominates.
+                        return self.bool_const(!is_and);
+                    }
+                    // Neutral element: skip.
+                }
+                // Flatten nested same-connective nodes.
+                TermKind::And(ref inner) if is_and => ops.extend(inner.iter().copied()),
+                TermKind::Or(ref inner) if !is_and => ops.extend(inner.iter().copied()),
+                _ => ops.push(o),
+            }
+        }
+        ops.sort_unstable();
+        ops.dedup();
+        // x ∧ ¬x = false; x ∨ ¬x = true.
+        for &o in &ops {
+            if let TermKind::Not(inner) = *self.kind(o) {
+                if ops.binary_search(&inner).is_ok() {
+                    return self.bool_const(!is_and);
+                }
+            }
+        }
+        match ops.len() {
+            0 => self.bool_const(is_and),
+            1 => ops[0],
+            _ => {
+                let kind = if is_and {
+                    TermKind::And(ops.into_boxed_slice())
+                } else {
+                    TermKind::Or(ops.into_boxed_slice())
+                };
+                self.mk(kind, Sort::Bool)
+            }
+        }
+    }
+
+    /// Binary conjunction convenience.
+    pub fn and2(&mut self, a: Term, b: Term) -> Term {
+        self.and(&[a, b])
+    }
+
+    /// Binary disjunction convenience.
+    pub fn or2(&mut self, a: Term, b: Term) -> Term {
+        self.or(&[a, b])
+    }
+
+    /// Exclusive or of Booleans.
+    pub fn xor(&mut self, a: Term, b: Term) -> Term {
+        self.expect_bool(a, "xor");
+        self.expect_bool(b, "xor");
+        if a == b {
+            return self.fals();
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(ca), Some(cb)) => self.bool_const(ca != cb),
+            (Some(0), None) => b,
+            (Some(_), None) => self.not(b),
+            (None, Some(0)) => a,
+            (None, Some(_)) => self.not(a),
+            (None, None) => {
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                self.mk(TermKind::Xor(a, b), Sort::Bool)
+            }
+        }
+    }
+
+    /// Implication `a → b`, lowered to `¬a ∨ b`.
+    pub fn implies(&mut self, a: Term, b: Term) -> Term {
+        let na = self.not(a);
+        self.or(&[na, b])
+    }
+
+    /// Equality (Boolean iff, or bit-vector equality).
+    ///
+    /// # Panics
+    ///
+    /// Panics on sort mismatch.
+    pub fn eq(&mut self, a: Term, b: Term) -> Term {
+        assert_eq!(
+            self.sort(a),
+            self.sort(b),
+            "eq requires operands of the same sort"
+        );
+        if a == b {
+            return self.tru();
+        }
+        if let (Some(ca), Some(cb)) = (self.as_const(a), self.as_const(b)) {
+            return self.bool_const(ca == cb);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.mk(TermKind::Eq(a, b), Sort::Bool)
+    }
+
+    /// Disequality.
+    pub fn ne(&mut self, a: Term, b: Term) -> Term {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// If-then-else over Booleans or bit-vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond` is not Boolean or the branches differ in sort.
+    pub fn ite(&mut self, cond: Term, then: Term, els: Term) -> Term {
+        self.expect_bool(cond, "ite condition");
+        assert_eq!(
+            self.sort(then),
+            self.sort(els),
+            "ite branches must share a sort"
+        );
+        if then == els {
+            return then;
+        }
+        match self.as_const(cond) {
+            Some(0) => els,
+            Some(_) => then,
+            None => {
+                let sort = self.sort(then);
+                self.mk(TermKind::Ite(cond, then, els), sort)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bit-vector operations
+    // ------------------------------------------------------------------
+
+    /// Wrapping addition of same-width bit-vectors.
+    pub fn add(&mut self, a: Term, b: Term) -> Term {
+        let w = self.expect_same_bv(a, b, "add");
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(ca), Some(cb)) => self.bv_const(w, ca.wrapping_add(cb)),
+            (Some(0), None) => b,
+            (None, Some(0)) => a,
+            _ => {
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                self.mk(TermKind::Add(a, b), Sort::Bv(w))
+            }
+        }
+    }
+
+    /// Wrapping subtraction of same-width bit-vectors.
+    pub fn sub(&mut self, a: Term, b: Term) -> Term {
+        let w = self.expect_same_bv(a, b, "sub");
+        if a == b {
+            return self.bv_const(w, 0);
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(ca), Some(cb)) => self.bv_const(w, ca.wrapping_sub(cb)),
+            (None, Some(0)) => a,
+            _ => self.mk(TermKind::Sub(a, b), Sort::Bv(w)),
+        }
+    }
+
+    /// Wrapping multiplication of same-width bit-vectors.
+    pub fn mul(&mut self, a: Term, b: Term) -> Term {
+        let w = self.expect_same_bv(a, b, "mul");
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(ca), Some(cb)) => self.bv_const(w, ca.wrapping_mul(cb)),
+            (Some(0), None) | (None, Some(0)) => self.bv_const(w, 0),
+            (Some(1), None) => b,
+            (None, Some(1)) => a,
+            _ => {
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                self.mk(TermKind::Mul(a, b), Sort::Bv(w))
+            }
+        }
+    }
+
+    /// Left shift by a constant; bits shifted past the width are dropped.
+    pub fn shl(&mut self, a: Term, amount: u32) -> Term {
+        let w = self.width(a);
+        if amount == 0 {
+            return a;
+        }
+        if amount >= w {
+            return self.bv_const(w, 0);
+        }
+        match self.as_const(a) {
+            Some(c) => self.bv_const(w, c << amount),
+            None => self.mk(TermKind::Shl(a, amount), Sort::Bv(w)),
+        }
+    }
+
+    /// Zero-extends `a` to `new_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is smaller than the width of `a` or exceeds 64.
+    pub fn zext(&mut self, a: Term, new_width: u32) -> Term {
+        let w = self.width(a);
+        assert!(
+            new_width >= w && new_width <= 64,
+            "zext target width {new_width} invalid for source width {w}"
+        );
+        if new_width == w {
+            return a;
+        }
+        match self.as_const(a) {
+            Some(c) => self.bv_const(new_width, c),
+            None => self.mk(TermKind::ZExt(a, new_width), Sort::Bv(new_width)),
+        }
+    }
+
+    /// Unsigned `a <= b`.
+    pub fn ule(&mut self, a: Term, b: Term) -> Term {
+        let w = self.expect_same_bv(a, b, "ule");
+        if a == b {
+            return self.tru();
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(ca), Some(cb)) => self.bool_const(ca <= cb),
+            (Some(0), None) => self.tru(),
+            (None, Some(c)) if c == max_value(w) => self.tru(),
+            _ => self.mk(TermKind::Ule(a, b), Sort::Bool),
+        }
+    }
+
+    /// Unsigned `a < b`.
+    pub fn ult(&mut self, a: Term, b: Term) -> Term {
+        let w = self.expect_same_bv(a, b, "ult");
+        if a == b {
+            return self.fals();
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(ca), Some(cb)) => self.bool_const(ca < cb),
+            (None, Some(0)) => self.fals(),
+            (Some(c), None) if c == max_value(w) => self.fals(),
+            _ => self.mk(TermKind::Ult(a, b), Sort::Bool),
+        }
+    }
+
+    /// Unsigned `a >= b` (lowered to `ule(b, a)`).
+    pub fn uge(&mut self, a: Term, b: Term) -> Term {
+        self.ule(b, a)
+    }
+
+    /// Unsigned `a > b` (lowered to `ult(b, a)`).
+    pub fn ugt(&mut self, a: Term, b: Term) -> Term {
+        self.ult(b, a)
+    }
+
+    /// Sums terms after zero-extending everything to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty or any term is wider than `width`.
+    pub fn sum(&mut self, terms: &[Term], width: u32) -> Term {
+        assert!(!terms.is_empty(), "sum of no terms");
+        let mut acc = self.bv_const(width, 0);
+        for &t in terms {
+            let ext = self.zext(t, width);
+            acc = self.add(acc, ext);
+        }
+        acc
+    }
+
+    // ------------------------------------------------------------------
+    // Validation helpers
+    // ------------------------------------------------------------------
+
+    fn expect_bool(&self, t: Term, what: &str) {
+        assert_eq!(self.sort(t), Sort::Bool, "{what} operand must be Boolean");
+    }
+
+    fn expect_same_bv(&self, a: Term, b: Term, what: &str) -> u32 {
+        match (self.sort(a), self.sort(b)) {
+            (Sort::Bv(wa), Sort::Bv(wb)) if wa == wb => wa,
+            (sa, sb) => panic!("{what} requires equal-width bit-vectors, got {sa} and {sb}"),
+        }
+    }
+}
+
+/// Truncates `value` to `width` bits.
+pub(crate) fn truncate(value: u64, width: u32) -> u64 {
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+/// Maximum unsigned value representable in `width` bits.
+pub(crate) fn max_value(width: u32) -> u64 {
+    truncate(u64::MAX, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_nodes() {
+        let mut p = TermPool::new();
+        let x = p.bv_var(8, "x");
+        let y = p.bv_var(8, "y");
+        let a = p.add(x, y);
+        let b = p.add(y, x); // commutative normalization
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut p = TermPool::new();
+        let a = p.bv_const(8, 200);
+        let b = p.bv_const(8, 100);
+        let sum = p.add(a, b);
+        assert_eq!(p.as_const(sum), Some(44)); // wraps mod 256
+        let diff = p.sub(b, a);
+        assert_eq!(p.as_const(diff), Some(156));
+        let prod = p.mul(a, b);
+        assert_eq!(p.as_const(prod), Some(truncate(20000, 8)));
+        let t = p.ule(b, a);
+        assert_eq!(t, p.tru());
+    }
+
+    #[test]
+    fn boolean_simplification() {
+        let mut p = TermPool::new();
+        let x = p.bool_var("x");
+        let t = p.tru();
+        let f = p.fals();
+        assert_eq!(p.and(&[x, t]), x);
+        assert_eq!(p.and(&[x, f]), f);
+        assert_eq!(p.or(&[x, f]), x);
+        assert_eq!(p.or(&[x, t]), t);
+        let nx = p.not(x);
+        assert_eq!(p.not(nx), x);
+        assert_eq!(p.and(&[x, nx]), f);
+        assert_eq!(p.or(&[x, nx]), t);
+        assert_eq!(p.xor(x, x), f);
+    }
+
+    #[test]
+    fn and_flattens_nested() {
+        let mut p = TermPool::new();
+        let x = p.bool_var("x");
+        let y = p.bool_var("y");
+        let z = p.bool_var("z");
+        let xy = p.and(&[x, y]);
+        let flat = p.and(&[xy, z]);
+        match p.kind(flat) {
+            TermKind::And(ops) => assert_eq!(ops.len(), 3),
+            k => panic!("expected flattened And, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn ite_folds() {
+        let mut p = TermPool::new();
+        let c = p.bool_var("c");
+        let a = p.bv_const(4, 3);
+        let b = p.bv_const(4, 9);
+        assert_eq!(p.ite(c, a, a), a);
+        let t = p.tru();
+        assert_eq!(p.ite(t, a, b), a);
+    }
+
+    #[test]
+    fn zext_and_shl() {
+        let mut p = TermPool::new();
+        let a = p.bv_const(4, 0b1011);
+        let z = p.zext(a, 8);
+        assert_eq!(p.width(z), 8);
+        assert_eq!(p.as_const(z), Some(0b1011));
+        let s = p.shl(a, 2);
+        assert_eq!(p.as_const(s), Some(0b1100)); // truncated to 4 bits
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-width")]
+    fn width_mismatch_panics() {
+        let mut p = TermPool::new();
+        let a = p.bv_var(4, "a");
+        let b = p.bv_var(8, "b");
+        p.add(a, b);
+    }
+
+    #[test]
+    fn names_are_retrievable() {
+        let mut p = TermPool::new();
+        let x = p.bool_var("flag");
+        let v = p.bv_var(6, "x_cell3");
+        assert_eq!(p.name(x), Some("flag"));
+        assert_eq!(p.name(v), Some("x_cell3"));
+    }
+
+    #[test]
+    fn sum_extends_operands() {
+        let mut p = TermPool::new();
+        let a = p.bv_const(4, 15);
+        let b = p.bv_const(4, 15);
+        let s = p.sum(&[a, b], 8);
+        assert_eq!(p.as_const(s), Some(30));
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests: the bit-blasted semantics of random expression DAGs agree
+//! with native wrapping `u64` arithmetic.
+
+use ams_smt::{Smt, SmtResult, Term};
+use proptest::prelude::*;
+
+/// A little expression AST we can evaluate both natively and through SMT.
+#[derive(Debug, Clone)]
+enum Expr {
+    Input(usize),
+    Const(u64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Shl(Box<Expr>, u32),
+    Ite(Box<Cond>, Box<Expr>, Box<Expr>),
+}
+
+#[derive(Debug, Clone)]
+enum Cond {
+    Ule(Expr, Expr),
+    Ult(Expr, Expr),
+    Eq(Expr, Expr),
+}
+
+const WIDTH: u32 = 8;
+const MASK: u64 = 0xFF;
+
+fn expr_strategy(inputs: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..inputs).prop_map(Expr::Input),
+        (0u64..=MASK).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u32..WIDTH).prop_map(|(a, k)| Expr::Shl(Box::new(a), k)),
+            (inner.clone(), inner.clone(), inner.clone(), inner)
+                .prop_map(|(c1, c2, t, e)| Expr::Ite(
+                    Box::new(Cond::Ule(c1, c2)),
+                    Box::new(t),
+                    Box::new(e)
+                )),
+        ]
+    })
+}
+
+fn eval_native(e: &Expr, inputs: &[u64]) -> u64 {
+    let v = match e {
+        Expr::Input(i) => inputs[*i],
+        Expr::Const(c) => *c,
+        Expr::Add(a, b) => eval_native(a, inputs).wrapping_add(eval_native(b, inputs)),
+        Expr::Sub(a, b) => eval_native(a, inputs).wrapping_sub(eval_native(b, inputs)),
+        Expr::Mul(a, b) => eval_native(a, inputs).wrapping_mul(eval_native(b, inputs)),
+        Expr::Shl(a, k) => eval_native(a, inputs) << k,
+        Expr::Ite(c, t, e2) => {
+            if eval_cond(c, inputs) {
+                eval_native(t, inputs)
+            } else {
+                eval_native(e2, inputs)
+            }
+        }
+    };
+    v & MASK
+}
+
+fn eval_cond(c: &Cond, inputs: &[u64]) -> bool {
+    match c {
+        Cond::Ule(a, b) => eval_native(a, inputs) <= eval_native(b, inputs),
+        Cond::Ult(a, b) => eval_native(a, inputs) < eval_native(b, inputs),
+        Cond::Eq(a, b) => eval_native(a, inputs) == eval_native(b, inputs),
+    }
+}
+
+fn build_term(smt: &mut Smt, e: &Expr, vars: &[Term]) -> Term {
+    match e {
+        Expr::Input(i) => vars[*i],
+        Expr::Const(c) => smt.bv_const(WIDTH, *c),
+        Expr::Add(a, b) => {
+            let (ta, tb) = (build_term(smt, a, vars), build_term(smt, b, vars));
+            smt.add(ta, tb)
+        }
+        Expr::Sub(a, b) => {
+            let (ta, tb) = (build_term(smt, a, vars), build_term(smt, b, vars));
+            smt.sub(ta, tb)
+        }
+        Expr::Mul(a, b) => {
+            let (ta, tb) = (build_term(smt, a, vars), build_term(smt, b, vars));
+            smt.mul(ta, tb)
+        }
+        Expr::Shl(a, k) => {
+            let ta = build_term(smt, a, vars);
+            smt.shl(ta, *k)
+        }
+        Expr::Ite(c, t, e2) => {
+            let tc = build_cond(smt, c, vars);
+            let (tt, te) = (build_term(smt, t, vars), build_term(smt, e2, vars));
+            smt.ite(tc, tt, te)
+        }
+    }
+}
+
+fn build_cond(smt: &mut Smt, c: &Cond, vars: &[Term]) -> Term {
+    match c {
+        Cond::Ule(a, b) => {
+            let (ta, tb) = (build_term(smt, a, vars), build_term(smt, b, vars));
+            smt.ule(ta, tb)
+        }
+        Cond::Ult(a, b) => {
+            let (ta, tb) = (build_term(smt, a, vars), build_term(smt, b, vars));
+            smt.ult(ta, tb)
+        }
+        Cond::Eq(a, b) => {
+            let (ta, tb) = (build_term(smt, a, vars), build_term(smt, b, vars));
+            smt.eq(ta, tb)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Forward direction: fixing inputs must force the blasted output to the
+    /// natively computed value.
+    #[test]
+    fn blasting_matches_native_eval(
+        expr in expr_strategy(3),
+        inputs in proptest::collection::vec(0u64..=MASK, 3),
+    ) {
+        let mut smt = Smt::new();
+        let vars: Vec<Term> = (0..3).map(|i| smt.bv_var(WIDTH, format!("in{i}"))).collect();
+        let out = build_term(&mut smt, &expr, &vars);
+        for (v, &val) in vars.iter().zip(&inputs) {
+            let fix = smt.eq_const(*v, val);
+            smt.assert(fix);
+        }
+        // Force the output into the SAT instance too.
+        let out_var = smt.bv_var(WIDTH, "out");
+        let tie = smt.eq(out_var, out);
+        smt.assert(tie);
+        prop_assert_eq!(smt.solve(), SmtResult::Sat);
+        let expected = eval_native(&expr, &inputs);
+        prop_assert_eq!(smt.bv_value(out), expected);
+        prop_assert_eq!(smt.bv_value(out_var), expected);
+    }
+
+    /// Backward direction: constraining the output to an impossible value
+    /// under fixed inputs must be UNSAT (the encoding is biconditional).
+    #[test]
+    fn wrong_output_is_unsat(
+        expr in expr_strategy(2),
+        inputs in proptest::collection::vec(0u64..=MASK, 2),
+        delta in 1u64..=MASK,
+    ) {
+        let mut smt = Smt::new();
+        let vars: Vec<Term> = (0..2).map(|i| smt.bv_var(WIDTH, format!("in{i}"))).collect();
+        let out = build_term(&mut smt, &expr, &vars);
+        for (v, &val) in vars.iter().zip(&inputs) {
+            let fix = smt.eq_const(*v, val);
+            smt.assert(fix);
+        }
+        let expected = eval_native(&expr, &inputs);
+        let wrong = (expected + delta) & MASK;
+        let claim = smt.eq_const(out, wrong);
+        smt.assert(claim);
+        prop_assert_eq!(smt.solve(), SmtResult::Unsat);
+    }
+
+    /// Comparison predicates match native comparisons when used as
+    /// assumptions in either polarity.
+    #[test]
+    fn comparisons_in_both_polarities(
+        a in 0u64..=MASK,
+        b in 0u64..=MASK,
+    ) {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(WIDTH, "x");
+        let y = smt.bv_var(WIDTH, "y");
+        let fx = smt.eq_const(x, a);
+        let fy = smt.eq_const(y, b);
+        smt.assert(fx);
+        smt.assert(fy);
+        let le = smt.ule(x, y);
+        let nle = smt.not(le);
+        let lt = smt.ult(x, y);
+        let eq = smt.eq(x, y);
+        prop_assert_eq!(smt.solve_with(&[le]) == SmtResult::Sat, a <= b);
+        prop_assert_eq!(smt.solve_with(&[nle]) == SmtResult::Sat, a > b);
+        prop_assert_eq!(smt.solve_with(&[lt]) == SmtResult::Sat, a < b);
+        prop_assert_eq!(smt.solve_with(&[eq]) == SmtResult::Sat, a == b);
+    }
+
+    /// Weighted PB constraints agree with direct arithmetic on random
+    /// weight vectors under random forced assignments.
+    #[test]
+    fn pb_matches_arithmetic(
+        weights in proptest::collection::vec(0u64..6, 1..6),
+        mask in 0u32..64,
+        bound in 0u64..12,
+    ) {
+        let n = weights.len();
+        let mut smt = Smt::new();
+        let bs: Vec<Term> = (0..n).map(|i| smt.bool_var(format!("b{i}"))).collect();
+        let items: Vec<(Term, u64)> = bs.iter().copied().zip(weights.iter().copied()).collect();
+        smt.assert_at_most(&items, bound);
+        let mut sum = 0u64;
+        let mut assumptions = Vec::new();
+        for i in 0..n {
+            if (mask >> i) & 1 == 1 {
+                sum += weights[i];
+                assumptions.push(bs[i]);
+            } else {
+                let nb = smt.not(bs[i]);
+                assumptions.push(nb);
+            }
+        }
+        let expect_sat = sum <= bound;
+        prop_assert_eq!(smt.solve_with(&assumptions) == SmtResult::Sat, expect_sat);
+    }
+}

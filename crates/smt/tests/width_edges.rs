@@ -1,0 +1,117 @@
+//! Edge-width and corner-case tests for the SMT layer: 1-bit and 64-bit
+//! vectors, wraparound boundaries, and assumption-core behaviour on
+//! bit-vector equalities.
+
+use ams_smt::{Smt, SmtResult};
+
+#[test]
+fn one_bit_vectors_behave_like_booleans() {
+    let mut smt = Smt::new();
+    let x = smt.bv_var(1, "x");
+    let y = smt.bv_var(1, "y");
+    let s = smt.add(x, y); // 1-bit add = xor
+    let one = smt.eq_const(s, 1);
+    smt.assert(one);
+    assert_eq!(smt.solve(), SmtResult::Sat);
+    assert_eq!(smt.bv_value(x) ^ smt.bv_value(y), 1);
+}
+
+#[test]
+fn sixty_four_bit_add_wraps() {
+    let mut smt = Smt::new();
+    let x = smt.bv_var(64, "x");
+    let big = smt.eq_const(x, u64::MAX);
+    smt.assert(big);
+    let one = smt.bv_const(64, 1);
+    let s = smt.add(x, one);
+    let zero = smt.eq_const(s, 0);
+    smt.assert(zero);
+    assert_eq!(smt.solve(), SmtResult::Sat);
+    assert_eq!(smt.bv_value(x), u64::MAX);
+}
+
+#[test]
+fn sixty_four_bit_comparisons() {
+    let mut smt = Smt::new();
+    let x = smt.bv_var(64, "x");
+    let hi = smt.bv_const(64, u64::MAX - 1);
+    let gt = smt.ugt(x, hi);
+    smt.assert(gt);
+    assert_eq!(smt.solve(), SmtResult::Sat);
+    assert_eq!(smt.bv_value(x), u64::MAX);
+}
+
+#[test]
+fn zext_to_64_preserves_value() {
+    let mut smt = Smt::new();
+    let x = smt.bv_var(8, "x");
+    let fixed = smt.eq_const(x, 0xAB);
+    smt.assert(fixed);
+    let wide = smt.zext(x, 64);
+    let expected = smt.eq_const(wide, 0xAB);
+    smt.assert(expected);
+    assert_eq!(smt.solve(), SmtResult::Sat);
+    assert_eq!(smt.bv_value(wide), 0xAB);
+}
+
+#[test]
+fn shl_drops_high_bits() {
+    let mut smt = Smt::new();
+    let x = smt.bv_var(8, "x");
+    let fixed = smt.eq_const(x, 0b1100_0011);
+    smt.assert(fixed);
+    let shifted = smt.shl(x, 4);
+    assert_eq!(smt.solve(), SmtResult::Sat);
+    assert_eq!(smt.bv_value(shifted), 0b0011_0000);
+}
+
+#[test]
+fn shift_by_width_is_zero() {
+    let mut smt = Smt::new();
+    let x = smt.bv_var(8, "x");
+    let any = smt.eq_const(x, 0xFF);
+    smt.assert(any);
+    let gone = smt.shl(x, 8);
+    assert_eq!(smt.solve(), SmtResult::Sat);
+    assert_eq!(smt.bv_value(gone), 0);
+}
+
+#[test]
+fn failed_core_names_conflicting_freezes() {
+    // The placement engine's freeze mechanism: pin two variables to
+    // incompatible values through a shared constraint and check the core
+    // names only the guilty assumptions.
+    let mut smt = Smt::new();
+    let x = smt.bv_var(8, "x");
+    let y = smt.bv_var(8, "y");
+    let z = smt.bv_var(8, "z");
+    let sum = smt.add(x, y);
+    let tie = smt.eq(sum, z);
+    smt.assert(tie);
+    let fx = smt.eq_const(x, 10);
+    let fy = smt.eq_const(y, 20);
+    let fz = smt.eq_const(z, 99); // 10 + 20 != 99
+    let free = smt.bool_var("unrelated");
+    assert_eq!(smt.solve_with(&[fx, fy, fz, free]), SmtResult::Unsat);
+    let core = smt.failed_assumptions();
+    assert!(!core.contains(&free), "unrelated assumption in core");
+    assert!(core.len() >= 2, "core must involve the arithmetic conflict");
+    // Dropping one frozen value restores satisfiability.
+    assert_eq!(smt.solve_with(&[fx, fy]), SmtResult::Sat);
+    assert_eq!(smt.bv_value(z), 30);
+}
+
+#[test]
+#[should_panic(expected = "width")]
+fn width_65_is_rejected() {
+    let mut smt = Smt::new();
+    let _ = smt.bv_var(65, "too_wide");
+}
+
+#[test]
+#[should_panic(expected = "Boolean")]
+fn asserting_a_bitvector_panics() {
+    let mut smt = Smt::new();
+    let x = smt.bv_var(4, "x");
+    smt.assert(x);
+}

@@ -1,0 +1,55 @@
+//! The VCO evaluation flow: place, route, extract, and sweep the
+//! oscillator model over supply and trim code — the paper's Table VI and
+//! Fig. 7 in miniature.
+//!
+//! ```text
+//! cargo run --release --example vco_flow
+//! ```
+
+use finfet_ams_place::netlist::benchmarks;
+use finfet_ams_place::place::{PlacerConfig, SmtPlacer};
+use finfet_ams_place::route::{route, RouterConfig};
+use finfet_ams_place::sim::{extract, Tech, VcoModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = benchmarks::vco();
+    let mut cfg = PlacerConfig::default();
+    cfg.optimize.k_iter = 1;
+    cfg.optimize.conflict_budget = Some(50_000);
+
+    println!("placing the VCO ({} cells, 2 regions)...", design.cells().len());
+    let placement = SmtPlacer::new(&design, cfg)?.place()?;
+    placement.verify(&design).expect("legal placement");
+    let routed = route(&design, &placement, RouterConfig::default());
+    println!(
+        "routed: {:.1} µm wire, {} vias, overflow {}",
+        routed.wirelength_um(design.pitch()),
+        routed.vias,
+        routed.overflow
+    );
+
+    let nets = extract(&design, &placement, &routed, &Tech::n5());
+    let model = VcoModel::from_layout(&design, &nets, Tech::n5());
+    println!(
+        "phase-node parasitics: {:.2} fF / {:.0} Ω per stage",
+        model.c_parasitic_per_stage * 1e15,
+        model.r_parasitic_per_stage
+    );
+
+    println!("\nsupply sweep at trim code 3:");
+    for p in model.supply_sweep(3) {
+        println!(
+            "  {:>4.0} mV: {:>5.2} GHz, {:>6.1} µW",
+            p.supply_v * 1e3,
+            p.frequency_ghz,
+            p.power_uw
+        );
+    }
+
+    println!("\ntrim curve at 750 mV:");
+    for code in 0..=7 {
+        let p = model.evaluate(0.75, code);
+        println!("  code {code}: {:.2} GHz", p.frequency_ghz);
+    }
+    Ok(())
+}

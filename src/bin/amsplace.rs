@@ -1,0 +1,227 @@
+//! `amsplace` — command-line front end to the placement stack.
+//!
+//! ```text
+//! amsplace --demo buf demo.json          # write a benchmark netlist
+//! amsplace demo.json --svg out.svg       # place it, render the layout
+//! amsplace demo.json --no-ams --route    # w/o-constraints arm + routing
+//! ```
+
+use finfet_ams_place::netlist::{benchmarks, Design};
+use finfet_ams_place::place::{render_svg, PlacerConfig, SmtPlacer};
+use finfet_ams_place::route::{route, RouterConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: amsplace [OPTIONS] <design.json>
+       amsplace --demo <buf|vco|synthetic> <out.json>
+
+options:
+  --out <file>      write the placement (cell rectangles) as JSON
+  --svg <file>      render the placed layout as SVG
+  --route           also route and report RWL / vias / overflow
+  --no-ams          drop the AMS constraint families (w/o-Cstr. arm)
+  --iters <n>       optimization iterations (default 2)
+  --budget <n>      conflict budget per optimization round (default 100000)
+  --quick           small budgets for a fast smoke run
+";
+
+struct Args {
+    design_path: Option<String>,
+    demo: Option<(String, String)>,
+    out: Option<String>,
+    svg: Option<String>,
+    do_route: bool,
+    no_ams: bool,
+    iters: usize,
+    budget: u64,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        design_path: None,
+        demo: None,
+        out: None,
+        svg: None,
+        do_route: false,
+        no_ams: false,
+        iters: 2,
+        budget: 100_000,
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--demo" => {
+                let which = value("--demo")?;
+                let out = value("--demo")?;
+                args.demo = Some((which, out));
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--svg" => args.svg = Some(value("--svg")?),
+            "--route" => args.do_route = true,
+            "--no-ams" => args.no_ams = true,
+            "--quick" => args.quick = true,
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--budget" => {
+                args.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if !other.starts_with('-') => args.design_path = Some(other.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some((which, out)) = &args.demo {
+        let design = match which.as_str() {
+            "buf" => benchmarks::buf(),
+            "vco" => benchmarks::vco(),
+            "synthetic" => benchmarks::synthetic(Default::default()),
+            other => {
+                eprintln!("error: unknown demo {other:?} (buf|vco|synthetic)");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(out, design.to_json()) {
+            eprintln!("error: writing {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} ({} cells, {} nets, {} regions)",
+            out,
+            design.cells().len(),
+            design.nets().len(),
+            design.regions().len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(path) = &args.design_path else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let design = match Design::from_json(&json) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: parsing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let design = if args.no_ams {
+        design.without_constraints()
+    } else {
+        design
+    };
+
+    let mut config = PlacerConfig::default();
+    config.optimize.k_iter = args.iters;
+    config.optimize.conflict_budget = Some(args.budget);
+    if args.quick {
+        config.optimize.k_iter = config.optimize.k_iter.min(1);
+        config.optimize.conflict_budget = Some(20_000);
+    }
+    if args.no_ams {
+        config = config.without_ams_constraints();
+    }
+
+    eprintln!(
+        "placing {} ({} cells, {} nets)...",
+        design.name(),
+        design.cells().len(),
+        design.nets().len()
+    );
+    let placement = match SmtPlacer::new(&design, config).and_then(|p| p.place()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(violations) = placement.verify(&design) {
+        eprintln!("internal error: placement failed the legality oracle:");
+        for v in violations.iter().take(5) {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "placed: die {}x{} grid units ({:.2} µm²), HPWL {:.2} µm, {} iterations in {:?}",
+        placement.die.w,
+        placement.die.h,
+        placement.area_um2(&design),
+        placement.hpwl_um(&design),
+        placement.stats.iterations,
+        placement.stats.runtime
+    );
+
+    if args.do_route {
+        let routed = route(&design, &placement, RouterConfig::default());
+        println!(
+            "routed: {:.2} µm wire, {} vias, overflow {}",
+            routed.wirelength_um(design.pitch()),
+            routed.vias,
+            routed.overflow
+        );
+    }
+    if let Some(svg_path) = &args.svg {
+        if let Err(e) = std::fs::write(svg_path, render_svg(&design, &placement)) {
+            eprintln!("error: writing {svg_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("layout rendered to {svg_path}");
+    }
+    if let Some(out) = &args.out {
+        let rects: Vec<_> = design
+            .cells()
+            .iter()
+            .zip(&placement.cells)
+            .map(|(c, r)| {
+                serde_json::json!({
+                    "cell": c.name, "x": r.x, "y": r.y, "w": r.w, "h": r.h
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "design": design.name(),
+            "die": { "w": placement.die.w, "h": placement.die.h },
+            "cells": rects,
+        });
+        if let Err(e) = std::fs::write(out, serde_json::to_string_pretty(&doc).expect("json")) {
+            eprintln!("error: writing {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("placement written to {out}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,36 @@
+//! # finfet-ams-place
+//!
+//! A reproduction of *"Routability-Aware Placement for Advanced FinFET
+//! Mixed-Signal Circuits using Satisfiability Modulo Theories"* (DATE 2022).
+//!
+//! This facade crate re-exports the full stack:
+//!
+//! * [`sat`] — incremental CDCL SAT solver
+//! * [`smt`] — quantifier-free bit-vector SMT layer with pseudo-Boolean support
+//! * [`netlist`] — region-based AMS circuit model and benchmark generators
+//! * [`place`] — the SMT placement framework (the paper's contribution)
+//! * [`route`] — gridded analog router (routed wirelength / via metrics)
+//! * [`sim`] — post-layout RC extraction, Elmore timing, and VCO models
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use finfet_ams_place::netlist::benchmarks;
+//! use finfet_ams_place::place::{PlacerConfig, SmtPlacer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = benchmarks::buf();
+//! let config = PlacerConfig::fast();
+//! let placement = SmtPlacer::new(&design, config)?.place()?;
+//! assert!(placement.verify(&design).is_ok());
+//! println!("HPWL = {}", placement.hpwl(&design));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ams_netlist as netlist;
+pub use ams_place as place;
+pub use ams_route as route;
+pub use ams_sat as sat;
+pub use ams_sim as sim;
+pub use ams_smt as smt;

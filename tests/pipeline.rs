@@ -1,0 +1,132 @@
+//! Cross-crate integration: netlist → placement → routing → extraction.
+
+use finfet_ams_place::netlist::benchmarks::{self, SyntheticParams};
+use finfet_ams_place::place::{PlacerConfig, SmtPlacer};
+use finfet_ams_place::route::{route, RouterConfig};
+use finfet_ams_place::sim::{extract, Tech};
+
+fn place_small(seed: u64) -> (finfet_ams_place::netlist::Design, finfet_ams_place::place::Placement) {
+    let design = benchmarks::synthetic(SyntheticParams {
+        cells_per_region: 8,
+        nets: 10,
+        symmetry_pairs: 1,
+        seed,
+        ..Default::default()
+    });
+    let placement = SmtPlacer::new(&design, PlacerConfig::fast())
+        .expect("encode")
+        .place()
+        .expect("place");
+    placement.verify(&design).expect("legal");
+    (design, placement)
+}
+
+#[test]
+fn routed_wirelength_dominates_hpwl() {
+    let (design, placement) = place_small(7);
+    let routed = route(&design, &placement, RouterConfig::default());
+    // The half-perimeter bound is a lower bound on any connecting tree.
+    let (hx, hy) = placement.hpwl_grid(&design);
+    assert!(
+        routed.wirelength >= hx + hy,
+        "RWL {} below the HPWL bound {}",
+        routed.wirelength,
+        hx + hy
+    );
+    assert_eq!(routed.overflow, 0, "small design must route congestion-free");
+}
+
+#[test]
+fn every_net_is_routed_connected() {
+    let (design, placement) = place_small(11);
+    let routed = route(&design, &placement, RouterConfig::default());
+    for n in design.net_ids() {
+        if design.net(n).virtual_net || design.net_degree(n) < 2 {
+            continue;
+        }
+        let pins: std::collections::HashSet<_> = design
+            .net_connections(n)
+            .iter()
+            .map(|&(c, pi)| {
+                let pin = &design.cell(c).pins[pi];
+                let r = placement.cells[c.index()];
+                (r.x + pin.dx, r.y + pin.dy)
+            })
+            .collect();
+        if pins.len() < 2 {
+            continue; // all pins coincide; nothing to route
+        }
+        let r = &routed.nets[n.index()];
+        assert!(
+            !r.wires.is_empty() || !r.vias.is_empty(),
+            "net {} with {} distinct pins has no route",
+            design.net(n).name,
+            pins.len()
+        );
+    }
+}
+
+#[test]
+fn extraction_scales_with_route_length() {
+    let (design, placement) = place_small(13);
+    let routed = route(&design, &placement, RouterConfig::default());
+    let nets = extract(&design, &placement, &routed, &Tech::n5());
+    for n in design.net_ids() {
+        let Some(e) = nets[n.index()].as_ref() else {
+            continue;
+        };
+        assert!(e.capacitance > 0.0, "net {} has no capacitance", design.net(n).name);
+        // Pin caps alone set a floor.
+        let floor = design.net_degree(n) as f64 * Tech::n5().c_pin;
+        assert!(e.capacitance >= floor);
+        for s in &e.sinks {
+            assert!(s.resistance.is_finite() && s.resistance >= 0.0);
+        }
+    }
+    // Cross-check the aggregate: summed net capacitance reconstructs from
+    // the route geometry and pin counts exactly.
+    let tech = Tech::n5();
+    for n in design.net_ids() {
+        let Some(e) = nets[n.index()].as_ref() else {
+            continue;
+        };
+        let r = &routed.nets[n.index()];
+        let (wx, wy) = r.wirelength_xy();
+        let expected = wx as f64 * tech.c_per_track_x
+            + wy as f64 * tech.c_per_track_y
+            + r.vias.len() as f64 * tech.c_via
+            + design.net_connections(n).len() as f64 * tech.c_pin;
+        assert!(
+            (e.capacitance - expected).abs() < 1e-21,
+            "net {} capacitance mismatch",
+            design.net(n).name
+        );
+    }
+}
+
+#[test]
+fn design_json_roundtrip_preserves_placement_inputs() {
+    let design = benchmarks::synthetic(SyntheticParams::default());
+    let json = design.to_json();
+    let back = finfet_ams_place::netlist::Design::from_json(&json).expect("parse");
+    assert_eq!(design, back);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade crate must expose the full stack coherently.
+    let design = finfet_ams_place::netlist::benchmarks::buf();
+    assert_eq!(design.cells().len(), 42);
+    let _cfg = finfet_ams_place::place::PlacerConfig::default();
+    let _tech = finfet_ams_place::sim::Tech::n5();
+    let mut sat = finfet_ams_place::sat::Solver::new();
+    let v = sat.new_var();
+    sat.add_clause(&[v.positive()]);
+    assert_eq!(sat.solve(), finfet_ams_place::sat::SolveResult::Sat);
+    let mut smt = finfet_ams_place::smt::Smt::new();
+    let x = smt.bv_var(4, "x");
+    let c = smt.eq_const(x, 9);
+    smt.assert(c);
+    assert_eq!(smt.solve(), finfet_ams_place::smt::SmtResult::Sat);
+    assert_eq!(smt.bv_value(x), 9);
+}
