@@ -2,12 +2,27 @@
 //!
 //! * pin-density windows on/off (the routability mechanism's cost),
 //! * array slot-assignment vs the literal Eq. 9–10 encoding,
-//! * assumption freezing on/off in the optimization loop,
-//! * incremental tightening vs a single solve.
+//! * assumption freezing on/off in the optimization loop.
+//!
+//! Plain `Instant` timing; `cargo bench` runs this binary directly via
+//! `harness = false`.
 
 use ams_netlist::benchmarks::{self, SyntheticParams};
 use ams_place::{PlacerConfig, SmtPlacer};
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
+    }
+    let min = times.iter().min().expect("non-empty");
+    let mean = times.iter().sum::<std::time::Duration>() / iters;
+    println!("{name:<40} min {min:>12.2?}  mean {mean:>12.2?}  ({iters} iters)");
+}
 
 fn buf_quick(budget: u64, k_iter: usize) -> PlacerConfig {
     let mut c = PlacerConfig::default();
@@ -17,26 +32,25 @@ fn buf_quick(budget: u64, k_iter: usize) -> PlacerConfig {
     c
 }
 
-fn bench_pin_density(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_pin_density");
-    g.sample_size(10);
+fn bench_pin_density() {
     let design = benchmarks::buf();
-    g.bench_function("buf_first_solve_with_pd", |b| {
-        b.iter(|| {
-            let cfg = buf_quick(0, 0);
-            let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
-            assert!(p.verify(&design).is_ok());
-        })
+    bench("ablation_pin_density/with_pd", 10, || {
+        let cfg = buf_quick(0, 0);
+        let p = SmtPlacer::new(&design, cfg)
+            .expect("encode")
+            .place()
+            .expect("place");
+        assert!(p.verify(&design).is_ok());
     });
-    g.bench_function("buf_first_solve_without_pd", |b| {
-        b.iter(|| {
-            let mut cfg = buf_quick(0, 0);
-            cfg.pin_density = None;
-            let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
-            assert!(p.verify(&design).is_ok());
-        })
+    bench("ablation_pin_density/without_pd", 10, || {
+        let mut cfg = buf_quick(0, 0);
+        cfg.pin_density = None;
+        let p = SmtPlacer::new(&design, cfg)
+            .expect("encode")
+            .place()
+            .expect("place");
+        assert!(p.verify(&design).is_ok());
     });
-    g.finish();
 }
 
 fn array_design() -> ams_netlist::Design {
@@ -67,34 +81,31 @@ fn array_design() -> ams_netlist::Design {
     b.build().expect("valid")
 }
 
-fn bench_array_encoding(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_array_encoding");
-    g.sample_size(10);
+fn bench_array_encoding() {
     let design = array_design();
-    g.bench_function("slot_mode", |b| {
-        b.iter(|| {
-            let mut cfg = PlacerConfig::fast();
-            cfg.optimize.k_iter = 0;
-            cfg.array_slots = true;
-            let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
-            assert!(p.verify(&design).is_ok());
-        })
+    bench("ablation_array_encoding/slot_mode", 10, || {
+        let mut cfg = PlacerConfig::fast();
+        cfg.optimize.k_iter = 0;
+        cfg.array_slots = true;
+        let p = SmtPlacer::new(&design, cfg)
+            .expect("encode")
+            .place()
+            .expect("place");
+        assert!(p.verify(&design).is_ok());
     });
-    g.bench_function("literal_eq9_eq10", |b| {
-        b.iter(|| {
-            let mut cfg = PlacerConfig::fast();
-            cfg.optimize.k_iter = 0;
-            cfg.array_slots = false;
-            let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
-            assert!(p.verify(&design).is_ok());
-        })
+    bench("ablation_array_encoding/literal_eq9_eq10", 10, || {
+        let mut cfg = PlacerConfig::fast();
+        cfg.optimize.k_iter = 0;
+        cfg.array_slots = false;
+        let p = SmtPlacer::new(&design, cfg)
+            .expect("encode")
+            .place()
+            .expect("place");
+        assert!(p.verify(&design).is_ok());
     });
-    g.finish();
 }
 
-fn bench_freeze(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_freeze");
-    g.sample_size(10);
+fn bench_freeze() {
     let design = benchmarks::synthetic(SyntheticParams {
         cells_per_region: 16,
         nets: 20,
@@ -103,19 +114,22 @@ fn bench_freeze(c: &mut Criterion) {
         ..Default::default()
     });
     for (name, freeze) in [("frozen", true), ("free", false)] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut cfg = PlacerConfig::fast();
-                cfg.optimize.k_iter = 2;
-                cfg.optimize.conflict_budget = Some(50_000);
-                cfg.optimize.freeze = freeze;
-                let p = SmtPlacer::new(&design, cfg).expect("encode").place().expect("place");
-                assert!(!p.stats.hpwl_trace.is_empty());
-            })
+        bench(&format!("ablation_freeze/{name}"), 10, || {
+            let mut cfg = PlacerConfig::fast();
+            cfg.optimize.k_iter = 2;
+            cfg.optimize.conflict_budget = Some(50_000);
+            cfg.optimize.freeze = freeze;
+            let p = SmtPlacer::new(&design, cfg)
+                .expect("encode")
+                .place()
+                .expect("place");
+            assert!(!p.stats.hpwl_trace.is_empty());
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_pin_density, bench_array_encoding, bench_freeze);
-criterion_main!(benches);
+fn main() {
+    bench_pin_density();
+    bench_array_encoding();
+    bench_freeze();
+}

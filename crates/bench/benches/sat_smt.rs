@@ -1,8 +1,26 @@
 //! Microbenchmarks of the SAT and SMT substrates.
+//!
+//! Runs each workload a fixed number of times under `std::time::Instant`
+//! and prints min/mean timings (no external harness; `cargo bench` runs
+//! this binary directly via `harness = false`).
 
 use ams_sat::{Lit, SolveResult, Solver, Var};
 use ams_smt::{Smt, SmtResult};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warmup round, then timed rounds.
+    f();
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
+    }
+    let min = times.iter().min().expect("non-empty");
+    let mean = times.iter().sum::<std::time::Duration>() / iters;
+    println!("{name:<28} min {min:>12.2?}  mean {mean:>12.2?}  ({iters} iters)");
+}
 
 /// Unsatisfiable pigeonhole: n pigeons, n-1 holes.
 fn pigeonhole(n: usize) -> Solver {
@@ -13,10 +31,10 @@ fn pigeonhole(n: usize) -> Solver {
     for row in &x {
         s.add_clause(row);
     }
-    for j in 0..n - 1 {
-        for a in 0..n {
-            for b in (a + 1)..n {
-                s.add_clause(&[!x[a][j], !x[b][j]]);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            for (&la, &lb) in x[a].iter().zip(&x[b]) {
+                s.add_clause(&[!la, !lb]);
             }
         }
     }
@@ -28,7 +46,9 @@ fn random_3sat(vars: usize, clauses: usize, mut seed: u64) -> Solver {
     let mut s = Solver::new();
     let vs: Vec<Var> = (0..vars).map(|_| s.new_var()).collect();
     let mut next = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as usize
     };
     for _ in 0..clauses {
@@ -43,69 +63,51 @@ fn random_3sat(vars: usize, clauses: usize, mut seed: u64) -> Solver {
     s
 }
 
-fn bench_sat(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sat");
-    g.sample_size(10);
-    g.bench_function("pigeonhole_8_unsat", |b| {
-        b.iter_batched(
-            || pigeonhole(8),
-            |mut s| assert_eq!(s.solve(), SolveResult::Unsat),
-            BatchSize::SmallInput,
-        )
+fn bench_sat() {
+    bench("sat/pigeonhole_8_unsat", 10, || {
+        let mut s = pigeonhole(8);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     });
-    g.bench_function("random3sat_150v_620c", |b| {
-        b.iter_batched(
-            || random_3sat(150, 620, 42),
-            |mut s| {
-                let _ = s.solve();
-            },
-            BatchSize::SmallInput,
-        )
+    bench("sat/random3sat_150v_620c", 10, || {
+        let mut s = random_3sat(150, 620, 42);
+        let _ = s.solve();
     });
-    g.finish();
 }
 
-fn bench_smt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("smt");
-    g.sample_size(10);
-    g.bench_function("adder_chain_16x12bit", |b| {
-        b.iter(|| {
-            let mut smt = Smt::new();
-            let xs: Vec<_> = (0..16).map(|i| smt.bv_var(12, format!("x{i}"))).collect();
-            let total = smt.sum(&xs, 16);
-            let want = smt.eq_const(total, 1234);
-            smt.assert(want);
-            assert_eq!(smt.solve(), SmtResult::Sat);
-        })
+fn bench_smt() {
+    bench("smt/adder_chain_16x12bit", 10, || {
+        let mut smt = Smt::new();
+        let xs: Vec<_> = (0..16).map(|i| smt.bv_var(12, format!("x{i}"))).collect();
+        let total = smt.sum(&xs, 16);
+        let want = smt.eq_const(total, 1234);
+        smt.assert(want);
+        assert_eq!(smt.solve(), SmtResult::Sat);
     });
-    g.bench_function("mul_factor_12bit", |b| {
-        b.iter(|| {
-            let mut smt = Smt::new();
-            let x = smt.bv_var(12, "x");
-            let y = smt.bv_var(12, "y");
-            let p = smt.mul(x, y);
-            let is = smt.eq_const(p, 3599); // 59 * 61
-            let one = smt.bv_const(12, 1);
-            let nx = smt.ne(x, one);
-            let ny = smt.ne(y, one);
-            smt.assert(is);
-            smt.assert(nx);
-            smt.assert(ny);
-            assert_eq!(smt.solve(), SmtResult::Sat);
-        })
+    bench("smt/mul_factor_12bit", 10, || {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(12, "x");
+        let y = smt.bv_var(12, "y");
+        let p = smt.mul(x, y);
+        let is = smt.eq_const(p, 3599); // 59 * 61
+        let one = smt.bv_const(12, 1);
+        let nx = smt.ne(x, one);
+        let ny = smt.ne(y, one);
+        smt.assert(is);
+        smt.assert(nx);
+        smt.assert(ny);
+        assert_eq!(smt.solve(), SmtResult::Sat);
     });
-    g.bench_function("pb_counter_60x", |b| {
-        b.iter(|| {
-            let mut smt = Smt::new();
-            let items: Vec<_> = (0..60)
-                .map(|i| (smt.bool_var(format!("b{i}")), 1 + (i % 4) as u64))
-                .collect();
-            smt.assert_at_most(&items, 40);
-            assert_eq!(smt.solve(), SmtResult::Sat);
-        })
+    bench("smt/pb_counter_60x", 10, || {
+        let mut smt = Smt::new();
+        let items: Vec<_> = (0..60)
+            .map(|i| (smt.bool_var(format!("b{i}")), 1 + (i % 4) as u64))
+            .collect();
+        smt.assert_at_most(&items, 40);
+        assert_eq!(smt.solve(), SmtResult::Sat);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_sat, bench_smt);
-criterion_main!(benches);
+fn main() {
+    bench_sat();
+    bench_smt();
+}

@@ -5,7 +5,9 @@
 //! This is what `results/` is generated from; the per-table binaries
 //! remain for focused reruns.
 
-use ams_bench::{paper, presets, print_arm_header, print_ratio_row, quick_mode, run_manual_arm, run_smt_arm, Arm};
+use ams_bench::{
+    paper, presets, print_arm_header, print_ratio_row, quick_mode, run_manual_arm, run_smt_arm, Arm,
+};
 use ams_netlist::benchmarks;
 use ams_sim::{analyze_buf, Tech, VcoModel};
 
@@ -44,7 +46,12 @@ fn main() {
     eprintln!("[report] BUF w/ constraints...");
     let bw = run_smt_arm("w/ Cstr.", benchmarks::buf(), buf_cfg);
 
-    print_table3_like("Table III (measured): BUF placement metrics", &bm, &bwo, &bw);
+    print_table3_like(
+        "Table III (measured): BUF placement metrics",
+        &bm,
+        &bwo,
+        &bw,
+    );
     print_paper_table(&paper::TABLE3, "Table III (paper)");
 
     // ---- Table IV ------------------------------------------------------
@@ -60,22 +67,31 @@ fn main() {
         println!(
             "| {}     | {:>7.2} / {:<6.3} | {:>7.2} / {:<6.3} | {:>7.2} / {:<6.3} |",
             s + 1,
-            rm.stages[s].delay_avg_ps, rm.stages[s].delay_sd_ps,
-            rwo.stages[s].delay_avg_ps, rwo.stages[s].delay_sd_ps,
-            rw.stages[s].delay_avg_ps, rw.stages[s].delay_sd_ps,
+            rm.stages[s].delay_avg_ps,
+            rm.stages[s].delay_sd_ps,
+            rwo.stages[s].delay_avg_ps,
+            rwo.stages[s].delay_sd_ps,
+            rw.stages[s].delay_avg_ps,
+            rw.stages[s].delay_sd_ps,
         );
     }
     println!(
         "| OUT   | {:>7.2} / {:<6.3} | {:>7.2} / {:<6.3} | {:>7.2} / {:<6.3} |",
-        rm.out.delay_avg_ps, rm.out.delay_sd_ps,
-        rwo.out.delay_avg_ps, rwo.out.delay_sd_ps,
-        rw.out.delay_avg_ps, rw.out.delay_sd_ps,
+        rm.out.delay_avg_ps,
+        rm.out.delay_sd_ps,
+        rwo.out.delay_avg_ps,
+        rwo.out.delay_sd_ps,
+        rw.out.delay_avg_ps,
+        rw.out.delay_sd_ps,
     );
     println!(
         "| Total | {:>7.2} / {:<6.3} | {:>7.2} / {:<6.3} | {:>7.2} / {:<6.3} |",
-        rm.total_avg_ps, rm.total_sd_ps,
-        rwo.total_avg_ps, rwo.total_sd_ps,
-        rw.total_avg_ps, rw.total_sd_ps,
+        rm.total_avg_ps,
+        rm.total_sd_ps,
+        rwo.total_avg_ps,
+        rwo.total_sd_ps,
+        rw.total_avg_ps,
+        rw.total_sd_ps,
     );
     println!("\n### Table IV (paper, delay averages ps)");
     println!("| Stage | Manual | w/o  | w/   |");
@@ -122,9 +138,12 @@ fn main() {
         ];
         println!(
             "| {mv:>11} | {:>7.1} / {:<5.2}  | {:>7.1} / {:<5.2}  | {:>7.1} / {:<5.2}  |",
-            pts[0].power_uw, pts[0].frequency_ghz,
-            pts[1].power_uw, pts[1].frequency_ghz,
-            pts[2].power_uw, pts[2].frequency_ghz,
+            pts[0].power_uw,
+            pts[0].frequency_ghz,
+            pts[1].power_uw,
+            pts[1].frequency_ghz,
+            pts[2].power_uw,
+            pts[2].frequency_ghz,
         );
         for (i, p) in pts.iter().enumerate() {
             norms[i][0] += p.power_uw;
@@ -158,17 +177,23 @@ fn main() {
             println!();
         }
     }
-    println!("\nphase parasitics (fF/stage): manual {:.2}, w/o {:.2}, w/ {:.2}",
+    println!(
+        "\nphase parasitics (fF/stage): manual {:.2}, w/o {:.2}, w/ {:.2}",
         mm.c_parasitic_per_stage * 1e15,
         mwo.c_parasitic_per_stage * 1e15,
-        mw.c_parasitic_per_stage * 1e15);
+        mw.c_parasitic_per_stage * 1e15
+    );
 }
 
 fn print_table3_like(title: &str, manual: &Arm, wo: &Arm, w: &Arm) {
     print_arm_header(title);
     print_ratio_row(
         "Area",
-        &[Some(manual.area_um2()), Some(wo.area_um2()), Some(w.area_um2())],
+        &[
+            Some(manual.area_um2()),
+            Some(wo.area_um2()),
+            Some(w.area_um2()),
+        ],
         "µm²",
     );
     print_ratio_row("HPWL", &[None, Some(wo.hpwl_um()), Some(w.hpwl_um())], "µm");

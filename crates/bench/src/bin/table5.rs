@@ -1,6 +1,8 @@
 //! Regenerates Table V: VCO area / HPWL / RWL / via / runtime.
 
-use ams_bench::{paper, presets, print_arm_header, print_ratio_row, quick_mode, run_manual_arm, run_smt_arm};
+use ams_bench::{
+    paper, presets, print_arm_header, print_ratio_row, quick_mode, run_manual_arm, run_smt_arm,
+};
 use ams_netlist::benchmarks;
 
 fn main() {
@@ -24,7 +26,11 @@ fn main() {
     print_arm_header("Table V (measured): VCO placement metrics");
     print_ratio_row(
         "Area",
-        &[Some(manual.area_um2()), Some(wo.area_um2()), Some(w.area_um2())],
+        &[
+            Some(manual.area_um2()),
+            Some(wo.area_um2()),
+            Some(w.area_um2()),
+        ],
         "µm²",
     );
     print_ratio_row("HPWL", &[None, Some(wo.hpwl_um()), Some(w.hpwl_um())], "µm");

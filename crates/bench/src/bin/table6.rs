@@ -40,9 +40,12 @@ fn main() {
         ];
         println!(
             "| {mv:>11} | {:>7.1} / {:<5.2} | {:>7.1} / {:<5.2} | {:>7.1} / {:<5.2} |",
-            pts[0].power_uw, pts[0].frequency_ghz,
-            pts[1].power_uw, pts[1].frequency_ghz,
-            pts[2].power_uw, pts[2].frequency_ghz,
+            pts[0].power_uw,
+            pts[0].frequency_ghz,
+            pts[1].power_uw,
+            pts[1].frequency_ghz,
+            pts[2].power_uw,
+            pts[2].frequency_ghz,
         );
         for (i, p) in pts.iter().enumerate() {
             norms[i][0] += p.power_uw;
@@ -65,7 +68,9 @@ fn main() {
         );
     }
     println!("| Norm.       | 1.02 / 0.98      | 1.00 / 0.88      | 1.00 / 1.00      |");
-    println!("\nShape checks: w/ Cstr. fastest at every supply; w/o slowest; powers within a few %.");
+    println!(
+        "\nShape checks: w/ Cstr. fastest at every supply; w/o slowest; powers within a few %."
+    );
     println!(
         "phase parasitics (C per stage, fF): manual {:.2}, w/o {:.2}, w/ {:.2}",
         mm.c_parasitic_per_stage * 1e15,

@@ -9,7 +9,7 @@
 //! → extract → analyze.
 
 use ams_netlist::Design;
-use ams_place::{baseline, PlacerConfig, Placement, SmtPlacer};
+use ams_place::{baseline, Placement, PlacerConfig, SmtPlacer};
 use ams_route::{route, RouteResult, RouterConfig};
 use ams_sim::{extract, ExtractedNet, Tech};
 use std::time::Duration;

@@ -1,0 +1,65 @@
+//! Pin-density infeasibility (Eq. 13–14).
+//!
+//! The Eq. 13 indicator charges *every* pin of a cell to *every* window the
+//! cell overlaps, and the window grid covers the whole die. A single cell
+//! with more pins than `λ_th` therefore violates Eq. 14 in any placement —
+//! the minimum achievable window density already exceeds the threshold.
+
+use crate::config::PlacerConfig;
+use crate::encode::pin_density::resolve_lambda;
+use crate::scale::ScaleInfo;
+use ams_netlist::{Design, DiagCode, Diagnostic, LintReport};
+
+pub(crate) fn check(
+    design: &Design,
+    config: &PlacerConfig,
+    scale: &ScaleInfo,
+    report: &mut LintReport,
+) {
+    let Some(pd) = &config.pin_density else {
+        return;
+    };
+    if pd.beta_x == 0 || pd.beta_y == 0 || pd.stride_x == 0 || pd.stride_y == 0 {
+        return; // PlacerConfig::validate rejects these before lint runs
+    }
+
+    if pd.stride_x > pd.beta_x || pd.stride_y > pd.beta_y {
+        report.push(
+            Diagnostic::new(
+                DiagCode::SparseDensityWindows,
+                format!(
+                    "pin-density stride ({}, {}) exceeds the window size ({}, {}); \
+                     strips between windows go unchecked",
+                    pd.stride_x, pd.stride_y, pd.beta_x, pd.beta_y
+                ),
+            )
+            .suggest("keep stride at or below the window size for full coverage"),
+        );
+    }
+
+    let lambda = resolve_lambda(design, scale, pd);
+    let mut worst: Option<(&str, u64)> = None;
+    for cell in design.cells() {
+        let pins = cell.pin_count() as u64;
+        if pins > lambda && pins > worst.map_or(0, |(_, p)| p) {
+            worst = Some((&cell.name, pins));
+        }
+    }
+    if let Some((name, pins)) = worst {
+        report.push(
+            Diagnostic::new(
+                DiagCode::PinDensityInfeasible,
+                format!(
+                    "cell '{name}' alone carries {pins} pins, above the threshold \
+                     λ_th = {lambda}; every window overlapping it violates Eq. 14, so \
+                     no placement can satisfy the pin-density constraint",
+                ),
+            )
+            .entity(name)
+            .suggest(format!(
+                "raise lambda to at least {pins}, or use the auto threshold \
+                 (lambda = None)"
+            )),
+        );
+    }
+}

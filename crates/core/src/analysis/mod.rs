@@ -1,0 +1,65 @@
+//! Pre-solve constraint analysis: a static linter over a design, its
+//! constraint set, and a placer configuration, plus an assumption-based
+//! UNSAT explainer.
+//!
+//! The linter ([`lint`]) runs *before* any SMT encoding and emits
+//! structured diagnostics ([`ams_netlist::LintReport`]) with stable
+//! `AMS-Exxx`/`AMS-Wxxx`/`AMS-Hxxx` codes. Error-severity findings are
+//! provable unsatisfiability or broken references — [`crate::SmtPlacer`]
+//! refuses to encode such designs ([`crate::PlaceError::Lint`]), turning
+//! late solver UNSATs and encode panics into early, actionable reports.
+//!
+//! When the linter is clean but the solver still answers UNSAT, the
+//! second stage ([`explain_unsat`]) re-encodes with per-family selector
+//! Booleans and names the conflicting constraint-family combination.
+
+mod capacity;
+mod density;
+mod explain;
+mod structure;
+
+pub use explain::{explain_unsat, ConstraintFamily, UnsatOutcome};
+
+use crate::config::PlacerConfig;
+use crate::power::PowerPlan;
+use crate::scale::ScaleInfo;
+use ams_netlist::{ConstraintSet, Design, LintReport};
+
+/// Lints a design's own constraint set under a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ams_netlist::benchmarks;
+/// use ams_place::{analysis, PlacerConfig};
+///
+/// let report = analysis::lint(&benchmarks::buf(), &PlacerConfig::default());
+/// assert!(!report.has_errors());
+/// ```
+pub fn lint(design: &Design, config: &PlacerConfig) -> LintReport {
+    lint_with(design, design.constraints(), config)
+}
+
+/// Lints a design against an explicit constraint set.
+///
+/// The structural checks run on `constraints` — which may differ from the
+/// design's own set, e.g. a candidate set the
+/// [`ams_netlist::DesignBuilder`] would reject — while the geometric
+/// capacity checks use the design as built.
+pub fn lint_with(
+    design: &Design,
+    constraints: &ConstraintSet,
+    config: &PlacerConfig,
+) -> LintReport {
+    let mut report = LintReport::new();
+    structure::check(design, constraints, &mut report);
+    let scale = ScaleInfo::compute(design, config);
+    let plan = if config.toggles.power_abutment {
+        PowerPlan::analyze(design)
+    } else {
+        PowerPlan::default()
+    };
+    capacity::check(design, config, &scale, &plan, &mut report);
+    density::check(design, config, &scale, &mut report);
+    report
+}

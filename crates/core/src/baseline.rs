@@ -94,7 +94,8 @@ pub fn manual_surrogate(design: &Design, config: BaselineConfig) -> Placement {
                 x = 0;
                 band = band_of(c);
             }
-            cell_rects[c.index()] = Rect::new(cursor_x + x, base_y + row * row_height, w, row_height);
+            cell_rects[c.index()] =
+                Rect::new(cursor_x + x, base_y + row * row_height, w, row_height);
             x += w + gap_after(w);
         }
         let used_rows = row + 1;
@@ -104,12 +105,7 @@ pub fn manual_surrogate(design: &Design, config: BaselineConfig) -> Placement {
     }
 
     let die_w = cursor_x;
-    let die_h = region_rects
-        .iter()
-        .map(|r| r.top())
-        .max()
-        .unwrap_or(uh)
-        + uh;
+    let die_h = region_rects.iter().map(|r| r.top()).max().unwrap_or(uh) + uh;
     let die = Rect::new(0, 0, die_w, die_h);
     placement_from_rects(cell_rects, region_rects, die, &scale)
 }

@@ -199,8 +199,11 @@ impl PlacerConfig {
         if !(self.utilization > 0.0 && self.utilization <= 1.0) {
             return Err(format!("utilization {} outside (0, 1]", self.utilization));
         }
-        if !(self.aspect_ratio > 0.0) {
-            return Err(format!("aspect ratio {} must be positive", self.aspect_ratio));
+        if self.aspect_ratio.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(format!(
+                "aspect ratio {} must be positive",
+                self.aspect_ratio
+            ));
         }
         if self.die_slack < 1.0 {
             return Err(format!("die slack {} must be >= 1", self.die_slack));
@@ -210,14 +213,20 @@ impl PlacerConfig {
             return Err(format!("zeta_start {} outside (0, 1]", o.zeta_start));
         }
         if !(0.0..=1.0).contains(&o.freeze_fraction) {
-            return Err(format!("freeze_fraction {} outside [0, 1]", o.freeze_fraction));
+            return Err(format!(
+                "freeze_fraction {} outside [0, 1]",
+                o.freeze_fraction
+            ));
         }
         if let Some(pd) = &self.pin_density {
             if pd.beta_x == 0 || pd.beta_y == 0 || pd.stride_x == 0 || pd.stride_y == 0 {
                 return Err("pin-density window and stride must be nonzero".into());
             }
             if pd.auto_margin < 1.0 {
-                return Err(format!("pin-density auto margin {} must be >= 1", pd.auto_margin));
+                return Err(format!(
+                    "pin-density auto margin {} must be >= 1",
+                    pd.auto_margin
+                ));
             }
         }
         Ok(())
@@ -236,17 +245,23 @@ mod tests {
 
     #[test]
     fn bad_parameters_are_rejected() {
-        let mut c = PlacerConfig::default();
-        c.utilization = 0.0;
+        let c = PlacerConfig {
+            utilization: 0.0,
+            ..PlacerConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PlacerConfig::default();
-        c.die_slack = 0.5;
+        let c = PlacerConfig {
+            die_slack: 0.5,
+            ..PlacerConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PlacerConfig::default();
-        c.pin_density = Some(PinDensityConfig {
-            beta_x: 0,
-            ..PinDensityConfig::default()
-        });
+        let c = PlacerConfig {
+            pin_density: Some(PinDensityConfig {
+                beta_x: 0,
+                ..PinDensityConfig::default()
+            }),
+            ..PlacerConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

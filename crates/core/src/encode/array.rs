@@ -39,8 +39,8 @@ pub(crate) fn assert_arrays(
             arr.pattern,
             ArrayPattern::Interdigitated { .. } | ArrayPattern::CentralSymmetric { .. }
         );
-        let slotted = (config.array_slots || force_slots)
-            && assert_array_slots(smt, design, scale, vars, ai);
+        let slotted =
+            (config.array_slots || force_slots) && assert_array_slots(smt, design, scale, vars, ai);
         assert!(
             slotted || !force_slots,
             "array {} pattern admits no slot assignment on this die",
@@ -55,7 +55,12 @@ pub(crate) fn assert_arrays(
 
 /// Whether slot mode fully determines member positions of array `ai`
 /// (letting cell non-overlap encoding skip member pairs).
-pub(crate) fn slots_cover_pairs(design: &Design, scale: &ScaleInfo, config: &PlacerConfig, ai: usize) -> bool {
+pub(crate) fn slots_cover_pairs(
+    design: &Design,
+    scale: &ScaleInfo,
+    config: &PlacerConfig,
+    ai: usize,
+) -> bool {
     let arr = &design.constraints().arrays[ai];
     let force_slots = matches!(
         arr.pattern,
@@ -91,7 +96,7 @@ fn usable_shapes(
 fn shape_candidates(scale: &ScaleInfo, n: u64, cw: u32, ch: u32) -> Vec<(u64, u64)> {
     let mut shapes = Vec::new();
     for rows in 1..=n {
-        if n % rows != 0 {
+        if !n.is_multiple_of(rows) {
             continue;
         }
         let cols = n / rows;
@@ -111,12 +116,7 @@ fn shape_candidates(scale: &ScaleInfo, n: u64, cw: u32, ch: u32) -> Vec<(u64, u6
 /// search the 2^(n/2) pair orientations for one with exactly equal A/B
 /// coordinate sums — Eq. 10 then holds by construction. `None` when no
 /// orientation achieves it under this shape (that shape is skipped).
-fn slot_order_for_shape(
-    design: &Design,
-    ai: usize,
-    cols: u64,
-    rows: u64,
-) -> Option<Vec<CellId>> {
+fn slot_order_for_shape(design: &Design, ai: usize, cols: u64, rows: u64) -> Option<Vec<CellId>> {
     let arr = &design.constraints().arrays[ai];
     match &arr.pattern {
         ArrayPattern::Dense => Some(arr.cells.clone()),
@@ -124,7 +124,7 @@ fn slot_order_for_shape(
             // Groups alternate along each row (ABAB…); a shape is usable
             // when every row holds a whole number of interleave periods.
             let g = groups.len() as u64;
-            if g == 0 || cols % g != 0 {
+            if g == 0 || !cols.is_multiple_of(g) {
                 return None;
             }
             let n = arr.cells.len();
@@ -150,9 +150,7 @@ fn slot_order_for_shape(
             order.into_iter().collect()
         }
         ArrayPattern::CommonCentroid { group_a, group_b } => {
-            if group_a.len() != group_b.len()
-                || group_a.len() + group_b.len() != arr.cells.len()
-            {
+            if group_a.len() != group_b.len() || group_a.len() + group_b.len() != arr.cells.len() {
                 return None;
             }
             let n = arr.cells.len();
@@ -403,7 +401,7 @@ mod tests {
             };
             let mut found = 0;
             for rows in 1..=n {
-                if n % rows != 0 {
+                if !n.is_multiple_of(rows) {
                     continue;
                 }
                 let cols = n / rows;

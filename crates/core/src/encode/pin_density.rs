@@ -55,12 +55,7 @@ fn reference_window_load(design: &Design, scale: &ScaleInfo, beta_x: u32, beta_y
     let mut region_x0 = 0u32;
     for r in design.region_ids() {
         let mut cells: Vec<_> = design.cells_in_region(r).collect();
-        cells.sort_by(|&a, &b| {
-            scale
-                .width_of(b)
-                .cmp(&scale.width_of(a))
-                .then(a.cmp(&b))
-        });
+        cells.sort_by(|&a, &b| scale.width_of(b).cmp(&scale.width_of(a)).then(a.cmp(&b)));
         let area: u64 = cells
             .iter()
             .map(|&c| u64::from(scale.width_of(c)) * u64::from(scale.height_of(c)))
@@ -84,8 +79,16 @@ fn reference_window_load(design: &Design, scale: &ScaleInfo, beta_x: u32, beta_y
         region_x0 = max_x + 1;
     }
     // Slide the window over the packing's bounding box.
-    let span_x = rects.iter().map(|&(x, _, w, _, _)| x + w).max().unwrap_or(1);
-    let span_y = rects.iter().map(|&(_, y, _, h, _)| y + h).max().unwrap_or(1);
+    let span_x = rects
+        .iter()
+        .map(|&(x, _, w, _, _)| x + w)
+        .max()
+        .unwrap_or(1);
+    let span_y = rects
+        .iter()
+        .map(|&(_, y, _, h, _)| y + h)
+        .max()
+        .unwrap_or(1);
     let mut worst = 0u64;
     for wy in 0..=span_y.saturating_sub(beta_y) {
         for wx in 0..=span_x.saturating_sub(beta_x) {
@@ -129,7 +132,7 @@ pub(crate) fn assert_pin_density(
             let mut items: Vec<(Term, u64)> = Vec::with_capacity(pinful.len());
             for &c in &pinful {
                 let pins = design.cell(c).pin_count() as u64;
-                let overlap = overlap_condition(smt, scale, vars, c, xm, ym, beta_x, beta_y);
+                let overlap = overlap_condition(smt, scale, vars, c, (xm, ym), (beta_x, beta_y));
                 match overlap {
                     Overlap::Never => {}
                     Overlap::Always => {
@@ -186,10 +189,8 @@ fn overlap_condition(
     scale: &ScaleInfo,
     vars: &VarMap,
     c: ams_netlist::CellId,
-    xm: u32,
-    ym: u32,
-    beta_x: u32,
-    beta_y: u32,
+    (xm, ym): (u32, u32),
+    (beta_x, beta_y): (u32, u32),
 ) -> Overlap {
     let (w, h) = (scale.width_of(c), scale.height_of(c));
     let x = vars.cell_x[c.index()];

@@ -19,7 +19,11 @@ pub(crate) struct Margins {
 }
 
 /// Collects the scaled per-cell margins.
-pub(crate) fn cell_margins(design: &Design, scale: &ScaleInfo, config: &PlacerConfig) -> Vec<Margins> {
+pub(crate) fn cell_margins(
+    design: &Design,
+    scale: &ScaleInfo,
+    config: &PlacerConfig,
+) -> Vec<Margins> {
     let mut m = vec![Margins::default(); design.cells().len()];
     if !config.toggles.extensions {
         return m;
@@ -37,7 +41,12 @@ pub(crate) fn cell_margins(design: &Design, scale: &ScaleInfo, config: &PlacerCo
 }
 
 /// Scaled extra margins around a region from region-target extensions.
-fn region_margins(design: &Design, scale: &ScaleInfo, config: &PlacerConfig, r: RegionId) -> Margins {
+pub(crate) fn region_margins(
+    design: &Design,
+    scale: &ScaleInfo,
+    config: &PlacerConfig,
+    r: RegionId,
+) -> Margins {
     let mut m = Margins::default();
     if !config.toggles.extensions {
         return m;
@@ -121,8 +130,7 @@ pub(crate) fn assert_regions(
         let max_h = (die_h.saturating_sub(mb + mt)) as u32;
 
         // Eq. 5: disjunction over the candidate dimensions.
-        let candidates =
-            dimension_candidates(scale.region_target[ri], min_w, min_h, max_w, max_h);
+        let candidates = dimension_candidates(scale.region_target[ri], min_w, min_h, max_w, max_h);
         assert!(
             !candidates.is_empty(),
             "region {ri} has no feasible dimensions; increase die slack"
@@ -193,12 +201,7 @@ pub(crate) fn assert_regions(
 }
 
 /// Asserts cell-in-region containment (Eq. 7).
-pub(crate) fn assert_containment(
-    smt: &mut Smt,
-    design: &Design,
-    scale: &ScaleInfo,
-    vars: &VarMap,
-) {
+pub(crate) fn assert_containment(smt: &mut Smt, design: &Design, scale: &ScaleInfo, vars: &VarMap) {
     let (lwx, lwy) = lifted(scale);
     for c in design.cell_ids() {
         let ri = design.cell(c).region.index();
@@ -265,7 +268,10 @@ pub(crate) fn assert_cell_non_overlap(
             // Unit-site cells (common for capacitor/dummy primitives after
             // scaling) cannot partially overlap: non-overlap is just
             // position disequality, far cheaper than four comparators.
-            if wa == 1 && ha == 1 && wb == 1 && hb == 1
+            if wa == 1
+                && ha == 1
+                && wb == 1
+                && hb == 1
                 && ma == Margins::default()
                 && mb == Margins::default()
             {

@@ -32,8 +32,7 @@ pub(crate) fn assert_wirelength(
         .filter(|&n| vars.net_box[n.index()].is_some())
         .map(|n| u64::from(design.net(n).weight.max(1)))
         .sum();
-    let phi_w =
-        span_w + crate::scale::bits_for(total_weight.max(1) as u32) + 2;
+    let phi_w = span_w + crate::scale::bits_for(total_weight.max(1) as u32) + 2;
 
     let mut spans: Vec<Term> = Vec::new();
     for n in design.net_ids() {
@@ -107,12 +106,7 @@ pub(crate) fn net_cells(design: &Design, n: NetId) -> Vec<CellId> {
 
 /// Measures the true weighted HPWL (in scaled units, cell-origin based) of
 /// a model, matching what `Φ` bounds.
-pub(crate) fn measure_weighted_hpwl(
-    design: &Design,
-    vars: &VarMap,
-    xs: &[u64],
-    ys: &[u64],
-) -> u64 {
+pub(crate) fn measure_weighted_hpwl(design: &Design, vars: &VarMap, xs: &[u64], ys: &[u64]) -> u64 {
     let mut total = 0u64;
     for n in design.net_ids() {
         if vars.net_box[n.index()].is_none() {

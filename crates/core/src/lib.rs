@@ -18,6 +18,12 @@
 //! [`baseline::manual_surrogate`] provides the manual-layout stand-in used
 //! by the evaluation harness.
 //!
+//! Before encoding, the [`analysis`] linter vets the design + constraint
+//! set + configuration and reports structured `AMS-Exxx` diagnostics;
+//! provably-broken inputs fail fast with [`PlaceError::Lint`] instead of a
+//! late solver UNSAT, and [`analysis::explain_unsat`] attributes genuine
+//! UNSATs to the conflicting constraint families.
+//!
 //! ## Example
 //!
 //! ```no_run
@@ -32,6 +38,7 @@
 //! # }
 //! ```
 
+pub mod analysis;
 pub mod baseline;
 mod config;
 mod encode;

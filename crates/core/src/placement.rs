@@ -198,7 +198,7 @@ impl Placement {
         let (uw, uh) = self.units;
         for c in design.cell_ids() {
             let r = self.cells[c.index()];
-            if r.x % uw != 0 || r.y % uh != 0 {
+            if !r.x.is_multiple_of(uw) || !r.y.is_multiple_of(uh) {
                 out.push(Violation {
                     kind: ViolationKind::GridAlignment,
                     detail: format!(
@@ -228,10 +228,7 @@ impl Placement {
             if !region.contains_rect(r) {
                 out.push(Violation {
                     kind: ViolationKind::Containment,
-                    detail: format!(
-                        "cell {} at {:?} escapes region {:?}",
-                        cell.name, r, region
-                    ),
+                    detail: format!("cell {} at {:?} escapes region {:?}", cell.name, r, region),
                 });
             }
             if !self.die.contains_rect(r) {

@@ -7,7 +7,7 @@ use crate::placement::{PinDensityCheck, PlaceStats, Placement};
 use crate::power::PowerPlan;
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
-use ams_netlist::{CellId, Design, Rect, RegionId};
+use ams_netlist::{CellId, Design, LintReport, Rect, RegionId};
 use ams_smt::{Smt, SmtResult, Term};
 use std::error::Error;
 use std::fmt;
@@ -18,6 +18,9 @@ use std::time::Instant;
 pub enum PlaceError {
     /// The configuration is invalid.
     Config(String),
+    /// The pre-solve linter found error-severity diagnostics; the design
+    /// is provably unplaceable or its constraints are broken.
+    Lint(LintReport),
     /// The constraint system is unsatisfiable — no legal placement exists
     /// on the sized die (raise `die_slack` or utilization headroom).
     Infeasible,
@@ -29,6 +32,17 @@ impl fmt::Display for PlaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlaceError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            PlaceError::Lint(report) => {
+                write!(
+                    f,
+                    "constraint lint failed with {} error(s)",
+                    report.errors().count()
+                )?;
+                if let Some(first) = report.errors().next() {
+                    write!(f, "; first: {}", first.message)?;
+                }
+                Ok(())
+            }
             PlaceError::Infeasible => {
                 write!(f, "no legal placement exists for the sized die")
             }
@@ -85,9 +99,19 @@ impl<'a> SmtPlacer<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`PlaceError::Config`] for out-of-range parameters.
+    /// Returns [`PlaceError::Config`] for out-of-range parameters and
+    /// [`PlaceError::Lint`] when the pre-solve linter proves the instance
+    /// broken or unsatisfiable (see [`crate::analysis::lint`]).
     pub fn new(design: &'a Design, config: PlacerConfig) -> Result<SmtPlacer<'a>, PlaceError> {
         config.validate().map_err(PlaceError::Config)?;
+
+        // Phase 0: pre-solve constraint lint. Every error-severity finding
+        // is a proof of unsatisfiability (or a broken reference that would
+        // panic the encoders), so encoding would be wasted work.
+        let report = crate::analysis::lint(design, &config);
+        if report.has_errors() {
+            return Err(PlaceError::Lint(report));
+        }
 
         // Phase 1: power analysis (Fig. 3).
         let plan = if config.toggles.power_abutment {
@@ -125,7 +149,8 @@ impl<'a> SmtPlacer<'a> {
                 stride_y: pd.stride_y,
             }
         });
-        let (phi, phi_w) = encode::wirelength::assert_wirelength(&mut smt, design, &scale, &vars, &config);
+        let (phi, phi_w) =
+            encode::wirelength::assert_wirelength(&mut smt, design, &scale, &vars, &config);
 
         Ok(SmtPlacer {
             design,
@@ -329,12 +354,42 @@ impl<'a> SmtPlacer<'a> {
     }
 
     fn extract_model(&self) -> Model {
-        let xs = self.vars.cell_x.iter().map(|&t| self.smt.bv_value(t)).collect();
-        let ys = self.vars.cell_y.iter().map(|&t| self.smt.bv_value(t)).collect();
-        let region_x = self.vars.region_x.iter().map(|&t| self.smt.bv_value(t)).collect();
-        let region_y = self.vars.region_y.iter().map(|&t| self.smt.bv_value(t)).collect();
-        let region_w = self.vars.region_w.iter().map(|&t| self.smt.bv_value(t)).collect();
-        let region_h = self.vars.region_h.iter().map(|&t| self.smt.bv_value(t)).collect();
+        let xs = self
+            .vars
+            .cell_x
+            .iter()
+            .map(|&t| self.smt.bv_value(t))
+            .collect();
+        let ys = self
+            .vars
+            .cell_y
+            .iter()
+            .map(|&t| self.smt.bv_value(t))
+            .collect();
+        let region_x = self
+            .vars
+            .region_x
+            .iter()
+            .map(|&t| self.smt.bv_value(t))
+            .collect();
+        let region_y = self
+            .vars
+            .region_y
+            .iter()
+            .map(|&t| self.smt.bv_value(t))
+            .collect();
+        let region_w = self
+            .vars
+            .region_w
+            .iter()
+            .map(|&t| self.smt.bv_value(t))
+            .collect();
+        let region_h = self
+            .vars
+            .region_h
+            .iter()
+            .map(|&t| self.smt.bv_value(t))
+            .collect();
         Model {
             xs,
             ys,
@@ -372,8 +427,12 @@ impl<'a> SmtPlacer<'a> {
         cells.sort_by_key(|&c| self.design.cell_priority(c));
         let n_freeze = (cells.len() as f64 * frac).floor() as usize;
         for &c in cells.iter().take(n_freeze) {
-            let fx = self.smt.eq_const(self.vars.cell_x[c.index()], model.xs[c.index()]);
-            let fy = self.smt.eq_const(self.vars.cell_y[c.index()], model.ys[c.index()]);
+            let fx = self
+                .smt
+                .eq_const(self.vars.cell_x[c.index()], model.xs[c.index()]);
+            let fy = self
+                .smt
+                .eq_const(self.vars.cell_y[c.index()], model.ys[c.index()]);
             out.push(fx);
             out.push(fy);
         }

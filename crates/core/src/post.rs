@@ -59,12 +59,7 @@ pub(crate) fn dummy_cells(
         for row in 0..rows {
             for col in 0..cols {
                 if !occupied[(row * cols + col) as usize] {
-                    out.push(Rect::new(
-                        region.x + col * uw,
-                        region.y + row * uh,
-                        uw,
-                        uh,
-                    ));
+                    out.push(Rect::new(region.x + col * uw, region.y + row * uh, uw, uh));
                 }
             }
         }

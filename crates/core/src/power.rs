@@ -34,7 +34,10 @@ impl PowerPlan {
             let mut area_by_group: Vec<(PowerGroupId, u64)> = Vec::new();
             for c in design.cells_in_region(r) {
                 let cell = design.cell(c);
-                match area_by_group.iter_mut().find(|(g, _)| *g == cell.power_group) {
+                match area_by_group
+                    .iter_mut()
+                    .find(|(g, _)| *g == cell.power_group)
+                {
                     Some((_, a)) => *a += cell.area(),
                     None => area_by_group.push((cell.power_group, cell.area())),
                 }

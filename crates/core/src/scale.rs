@@ -54,9 +54,7 @@ impl ScaleInfo {
             let rid = RegionId::from_index(ri);
             let area: u64 = design
                 .cells_in_region(rid)
-                .map(|c| {
-                    u64::from(cell_w[c.index()]) * u64::from(cell_h[c.index()])
-                })
+                .map(|c| u64::from(cell_w[c.index()]) * u64::from(cell_h[c.index()]))
                 .sum();
             let target = ((area as f64) / region.utilization).ceil() as u64;
             region_target.push(target.max(area));

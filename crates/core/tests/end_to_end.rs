@@ -16,7 +16,10 @@ fn tiny_synthetic_places_and_verifies() {
         symmetry_pairs: 1,
         ..Default::default()
     });
-    let p = SmtPlacer::new(&d, fast()).expect("encode").place().expect("place");
+    let p = SmtPlacer::new(&d, fast())
+        .expect("encode")
+        .place()
+        .expect("place");
     p.verify(&d).expect("legal placement");
     assert!(p.stats.iterations >= 1);
     assert!(p.hpwl(&d) > 0);
@@ -31,7 +34,10 @@ fn two_region_synthetic_places_and_verifies() {
         cluster_size: 3,
         ..Default::default()
     });
-    let p = SmtPlacer::new(&d, fast()).expect("encode").place().expect("place");
+    let p = SmtPlacer::new(&d, fast())
+        .expect("encode")
+        .place()
+        .expect("place");
     p.verify(&d).expect("legal placement");
     assert_eq!(p.regions.len(), 2);
     assert!(!p.regions[0].overlaps(p.regions[1]));
@@ -46,7 +52,10 @@ fn optimization_iterations_do_not_increase_hpwl() {
     });
     let mut cfg = fast();
     cfg.optimize.k_iter = 4;
-    let p = SmtPlacer::new(&d, cfg).expect("encode").place().expect("place");
+    let p = SmtPlacer::new(&d, cfg)
+        .expect("encode")
+        .place()
+        .expect("place");
     let trace = &p.stats.hpwl_trace;
     assert!(!trace.is_empty());
     for w in trace.windows(2) {
@@ -100,7 +109,10 @@ fn dummy_fill_balances_region_area() {
         nets: 6,
         ..Default::default()
     });
-    let p = SmtPlacer::new(&d, fast()).expect("encode").place().expect("place");
+    let p = SmtPlacer::new(&d, fast())
+        .expect("encode")
+        .place()
+        .expect("place");
     for (ri, region) in p.regions.iter().enumerate() {
         let cell_area: u64 = d
             .cell_ids()
@@ -129,7 +141,10 @@ fn pin_density_violations_detected_by_oracle() {
     });
     let mut cfg = fast();
     cfg.pin_density = None;
-    let mut p = SmtPlacer::new(&d, cfg).expect("encode").place().expect("place");
+    let mut p = SmtPlacer::new(&d, cfg)
+        .expect("encode")
+        .place()
+        .expect("place");
     p.pin_density = Some(ams_place::PinDensityCheck {
         beta_x: 2,
         beta_y: 1,
@@ -140,5 +155,7 @@ fn pin_density_violations_detected_by_oracle() {
     let Err(violations) = p.verify(&d) else {
         panic!("λ=1 must be violated by any real placement");
     };
-    assert!(violations.iter().any(|v| v.kind == ViolationKind::PinDensity));
+    assert!(violations
+        .iter()
+        .any(|v| v.kind == ViolationKind::PinDensity));
 }

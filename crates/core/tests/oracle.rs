@@ -120,6 +120,25 @@ fn detects_power_interleave() {
 }
 
 #[test]
+fn detects_pin_density_overflow() {
+    let (design, mut p) = placed();
+    let pd = p.pin_density.expect("fast config enforces pin density");
+    // Keep the (legal) geometry and tighten the recorded threshold to
+    // zero: every populated window now overflows, and since nothing moved,
+    // pin density is the only check that can fire — a *pure* PinDensity
+    // violation.
+    p.pin_density = Some(ams_place::PinDensityCheck { lambda: 0, ..pd });
+    let violations = p.verify(&design).expect_err("must flag");
+    assert!(has_kind(&violations, ViolationKind::PinDensity));
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.kind == ViolationKind::PinDensity),
+        "only pin density may fire on untouched geometry: {violations:?}"
+    );
+}
+
+#[test]
 fn detects_array_density_break() {
     use ams_netlist::{ArrayConstraint, ArrayPattern, DesignBuilder};
     let mut b = DesignBuilder::new("arr");

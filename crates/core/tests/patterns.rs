@@ -61,8 +61,12 @@ fn interdigitated_pattern_holds_even_with_slot_mode_disabled() {
     );
     let mut cfg = PlacerConfig::fast();
     cfg.array_slots = false;
-    let p = SmtPlacer::new(&d, cfg).expect("encode").place().expect("place");
-    p.verify(&d).expect("interdigitation forced through slot mode");
+    let p = SmtPlacer::new(&d, cfg)
+        .expect("encode")
+        .place()
+        .expect("place");
+    p.verify(&d)
+        .expect("interdigitation forced through slot mode");
 }
 
 #[test]

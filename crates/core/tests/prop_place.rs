@@ -1,76 +1,74 @@
-//! Property-based placement testing: any synthetic design the generator
+//! Randomized placement testing: any synthetic design the generator
 //! produces must either place legally (per the independent oracle) or fail
-//! with a structured error — never produce an illegal layout.
+//! with a structured error — never produce an illegal layout. Parameters
+//! are drawn from a seeded deterministic PRNG.
 
 use ams_netlist::benchmarks::{synthetic, SyntheticParams};
+use ams_netlist::rng::SplitMix64;
 use ams_place::{PlacerConfig, SmtPlacer};
-use proptest::prelude::*;
 
-fn params_strategy() -> impl Strategy<Value = SyntheticParams> {
-    (
-        1usize..=2,  // regions
-        4usize..=10, // cells per region
-        4usize..=12, // nets
-        0usize..=2,  // symmetry pairs
-        prop_oneof![Just(0usize), 2usize..=4],
-        any::<u64>(),
-    )
-        .prop_map(|(regions, cells, nets, sym, cluster, seed)| SyntheticParams {
-            regions,
-            cells_per_region: cells,
-            nets,
-            net_degree: 3,
-            symmetry_pairs: sym,
-            cluster_size: cluster,
-            seed,
-        })
+fn random_params(rng: &mut SplitMix64) -> SyntheticParams {
+    SyntheticParams {
+        regions: rng.range_u64(1, 2) as usize,
+        cells_per_region: rng.range_u64(4, 10) as usize,
+        nets: rng.range_u64(4, 12) as usize,
+        net_degree: 3,
+        symmetry_pairs: rng.range_u64(0, 2) as usize,
+        cluster_size: if rng.bool() {
+            0
+        } else {
+            rng.range_u64(2, 4) as usize
+        },
+        seed: rng.next_u64(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn placements_always_pass_the_oracle(params in params_strategy()) {
+#[test]
+fn placements_always_pass_the_oracle() {
+    let mut rng = SplitMix64::new(0x0AC1E);
+    for _ in 0..12 {
+        let params = random_params(&mut rng);
         let design = synthetic(params);
         let mut cfg = PlacerConfig::fast();
         cfg.optimize.k_iter = 1;
         cfg.optimize.conflict_budget = Some(20_000);
-        match SmtPlacer::new(&design, cfg).expect("encoding never panics").place() {
+        match SmtPlacer::new(&design, cfg)
+            .expect("encoding never panics")
+            .place()
+        {
             Ok(placement) => {
                 if let Err(violations) = placement.verify(&design) {
-                    prop_assert!(
-                        false,
+                    panic!(
                         "illegal placement for seed {}: {:?}",
-                        params.seed,
-                        violations
+                        params.seed, violations
                     );
                 }
                 // Stats must be coherent.
-                prop_assert!(placement.stats.iterations >= 1);
-                prop_assert_eq!(
-                    placement.stats.iterations,
-                    placement.stats.hpwl_trace.len()
-                );
+                assert!(placement.stats.iterations >= 1);
+                assert_eq!(placement.stats.iterations, placement.stats.hpwl_trace.len());
             }
             Err(e) => {
                 // Structured failure is acceptable (tight dies exist);
                 // panics or illegal results are not.
-                let msg = e.to_string();
-                prop_assert!(!msg.is_empty());
+                assert!(!e.to_string().is_empty());
             }
         }
     }
+}
 
-    #[test]
-    fn ams_toggles_never_unlock_an_illegal_core(params in params_strategy()) {
-        // Turning AMS families off must still satisfy the critical
-        // constraints on the stripped design.
+#[test]
+fn ams_toggles_never_unlock_an_illegal_core() {
+    // Turning AMS families off must still satisfy the critical
+    // constraints on the stripped design.
+    let mut rng = SplitMix64::new(0x70661E);
+    for _ in 0..12 {
+        let params = random_params(&mut rng);
         let design = synthetic(params).without_constraints();
         let mut cfg = PlacerConfig::fast().without_ams_constraints();
         cfg.optimize.k_iter = 0;
         cfg.optimize.conflict_budget = Some(20_000);
         if let Ok(placement) = SmtPlacer::new(&design, cfg).expect("encode").place() {
-            prop_assert!(placement.verify(&design).is_ok());
+            assert!(placement.verify(&design).is_ok());
         }
     }
 }

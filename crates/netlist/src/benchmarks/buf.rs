@@ -117,11 +117,14 @@ pub fn buf() -> Design {
     // Tapered output buffer. Widths share parity with the other
     // self-symmetric spine cells (`2x + w = 2·x_sym` constrains axis parity).
     let ob1 = b.add_cell("ob1", core, 10, 2, vdd);
-    b.add_pin(ob1, "in", Some(t4), 0, 1).add_pin(ob1, "out", Some(b1), 9, 1);
+    b.add_pin(ob1, "in", Some(t4), 0, 1)
+        .add_pin(ob1, "out", Some(b1), 9, 1);
     let ob2 = b.add_cell("ob2", core, 22, 2, vdd);
-    b.add_pin(ob2, "in", Some(b1), 0, 1).add_pin(ob2, "out", Some(b2), 21, 1);
+    b.add_pin(ob2, "in", Some(b1), 0, 1)
+        .add_pin(ob2, "out", Some(b2), 21, 1);
     let ob3 = b.add_cell("ob3", core, 34, 2, vdd);
-    b.add_pin(ob3, "in", Some(b2), 0, 1).add_pin(ob3, "out", Some(out), 33, 1);
+    b.add_pin(ob3, "in", Some(b2), 0, 1)
+        .add_pin(ob3, "out", Some(out), 33, 1);
 
     // External nets leave the block: tie them to boundary terminator cells?
     // No — they simply also connect outside; model that by marking them
@@ -255,9 +258,7 @@ mod tests {
             .find(|&n| d.net(n).name == "sel0")
             .expect("sel0 exists");
         let conns = d.net_connections(selnet);
-        assert!(conns
-            .iter()
-            .any(|&(c, _)| d.cell(c).name == "selinv0"));
+        assert!(conns.iter().any(|&(c, _)| d.cell(c).name == "selinv0"));
     }
 
     #[test]

@@ -38,21 +38,43 @@ pub fn vco() -> Design {
     let vdd_d = b.add_power_group("VDD_D");
 
     // ---- nets --------------------------------------------------------
-    let php: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("php{k}"), 3)).collect();
-    let phn: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("phn{k}"), 3)).collect();
-    let tail: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("tail{k}"), 1)).collect();
-    let casc: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("casc{k}"), 1)).collect();
-    let cmfb: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("cmfb{k}"), 1)).collect();
-    let railp: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("railp{k}"), 1)).collect();
-    let railn: Vec<NetId> = (0..STAGES).map(|k| b.add_net(format!("railn{k}"), 1)).collect();
+    let php: Vec<NetId> = (0..STAGES)
+        .map(|k| b.add_net(format!("php{k}"), 3))
+        .collect();
+    let phn: Vec<NetId> = (0..STAGES)
+        .map(|k| b.add_net(format!("phn{k}"), 3))
+        .collect();
+    let tail: Vec<NetId> = (0..STAGES)
+        .map(|k| b.add_net(format!("tail{k}"), 1))
+        .collect();
+    let casc: Vec<NetId> = (0..STAGES)
+        .map(|k| b.add_net(format!("casc{k}"), 1))
+        .collect();
+    let cmfb: Vec<NetId> = (0..STAGES)
+        .map(|k| b.add_net(format!("cmfb{k}"), 1))
+        .collect();
+    let railp: Vec<NetId> = (0..STAGES)
+        .map(|k| b.add_net(format!("railp{k}"), 1))
+        .collect();
+    let railn: Vec<NetId> = (0..STAGES)
+        .map(|k| b.add_net(format!("railn{k}"), 1))
+        .collect();
     // Trim-control distribution (complementary rails for the transmission-
     // gate switched capacitors).
     let trim: Vec<NetId> = (0..3).map(|i| b.add_net(format!("trim{i}"), 1)).collect();
-    let trimbuf: Vec<NetId> = (0..3).map(|i| b.add_net(format!("trimbuf{i}"), 1)).collect();
+    let trimbuf: Vec<NetId> = (0..3)
+        .map(|i| b.add_net(format!("trimbuf{i}"), 1))
+        .collect();
     let tbar: Vec<NetId> = (0..3).map(|i| b.add_net(format!("tbar{i}"), 1)).collect();
-    let dec: Vec<NetId> = (0..THERMO).map(|j| b.add_net(format!("dec{j}"), 1)).collect();
-    let thermo: Vec<NetId> = (0..THERMO).map(|j| b.add_net(format!("th{j}"), 1)).collect();
-    let thermob: Vec<NetId> = (0..THERMO).map(|j| b.add_net(format!("thb{j}"), 1)).collect();
+    let dec: Vec<NetId> = (0..THERMO)
+        .map(|j| b.add_net(format!("dec{j}"), 1))
+        .collect();
+    let thermo: Vec<NetId> = (0..THERMO)
+        .map(|j| b.add_net(format!("th{j}"), 1))
+        .collect();
+    let thermob: Vec<NetId> = (0..THERMO)
+        .map(|j| b.add_net(format!("thb{j}"), 1))
+        .collect();
     // Startup chain.
     let en = b.add_net("en", 1);
     let st_a = b.add_net("st_a", 1);
@@ -113,16 +135,26 @@ pub fn vco() -> Design {
             b.add_pin(cp, "node", Some(php[k]), 0, 1)
                 .add_pin(cp, "rail", Some(railp[k]), 0, 0);
             if j < THERMO {
-                b.add_pin(cp, "ctl", Some(thermo[j]), 1, 1)
-                    .add_pin(cp, "ctlb", Some(thermob[j]), 1, 0);
+                b.add_pin(cp, "ctl", Some(thermo[j]), 1, 1).add_pin(
+                    cp,
+                    "ctlb",
+                    Some(thermob[j]),
+                    1,
+                    0,
+                );
             }
             bank_p.push(cp);
             let cn = b.add_cell(format!("cap_n{k}_{j}"), core, 2, 2, vdd_a);
             b.add_pin(cn, "node", Some(phn[k]), 0, 1)
                 .add_pin(cn, "rail", Some(railn[k]), 0, 0);
             if j < THERMO {
-                b.add_pin(cn, "ctl", Some(thermo[j]), 1, 1)
-                    .add_pin(cn, "ctlb", Some(thermob[j]), 1, 0);
+                b.add_pin(cn, "ctl", Some(thermo[j]), 1, 1).add_pin(
+                    cn,
+                    "ctlb",
+                    Some(thermob[j]),
+                    1,
+                    0,
+                );
             }
             bank_n.push(cn);
         }
@@ -136,7 +168,11 @@ pub fn vco() -> Design {
     for (i, _) in st_nets.iter().enumerate() {
         let c = b.add_cell(format!("st{i}"), core, 4, 2, vdd_a);
         b.add_pin(c, "in", Some(st_nets[i]), 0, 1);
-        let out_net = if i + 1 < st_nets.len() { st_nets[i + 1] } else { php[0] };
+        let out_net = if i + 1 < st_nets.len() {
+            st_nets[i + 1]
+        } else {
+            php[0]
+        };
         b.add_pin(c, "out", Some(out_net), 3, 1);
         startup.push(c);
     }
@@ -157,7 +193,8 @@ pub fn vco() -> Design {
     let mut outbufs = Vec::new();
     for (i, &t) in tap_nets.iter().enumerate() {
         let c = b.add_cell(format!("ob{i}"), core, 4, 2, vdd_d);
-        b.add_pin(c, "in", Some(t), 0, 1).add_pin(c, "out", Some(clk[i]), 3, 1);
+        b.add_pin(c, "in", Some(t), 0, 1)
+            .add_pin(c, "out", Some(clk[i]), 3, 1);
         b.add_pin(c, "pad", Some(clk[i]), 2, 0);
         outbufs.push(c);
     }
@@ -179,12 +216,30 @@ pub fn vco() -> Design {
         invs.push(v);
     }
     let mut decs = Vec::new();
-    for j in 0..THERMO {
+    for (j, &dec_net) in dec.iter().enumerate().take(THERMO) {
         let c = b.add_cell(format!("dec{j}"), ctrl, 6, 2, vdd_d);
-        b.add_pin(c, "b0", Some(if j & 1 == 0 { trimbuf[0] } else { tbar[0] }), 0, 1)
-            .add_pin(c, "b1", Some(if j & 2 == 0 { trimbuf[1] } else { tbar[1] }), 2, 1)
-            .add_pin(c, "b2", Some(if j & 4 == 0 { trimbuf[2] } else { tbar[2] }), 4, 1)
-            .add_pin(c, "out", Some(dec[j]), 5, 1);
+        b.add_pin(
+            c,
+            "b0",
+            Some(if j & 1 == 0 { trimbuf[0] } else { tbar[0] }),
+            0,
+            1,
+        )
+        .add_pin(
+            c,
+            "b1",
+            Some(if j & 2 == 0 { trimbuf[1] } else { tbar[1] }),
+            2,
+            1,
+        )
+        .add_pin(
+            c,
+            "b2",
+            Some(if j & 4 == 0 { trimbuf[2] } else { tbar[2] }),
+            4,
+            1,
+        )
+        .add_pin(c, "out", Some(dec_net), 5, 1);
         decs.push(c);
     }
     let mut drvs = Vec::new();

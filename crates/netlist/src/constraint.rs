@@ -3,10 +3,9 @@
 //! cluster, and extension constraints.
 
 use crate::ids::{CellId, RegionId};
-use serde::{Deserialize, Serialize};
 
 /// Orientation of a symmetry axis.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SymmetryAxis {
     /// Mirror across a vertical line (x-symmetry, Eq. 8 of the paper).
     Vertical,
@@ -16,7 +15,7 @@ pub enum SymmetryAxis {
 
 /// One symmetry relation inside a group: a mirrored pair, or a
 /// self-symmetric cell straddling the axis.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SymmetryPair {
     /// The first cell.
     pub a: CellId,
@@ -45,7 +44,7 @@ pub type SymmetryGroupIdx = usize;
 /// group shares that group's axis variable, so a cell can be constrained
 /// with respect to multiple joint axes simultaneously — the paper's
 /// *hierarchical symmetry* (Fig. 2a).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SymmetryGroup {
     /// Constraint name for diagnostics.
     pub name: String,
@@ -62,7 +61,7 @@ pub struct SymmetryGroup {
 /// The paper (Fig. 2b) names interdigitation, common-centroid, and
 /// central-symmetric as the optional patterns of an array constraint; all
 /// three are supported, plus plain dense packing.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub enum ArrayPattern {
     /// Dense rectangular packing only (Eq. 9).
     #[default]
@@ -90,7 +89,7 @@ pub enum ArrayPattern {
 
 /// An array constraint: cells packed densely into a rectangle, optionally
 /// with a matching pattern (Fig. 2b).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ArrayConstraint {
     /// Constraint name for diagnostics.
     pub name: String,
@@ -102,7 +101,7 @@ pub struct ArrayConstraint {
 
 /// A cluster constraint: cells pulled together by a weighted virtual net
 /// (Fig. 2c). May span regions.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClusterConstraint {
     /// Constraint name for diagnostics.
     pub name: String,
@@ -113,7 +112,7 @@ pub struct ClusterConstraint {
 }
 
 /// Target of an extension constraint.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ExtensionTarget {
     /// Reserve space around a single cell.
     Cell(CellId),
@@ -127,7 +126,7 @@ pub enum ExtensionTarget {
 /// An extension constraint: reserved space around the target, later filled
 /// with dummy cells (Fig. 2d); reduces electromigration and layout-dependent
 /// effects.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ExtensionConstraint {
     /// What the margin applies to.
     pub target: ExtensionTarget,
@@ -142,7 +141,7 @@ pub struct ExtensionConstraint {
 }
 
 /// All placement constraints of a design.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct ConstraintSet {
     /// Hierarchical symmetry groups.
     pub symmetry: Vec<SymmetryGroup>,

@@ -4,7 +4,7 @@ use crate::constraint::{ArrayPattern, ConstraintSet, ExtensionTarget};
 use crate::elements::{Cell, CellKind, Net, Pin, PowerGroup, Region};
 use crate::geom::Pitch;
 use crate::ids::{CellId, NetId, PowerGroupId, RegionId};
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -99,7 +99,10 @@ impl fmt::Display for ValidateDesignError {
                 write!(f, "net {net:?} connects fewer than two pins")
             }
             ValidateDesignError::AsymmetricPair { group } => {
-                write!(f, "symmetry group {group:?} pairs cells of unequal size or region")
+                write!(
+                    f,
+                    "symmetry group {group:?} pairs cells of unequal size or region"
+                )
             }
             ValidateDesignError::RaggedArray { array } => {
                 write!(f, "array {array:?} mixes cell sizes or regions")
@@ -122,7 +125,7 @@ impl Error for ValidateDesignError {}
 /// Construct with [`DesignBuilder`]. All invariants the placement engine
 /// relies on (consistent ids, uniform region heights, in-bounds pins,
 /// well-formed constraints) are checked at build time.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Design {
     name: String,
     pitch: Pitch,
@@ -279,16 +282,570 @@ impl Design {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("design serialization cannot fail")
+        ser::design(self).pretty()
     }
 
     /// Deserializes from JSON produced by [`Design::to_json`].
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error on malformed input.
-    pub fn from_json(s: &str) -> Result<Design, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns a [`JsonError`] on malformed input or schema mismatches.
+    pub fn from_json(s: &str) -> Result<Design, JsonError> {
+        de::design(&Json::parse(s)?)
+    }
+}
+
+/// Hand-written JSON encoding of the [`Design`] schema (the workspace
+/// builds offline, so no serialization framework is available).
+mod ser {
+    use super::*;
+    use crate::constraint::{
+        ArrayConstraint, ArrayPattern, ClusterConstraint, ExtensionConstraint, SymmetryAxis,
+        SymmetryGroup,
+    };
+
+    pub(super) fn design(d: &Design) -> Json {
+        Json::obj([
+            ("name", Json::str(&d.name)),
+            (
+                "pitch",
+                Json::obj([
+                    ("x_nm", Json::Num(d.pitch.x_nm)),
+                    ("y_nm", Json::Num(d.pitch.y_nm)),
+                ]),
+            ),
+            ("regions", Json::Arr(d.regions.iter().map(region).collect())),
+            (
+                "power_groups",
+                Json::Arr(
+                    d.power_groups
+                        .iter()
+                        .map(|p| Json::obj([("name", Json::str(&p.name))]))
+                        .collect(),
+                ),
+            ),
+            ("cells", Json::Arr(d.cells.iter().map(cell).collect())),
+            ("nets", Json::Arr(d.nets.iter().map(net).collect())),
+            ("constraints", constraints(&d.constraints)),
+            (
+                "net_pins",
+                Json::Arr(
+                    d.net_pins
+                        .iter()
+                        .map(|pins| {
+                            Json::Arr(
+                                pins.iter()
+                                    .map(|&(c, pi)| {
+                                        Json::Arr(vec![
+                                            Json::uint(c.index() as u64),
+                                            Json::uint(pi as u64),
+                                        ])
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn region(r: &Region) -> Json {
+        Json::obj([
+            ("name", Json::str(&r.name)),
+            ("utilization", Json::Num(r.utilization)),
+            ("edge_x", Json::uint(u64::from(r.edge_x))),
+            ("edge_y", Json::uint(u64::from(r.edge_y))),
+        ])
+    }
+
+    fn cell(c: &Cell) -> Json {
+        let kind = match c.kind {
+            CellKind::Primitive => "primitive",
+            CellKind::Edge => "edge",
+            CellKind::Dummy => "dummy",
+        };
+        Json::obj([
+            ("name", Json::str(&c.name)),
+            ("kind", Json::str(kind)),
+            ("width", Json::uint(u64::from(c.width))),
+            ("height", Json::uint(u64::from(c.height))),
+            ("region", Json::uint(c.region.index() as u64)),
+            ("power_group", Json::uint(c.power_group.index() as u64)),
+            ("pins", Json::Arr(c.pins.iter().map(pin).collect())),
+        ])
+    }
+
+    fn pin(p: &Pin) -> Json {
+        Json::obj([
+            ("name", Json::str(&p.name)),
+            (
+                "net",
+                p.net.map_or(Json::Null, |n| Json::uint(n.index() as u64)),
+            ),
+            ("dx", Json::uint(u64::from(p.dx))),
+            ("dy", Json::uint(u64::from(p.dy))),
+        ])
+    }
+
+    fn net(n: &Net) -> Json {
+        Json::obj([
+            ("name", Json::str(&n.name)),
+            ("weight", Json::uint(u64::from(n.weight))),
+            ("virtual_net", Json::Bool(n.virtual_net)),
+        ])
+    }
+
+    fn cell_ids(ids: &[CellId]) -> Json {
+        Json::Arr(ids.iter().map(|c| Json::uint(c.index() as u64)).collect())
+    }
+
+    fn constraints(cs: &ConstraintSet) -> Json {
+        Json::obj([
+            (
+                "symmetry",
+                Json::Arr(cs.symmetry.iter().map(symmetry).collect()),
+            ),
+            ("arrays", Json::Arr(cs.arrays.iter().map(array).collect())),
+            (
+                "clusters",
+                Json::Arr(cs.clusters.iter().map(cluster).collect()),
+            ),
+            (
+                "extensions",
+                Json::Arr(cs.extensions.iter().map(extension).collect()),
+            ),
+        ])
+    }
+
+    fn symmetry(g: &SymmetryGroup) -> Json {
+        Json::obj([
+            ("name", Json::str(&g.name)),
+            (
+                "axis",
+                Json::str(match g.axis {
+                    SymmetryAxis::Vertical => "vertical",
+                    SymmetryAxis::Horizontal => "horizontal",
+                }),
+            ),
+            (
+                "pairs",
+                Json::Arr(
+                    g.pairs
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("a", Json::uint(p.a.index() as u64)),
+                                (
+                                    "b",
+                                    p.b.map_or(Json::Null, |b| Json::uint(b.index() as u64)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "share_axis_with",
+                g.share_axis_with
+                    .map_or(Json::Null, |i| Json::uint(i as u64)),
+            ),
+        ])
+    }
+
+    fn array(a: &ArrayConstraint) -> Json {
+        let pattern = match &a.pattern {
+            ArrayPattern::Dense => Json::obj([("kind", Json::str("dense"))]),
+            ArrayPattern::CommonCentroid { group_a, group_b } => Json::obj([
+                ("kind", Json::str("common_centroid")),
+                ("group_a", cell_ids(group_a)),
+                ("group_b", cell_ids(group_b)),
+            ]),
+            ArrayPattern::Interdigitated { groups } => Json::obj([
+                ("kind", Json::str("interdigitated")),
+                (
+                    "groups",
+                    Json::Arr(groups.iter().map(|g| cell_ids(g)).collect()),
+                ),
+            ]),
+            ArrayPattern::CentralSymmetric { pairs } => Json::obj([
+                ("kind", Json::str("central_symmetric")),
+                (
+                    "pairs",
+                    Json::Arr(
+                        pairs
+                            .iter()
+                            .map(|&(x, y)| {
+                                Json::Arr(vec![
+                                    Json::uint(x.index() as u64),
+                                    Json::uint(y.index() as u64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        Json::obj([
+            ("name", Json::str(&a.name)),
+            ("cells", cell_ids(&a.cells)),
+            ("pattern", pattern),
+        ])
+    }
+
+    fn cluster(c: &ClusterConstraint) -> Json {
+        Json::obj([
+            ("name", Json::str(&c.name)),
+            ("cells", cell_ids(&c.cells)),
+            ("weight", Json::uint(u64::from(c.weight))),
+        ])
+    }
+
+    fn extension(e: &ExtensionConstraint) -> Json {
+        let (kind, id) = match e.target {
+            ExtensionTarget::Cell(c) => ("cell", c.index()),
+            ExtensionTarget::Region(r) => ("region", r.index()),
+            ExtensionTarget::Array(i) => ("array", i),
+        };
+        Json::obj([
+            (
+                "target",
+                Json::obj([("kind", Json::str(kind)), ("id", Json::uint(id as u64))]),
+            ),
+            ("left", Json::uint(u64::from(e.left))),
+            ("right", Json::uint(u64::from(e.right))),
+            ("bottom", Json::uint(u64::from(e.bottom))),
+            ("top", Json::uint(u64::from(e.top))),
+        ])
+    }
+}
+
+/// Decoding counterpart of [`ser`].
+mod de {
+    use super::*;
+    use crate::constraint::{
+        ArrayConstraint, ArrayPattern, ClusterConstraint, ExtensionConstraint, SymmetryAxis,
+        SymmetryGroup, SymmetryPair,
+    };
+
+    fn bad(message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: 0,
+            message: message.into(),
+        }
+    }
+
+    fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+        v.field(key)
+            .ok_or_else(|| bad(format!("missing field {key:?}")))
+    }
+
+    fn str_field(v: &Json, key: &str) -> Result<String, JsonError> {
+        field(v, key)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| bad(format!("field {key:?} must be a string")))
+    }
+
+    fn u32_field(v: &Json, key: &str) -> Result<u32, JsonError> {
+        field(v, key)?
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| bad(format!("field {key:?} must be a u32")))
+    }
+
+    fn usize_field(v: &Json, key: &str) -> Result<usize, JsonError> {
+        field(v, key)?
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| bad(format!("field {key:?} must be an index")))
+    }
+
+    fn f64_field(v: &Json, key: &str) -> Result<f64, JsonError> {
+        field(v, key)?
+            .as_f64()
+            .ok_or_else(|| bad(format!("field {key:?} must be a number")))
+    }
+
+    fn arr_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], JsonError> {
+        field(v, key)?
+            .items()
+            .ok_or_else(|| bad(format!("field {key:?} must be an array")))
+    }
+
+    fn cell_id_list(v: &Json, key: &str) -> Result<Vec<CellId>, JsonError> {
+        arr_field(v, key)?
+            .iter()
+            .map(|item| {
+                item.as_u64()
+                    .map(|n| CellId::from_index(n as usize))
+                    .ok_or_else(|| bad(format!("{key:?} entries must be cell indices")))
+            })
+            .collect()
+    }
+
+    pub(super) fn design(v: &Json) -> Result<Design, JsonError> {
+        let pitch_v = field(v, "pitch")?;
+        let pitch = Pitch {
+            x_nm: f64_field(pitch_v, "x_nm")?,
+            y_nm: f64_field(pitch_v, "y_nm")?,
+        };
+
+        let regions = arr_field(v, "regions")?
+            .iter()
+            .map(region)
+            .collect::<Result<Vec<_>, _>>()?;
+        let power_groups = arr_field(v, "power_groups")?
+            .iter()
+            .map(|p| {
+                Ok(PowerGroup {
+                    name: str_field(p, "name")?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let cells = arr_field(v, "cells")?
+            .iter()
+            .map(cell)
+            .collect::<Result<Vec<_>, _>>()?;
+        let nets = arr_field(v, "nets")?
+            .iter()
+            .map(net)
+            .collect::<Result<Vec<_>, _>>()?;
+        let constraints = constraints(field(v, "constraints")?)?;
+
+        let net_pins = arr_field(v, "net_pins")?
+            .iter()
+            .map(|pins| {
+                pins.items()
+                    .ok_or_else(|| bad("net_pins entries must be arrays"))?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair
+                            .items()
+                            .filter(|p| p.len() == 2)
+                            .ok_or_else(|| bad("net_pins pairs must be [cell, pin]"))?;
+                        let c = pair[0]
+                            .as_u64()
+                            .ok_or_else(|| bad("bad cell index in net_pins"))?;
+                        let pi = pair[1]
+                            .as_u64()
+                            .ok_or_else(|| bad("bad pin index in net_pins"))?;
+                        Ok((CellId::from_index(c as usize), pi as usize))
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(Design {
+            name: str_field(v, "name")?,
+            pitch,
+            regions,
+            power_groups,
+            cells,
+            nets,
+            constraints,
+            net_pins,
+        })
+    }
+
+    fn region(v: &Json) -> Result<Region, JsonError> {
+        Ok(Region {
+            name: str_field(v, "name")?,
+            utilization: f64_field(v, "utilization")?,
+            edge_x: u32_field(v, "edge_x")?,
+            edge_y: u32_field(v, "edge_y")?,
+        })
+    }
+
+    fn cell(v: &Json) -> Result<Cell, JsonError> {
+        let kind = match str_field(v, "kind")?.as_str() {
+            "primitive" => CellKind::Primitive,
+            "edge" => CellKind::Edge,
+            "dummy" => CellKind::Dummy,
+            other => return Err(bad(format!("unknown cell kind {other:?}"))),
+        };
+        let pins = arr_field(v, "pins")?
+            .iter()
+            .map(pin)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Cell {
+            name: str_field(v, "name")?,
+            kind,
+            width: u32_field(v, "width")?,
+            height: u32_field(v, "height")?,
+            region: RegionId::from_index(usize_field(v, "region")?),
+            power_group: PowerGroupId::from_index(usize_field(v, "power_group")?),
+            pins,
+        })
+    }
+
+    fn pin(v: &Json) -> Result<Pin, JsonError> {
+        let net_v = field(v, "net")?;
+        let net = if net_v.is_null() {
+            None
+        } else {
+            Some(NetId::from_index(
+                net_v
+                    .as_u64()
+                    .ok_or_else(|| bad("pin net must be an index or null"))?
+                    as usize,
+            ))
+        };
+        Ok(Pin {
+            name: str_field(v, "name")?,
+            net,
+            dx: u32_field(v, "dx")?,
+            dy: u32_field(v, "dy")?,
+        })
+    }
+
+    fn net(v: &Json) -> Result<Net, JsonError> {
+        Ok(Net {
+            name: str_field(v, "name")?,
+            weight: u32_field(v, "weight")?,
+            virtual_net: field(v, "virtual_net")?
+                .as_bool()
+                .ok_or_else(|| bad("virtual_net must be a boolean"))?,
+        })
+    }
+
+    fn constraints(v: &Json) -> Result<ConstraintSet, JsonError> {
+        Ok(ConstraintSet {
+            symmetry: arr_field(v, "symmetry")?
+                .iter()
+                .map(symmetry)
+                .collect::<Result<Vec<_>, _>>()?,
+            arrays: arr_field(v, "arrays")?
+                .iter()
+                .map(array)
+                .collect::<Result<Vec<_>, _>>()?,
+            clusters: arr_field(v, "clusters")?
+                .iter()
+                .map(cluster)
+                .collect::<Result<Vec<_>, _>>()?,
+            extensions: arr_field(v, "extensions")?
+                .iter()
+                .map(extension)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+
+    fn symmetry(v: &Json) -> Result<SymmetryGroup, JsonError> {
+        let axis = match str_field(v, "axis")?.as_str() {
+            "vertical" => SymmetryAxis::Vertical,
+            "horizontal" => SymmetryAxis::Horizontal,
+            other => return Err(bad(format!("unknown axis {other:?}"))),
+        };
+        let pairs = arr_field(v, "pairs")?
+            .iter()
+            .map(|p| {
+                let a = CellId::from_index(usize_field(p, "a")?);
+                let b_v = field(p, "b")?;
+                let b = if b_v.is_null() {
+                    None
+                } else {
+                    Some(CellId::from_index(
+                        b_v.as_u64()
+                            .ok_or_else(|| bad("pair b must be an index or null"))?
+                            as usize,
+                    ))
+                };
+                Ok(SymmetryPair { a, b })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let share_v = field(v, "share_axis_with")?;
+        let share_axis_with = if share_v.is_null() {
+            None
+        } else {
+            Some(
+                share_v
+                    .as_u64()
+                    .ok_or_else(|| bad("share_axis_with must be an index or null"))?
+                    as usize,
+            )
+        };
+        Ok(SymmetryGroup {
+            name: str_field(v, "name")?,
+            axis,
+            pairs,
+            share_axis_with,
+        })
+    }
+
+    fn array(v: &Json) -> Result<ArrayConstraint, JsonError> {
+        let pattern_v = field(v, "pattern")?;
+        let pattern = match str_field(pattern_v, "kind")?.as_str() {
+            "dense" => ArrayPattern::Dense,
+            "common_centroid" => ArrayPattern::CommonCentroid {
+                group_a: cell_id_list(pattern_v, "group_a")?,
+                group_b: cell_id_list(pattern_v, "group_b")?,
+            },
+            "interdigitated" => ArrayPattern::Interdigitated {
+                groups: arr_field(pattern_v, "groups")?
+                    .iter()
+                    .map(|g| {
+                        g.items()
+                            .ok_or_else(|| bad("groups entries must be arrays"))?
+                            .iter()
+                            .map(|c| {
+                                c.as_u64()
+                                    .map(|n| CellId::from_index(n as usize))
+                                    .ok_or_else(|| bad("bad cell index in groups"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            "central_symmetric" => ArrayPattern::CentralSymmetric {
+                pairs: arr_field(pattern_v, "pairs")?
+                    .iter()
+                    .map(|p| {
+                        let p = p
+                            .items()
+                            .filter(|p| p.len() == 2)
+                            .ok_or_else(|| bad("pattern pairs must be [a, b]"))?;
+                        let x = p[0].as_u64().ok_or_else(|| bad("bad pair member"))?;
+                        let y = p[1].as_u64().ok_or_else(|| bad("bad pair member"))?;
+                        Ok((
+                            CellId::from_index(x as usize),
+                            CellId::from_index(y as usize),
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?,
+            },
+            other => return Err(bad(format!("unknown array pattern {other:?}"))),
+        };
+        Ok(ArrayConstraint {
+            name: str_field(v, "name")?,
+            cells: cell_id_list(v, "cells")?,
+            pattern,
+        })
+    }
+
+    fn cluster(v: &Json) -> Result<ClusterConstraint, JsonError> {
+        Ok(ClusterConstraint {
+            name: str_field(v, "name")?,
+            cells: cell_id_list(v, "cells")?,
+            weight: u32_field(v, "weight")?,
+        })
+    }
+
+    fn extension(v: &Json) -> Result<ExtensionConstraint, JsonError> {
+        let target_v = field(v, "target")?;
+        let id = usize_field(target_v, "id")?;
+        let target = match str_field(target_v, "kind")?.as_str() {
+            "cell" => ExtensionTarget::Cell(CellId::from_index(id)),
+            "region" => ExtensionTarget::Region(RegionId::from_index(id)),
+            "array" => ExtensionTarget::Array(id),
+            other => return Err(bad(format!("unknown extension target {other:?}"))),
+        };
+        Ok(ExtensionConstraint {
+            target,
+            left: u32_field(v, "left")?,
+            right: u32_field(v, "right")?,
+            bottom: u32_field(v, "bottom")?,
+            top: u32_field(v, "top")?,
+        })
     }
 }
 
@@ -459,7 +1016,9 @@ impl DesignBuilder {
             return Err(ValidateDesignError::Empty { what: "cells" });
         }
         if self.power_groups.is_empty() {
-            return Err(ValidateDesignError::Empty { what: "power groups" });
+            return Err(ValidateDesignError::Empty {
+                what: "power groups",
+            });
         }
 
         // Synthesize virtual nets for clusters before indexing.
@@ -793,7 +1352,13 @@ mod tests {
     #[test]
     fn mixed_heights_rejected() {
         let (mut b, _, _) = two_cell_builder();
-        b.add_cell("tall", RegionId::from_index(0), 2, 4, PowerGroupId::from_index(0));
+        b.add_cell(
+            "tall",
+            RegionId::from_index(0),
+            2,
+            4,
+            PowerGroupId::from_index(0),
+        );
         assert!(matches!(
             b.build(),
             Err(ValidateDesignError::MixedRegionHeights { .. })
@@ -837,7 +1402,13 @@ mod tests {
     #[test]
     fn asymmetric_pair_rejected() {
         let (mut b, a, _) = two_cell_builder();
-        let odd = b.add_cell("odd", RegionId::from_index(0), 6, 2, PowerGroupId::from_index(0));
+        let odd = b.add_cell(
+            "odd",
+            RegionId::from_index(0),
+            6,
+            2,
+            PowerGroupId::from_index(0),
+        );
         b.add_symmetry(SymmetryGroup {
             name: "s".into(),
             axis: SymmetryAxis::Vertical,

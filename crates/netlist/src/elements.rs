@@ -1,10 +1,9 @@
 //! Cells, pins, nets, regions, and power groups.
 
 use crate::ids::{NetId, PowerGroupId, RegionId};
-use serde::{Deserialize, Serialize};
 
 /// A pin of a primitive cell.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Pin {
     /// Pin name, unique within the cell.
     pub name: String,
@@ -18,7 +17,7 @@ pub struct Pin {
 }
 
 /// Role of a cell in the region-based layout methodology.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum CellKind {
     /// A functional layout primitive placed by the SMT engine.
     #[default]
@@ -30,7 +29,7 @@ pub enum CellKind {
 }
 
 /// A primitive cell: the basic building block of a region-based AMS layout.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Cell {
     /// Cell (instance) name, unique within the design.
     pub name: String,
@@ -61,7 +60,7 @@ impl Cell {
 }
 
 /// A signal net.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Net {
     /// Net name, unique within the design.
     pub name: String,
@@ -74,7 +73,7 @@ pub struct Net {
 }
 
 /// A placement region grouping primitives with a common height.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Region {
     /// Region name, unique within the design.
     pub name: String,
@@ -88,7 +87,7 @@ pub struct Region {
 
 /// A power group (e.g. `VDD`, `VDDL`); cells of different groups must sit in
 /// disjoint row bands.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PowerGroup {
     /// Power-net name.
     pub name: String,
@@ -109,8 +108,18 @@ mod tests {
             region: RegionId::from_index(0),
             power_group: PowerGroupId::from_index(0),
             pins: vec![
-                Pin { name: "a".into(), net: None, dx: 0, dy: 1 },
-                Pin { name: "z".into(), net: None, dx: 3, dy: 1 },
+                Pin {
+                    name: "a".into(),
+                    net: None,
+                    dx: 0,
+                    dy: 1,
+                },
+                Pin {
+                    name: "z".into(),
+                    net: None,
+                    dx: 3,
+                    dy: 1,
+                },
             ],
         };
         assert_eq!(cell.area(), 8);

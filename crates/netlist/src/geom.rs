@@ -4,10 +4,8 @@
 //! grid. A [`Pitch`] maps one grid unit to physical nanometres; physical
 //! quantities (µm, µm²) appear only at reporting boundaries.
 
-use serde::{Deserialize, Serialize};
-
 /// A point on the placement grid.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Point {
     /// Horizontal grid coordinate.
     pub x: u32,
@@ -28,7 +26,7 @@ impl Point {
 }
 
 /// An axis-aligned rectangle on the placement grid (half-open extents).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Rect {
     /// Left edge.
     pub x: u32,
@@ -105,7 +103,7 @@ impl Rect {
 }
 
 /// Physical size of one grid unit.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Pitch {
     /// Width of one horizontal grid unit, in nanometres.
     pub x_nm: f64,

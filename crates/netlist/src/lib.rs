@@ -28,12 +28,16 @@ mod geom;
 mod ids;
 
 pub mod benchmarks;
+pub mod diag;
+pub mod json;
+pub mod rng;
 
 pub use constraint::{
     ArrayConstraint, ArrayPattern, ClusterConstraint, ConstraintSet, ExtensionConstraint,
     ExtensionTarget, SymmetryAxis, SymmetryGroup, SymmetryGroupIdx, SymmetryPair,
 };
 pub use design::{Design, DesignBuilder, ValidateDesignError};
+pub use diag::{DiagCode, Diagnostic, LintReport, Severity};
 pub use elements::{Cell, CellKind, Net, Pin, PowerGroup, Region};
 pub use geom::{Pitch, Point, Rect};
 pub use ids::{CellId, NetId, PowerGroupId, RegionId};

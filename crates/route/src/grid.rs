@@ -63,7 +63,7 @@ pub struct RouteGrid {
 
 /// Whether a layer routes horizontally.
 pub fn is_horizontal(layer: u8) -> bool {
-    layer % 2 == 0
+    layer.is_multiple_of(2)
 }
 
 impl RouteGrid {

@@ -85,13 +85,10 @@ pub struct RouteResult {
 impl RouteResult {
     /// Routed wirelength in µm under the given pitch.
     pub fn wirelength_um(&self, pitch: Pitch) -> f64 {
-        let (x, y) = self
-            .nets
-            .iter()
-            .fold((0, 0), |(ax, ay), n| {
-                let (x, y) = n.wirelength_xy();
-                (ax + x, ay + y)
-            });
+        let (x, y) = self.nets.iter().fold((0, 0), |(ax, ay), n| {
+            let (x, y) = n.wirelength_xy();
+            (ax + x, ay + y)
+        });
         pitch.x_um(x) + pitch.y_um(y)
     }
 }
@@ -146,10 +143,7 @@ impl<'a> Router<'a> {
             .collect();
         order.sort_by_key(|&n| {
             let ts = &terminals[n.index()];
-            let span: u64 = ts
-                .iter()
-                .map(|t| t.point().manhattan(ts[0].point()))
-                .sum();
+            let span: u64 = ts.iter().map(|t| t.point().manhattan(ts[0].point())).sum();
             (std::cmp::Reverse(design.net(n).weight), span, n)
         });
         Router {
@@ -210,7 +204,10 @@ impl<'a> Router<'a> {
                 .wires
                 .iter()
                 .any(|&(a, _)| self.grid.overuse(a, wire_step(a)) > 0)
-                || route.vias.iter().any(|&v| self.grid.overuse(v, Step::Via) > 0);
+                || route
+                    .vias
+                    .iter()
+                    .any(|&v| self.grid.overuse(v, Step::Via) > 0);
             if crosses {
                 victims.push(n);
             }

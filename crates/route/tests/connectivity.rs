@@ -53,7 +53,11 @@ fn fixture() -> (ams_netlist::Design, ams_place::Placement) {
 }
 
 /// Asserts that each routed net connects all its terminals.
-fn assert_connected(design: &ams_netlist::Design, placement: &ams_place::Placement, result: &RouteResult) {
+fn assert_connected(
+    design: &ams_netlist::Design,
+    placement: &ams_place::Placement,
+    result: &RouteResult,
+) {
     for n in design.net_ids() {
         let route = &result.nets[n.index()];
         let mut adj: HashMap<Node, Vec<Node>> = HashMap::new();

@@ -29,13 +29,11 @@ impl VarHeap {
     }
 
     /// Whether the heap is empty.
-    #[allow(dead_code)] // part of the collection API; exercised in tests
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 
     /// Number of variables currently in the heap.
-    #[allow(dead_code)] // part of the collection API; exercised in tests
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -43,9 +41,7 @@ impl VarHeap {
     /// Whether `v` is currently in the heap.
     #[inline]
     pub fn contains(&self, v: Var) -> bool {
-        self.positions
-            .get(v.index())
-            .is_some_and(|&p| p != ABSENT)
+        self.positions.get(v.index()).is_some_and(|&p| p != ABSENT)
     }
 
     /// Inserts `v` if absent.
@@ -170,5 +166,4 @@ mod tests {
         heap.increased(var(0), &activity);
         assert_eq!(heap.pop_max(&activity), Some(var(0)));
     }
-
 }

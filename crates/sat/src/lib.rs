@@ -30,6 +30,7 @@ mod luby;
 mod solver;
 
 pub use clause::{ClauseDb, ClauseRef};
+pub use heap::VarHeap;
 pub use lit::{Lbool, Lit, Var};
 pub use luby::luby;
 pub use solver::{SolveResult, Solver, Stats};

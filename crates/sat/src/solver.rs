@@ -268,6 +268,8 @@ impl Solver {
     /// subset of `assumptions` sufficient for unsatisfiability.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         debug_assert_eq!(self.decision_level(), 0);
+        #[cfg(debug_assertions)]
+        self.check_invariants();
         self.stats.solves += 1;
         self.model.clear();
         self.conflict_core.clear();
@@ -302,6 +304,8 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        #[cfg(debug_assertions)]
+        self.check_invariants();
         result
     }
 
@@ -358,6 +362,71 @@ impl Solver {
     #[inline]
     fn decision_level(&self) -> usize {
         self.trail_lim.len()
+    }
+
+    /// Structural invariants, checked in debug builds at the quiescent
+    /// points around each solve: trail/level agreement and two-watched-
+    /// literal consistency. Compiled out of release builds entirely.
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        assert!(self.qhead <= self.trail.len(), "qhead past end of trail");
+        assert!(
+            self.trail_lim.windows(2).all(|w| w[0] <= w[1]),
+            "trail_lim is not monotone"
+        );
+        for (i, &l) in self.trail.iter().enumerate() {
+            assert_eq!(
+                self.lit_value(l),
+                Lbool::True,
+                "trail literal {l:?} is not assigned true"
+            );
+            // The level recorded for the variable must match the trail
+            // segment its literal sits in.
+            let segment = self.trail_lim.partition_point(|&lim| lim <= i);
+            assert_eq!(
+                self.level[l.var().index()] as usize,
+                segment,
+                "level of {l:?} disagrees with its trail segment"
+            );
+        }
+        // Every watcher sits in the list of a literal whose negation the
+        // clause currently watches (positions 0 and 1).
+        for (code, watchers) in self.watches.iter().enumerate() {
+            let p = Lit::from_code(code);
+            for w in watchers {
+                let lits = self.db.lits(w.cref);
+                assert!(
+                    lits.len() >= 2 && (lits[0] == !p || lits[1] == !p),
+                    "watch list of {p:?} holds a clause that does not watch {:?}",
+                    !p
+                );
+            }
+        }
+        // Conversely, every attached clause is watched on both of its
+        // first two literals.
+        for &cref in self.clauses.iter().chain(&self.learnts) {
+            let lits = self.db.lits(cref);
+            for &wl in &lits[..2] {
+                assert!(
+                    self.watches[(!wl).code()].iter().any(|w| w.cref == cref),
+                    "attached clause is missing from the watch list of {wl:?}"
+                );
+            }
+        }
+        // Branch-order heap sanity: it never outgrows the variable count,
+        // and at a quiescent point every unassigned variable must still be
+        // available for branching (pick_branch_lit only discards assigned
+        // variables; cancel_until reinserts unassigned ones).
+        assert!(self.order.len() <= self.num_vars());
+        assert!(self.num_vars() > 0 || self.order.is_empty());
+        for (vi, &a) in self.assigns.iter().enumerate() {
+            if a == Lbool::Undef {
+                assert!(
+                    self.order.contains(Var::from_index(vi)),
+                    "unassigned variable {vi} is missing from the branch heap"
+                );
+            }
+        }
     }
 
     #[inline]
@@ -623,7 +692,9 @@ impl Solver {
                 let q = self.db.lit(cref, k + 1);
                 let vi = q.var().index();
                 if !self.seen[vi] && self.level[vi] > 0 {
-                    if self.reason[vi].is_some() && (self.abstract_level(q.var()) & abstract_levels) != 0 {
+                    if self.reason[vi].is_some()
+                        && (self.abstract_level(q.var()) & abstract_levels) != 0
+                    {
                         self.seen[vi] = true;
                         self.analyze_stack.push((q, 0));
                         self.analyze_toclear.push(q);
@@ -713,7 +784,10 @@ impl Solver {
         let mut kept = Vec::with_capacity(keep_from);
         for i in 0..self.learnts.len() {
             let cref = self.learnts[i];
-            if i >= keep_from && self.db.len(cref) > 2 && !self.is_locked(cref) && self.db.lbd(cref) > 2
+            if i >= keep_from
+                && self.db.len(cref) > 2
+                && !self.is_locked(cref)
+                && self.db.lbd(cref) > 2
             {
                 removed.push(cref);
             } else {
@@ -931,13 +1005,13 @@ mod tests {
         let x: Vec<Vec<Lit>> = (0..3)
             .map(|_| (0..2).map(|_| s.new_var().positive()).collect())
             .collect();
-        for i in 0..3 {
-            s.add_clause(&[x[i][0], x[i][1]]);
+        for row in &x {
+            s.add_clause(&[row[0], row[1]]);
         }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[!x[i1][j], !x[i2][j]]);
+        for i1 in 0..3 {
+            for i2 in (i1 + 1)..3 {
+                for (&a, &b) in x[i1].iter().zip(&x[i2]) {
+                    s.add_clause(&[!a, !b]);
                 }
             }
         }
@@ -968,7 +1042,10 @@ mod tests {
         let core = s.failed_assumptions().to_vec();
         assert!(!core.is_empty());
         for l in &core {
-            assert!([v[0], !v[2], v[3]].contains(l), "core literal {l:?} not an assumption");
+            assert!(
+                [v[0], !v[2], v[3]].contains(l),
+                "core literal {l:?} not an assumption"
+            );
         }
         assert!(!core.contains(&v[3]), "irrelevant assumption in core");
     }
@@ -998,10 +1075,10 @@ mod tests {
         for row in &x {
             s.add_clause(row);
         }
-        for j in 0..n - 1 {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause(&[!x[i1][j], !x[i2][j]]);
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                for (&a, &b) in x[i1].iter().zip(&x[i2]) {
+                    s.add_clause(&[!a, !b]);
                 }
             }
         }

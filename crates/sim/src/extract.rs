@@ -134,7 +134,7 @@ fn extract_net(
         if let Some(edges) = adjacency.get(&node) {
             for &(next, r) in edges {
                 let nd = d + r;
-                if dist.get(&next).map_or(true, |&old| nd < old) {
+                if dist.get(&next).is_none_or(|&old| nd < old) {
                     dist.insert(next, nd);
                     queue.push(next);
                 }

@@ -93,7 +93,7 @@ pub fn analyze_buf(design: &Design, nets: &[Option<ExtractedNet>], tech: &Tech) 
                         total = 0.0;
                     }
                 }
-                2 | 3 | 4 => {
+                2..=4 => {
                     per_stage[hi - 1].push(d);
                     per_stage_rise[hi - 1].push(r);
                     per_stage_fall[hi - 1].push(f);
@@ -125,8 +125,8 @@ pub fn analyze_buf(design: &Design, nets: &[Option<ExtractedNet>], tech: &Tech) 
     // The buffer chain contributes three hops per path; group them as the
     // single OUT row (delays summed per path).
     let out_per_path: Vec<f64> = out_delays.chunks(3).map(|c| c.iter().sum()).collect();
-    let out_rise_pp: Vec<f64> = out_rise.chunks(3).map(|c| mean(c)).collect();
-    let out_fall_pp: Vec<f64> = out_fall.chunks(3).map(|c| mean(c)).collect();
+    let out_rise_pp: Vec<f64> = out_rise.chunks(3).map(mean).collect();
+    let out_fall_pp: Vec<f64> = out_fall.chunks(3).map(mean).collect();
 
     BufTimingReport {
         stages: (0..4)
@@ -164,11 +164,9 @@ fn trace_path(design: &Design, nets: &[Option<ExtractedNet>], input: usize) -> O
             .iter()
             .copied()
             .find(|&(c, pi)| {
-                c != cell && !is_output_pin(&design.cell(c).pins[pi].name)
-                    && matches!(
-                        design.cell(c).name.chars().next(),
-                        Some('m') | Some('o')
-                    )
+                c != cell
+                    && !is_output_pin(&design.cell(c).pins[pi].name)
+                    && matches!(design.cell(c).name.chars().next(), Some('m') | Some('o'))
             });
         let sink_resistance = next
             .and_then(|(c, pi)| {

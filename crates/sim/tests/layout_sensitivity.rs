@@ -64,7 +64,10 @@ fn spread_vco_layout_oscillates_slower() {
     for v in [0.65, 0.75, 0.9] {
         let ft = tight.evaluate(v, 3).frequency_ghz;
         let fl = loose.evaluate(v, 3).frequency_ghz;
-        assert!(fl < ft, "at {v} V: loose {fl} must be slower than tight {ft}");
+        assert!(
+            fl < ft,
+            "at {v} V: loose {fl} must be slower than tight {ft}"
+        );
     }
 }
 
@@ -82,7 +85,11 @@ fn trim_code_dominates_over_layout_noise() {
     let mut last = f64::INFINITY;
     for code in 0..=7 {
         let f = model.evaluate(0.75, code).frequency_ghz;
-        assert!(f < last, "code {code} must be slower than code {}", code - 1);
+        assert!(
+            f < last,
+            "code {code} must be slower than code {}",
+            code - 1
+        );
         last = f;
     }
 }

@@ -408,11 +408,7 @@ impl Blaster {
             }
             TermKind::Sub(a, b) => {
                 let va = self.blast_bv(pool, sat, *a);
-                let vb: Vec<Lit> = self
-                    .blast_bv(pool, sat, *b)
-                    .iter()
-                    .map(|&l| !l)
-                    .collect();
+                let vb: Vec<Lit> = self.blast_bv(pool, sat, *b).iter().map(|&l| !l).collect();
                 let t1 = self.lit_true(sat);
                 self.add_vec(sat, &va, &vb, t1)
             }
@@ -424,6 +420,7 @@ impl Blaster {
             TermKind::Shl(a, k) => {
                 let va = self.blast_bv(pool, sat, *a);
                 let k = *k as usize;
+                debug_assert!(k <= va.len(), "shift amount {k} exceeds width {}", va.len());
                 let f = self.lit_false(sat);
                 let mut out = vec![f; k];
                 out.extend_from_slice(&va[..va.len() - k]);
@@ -431,6 +428,11 @@ impl Blaster {
             }
             TermKind::ZExt(a, new_width) => {
                 let va = self.blast_bv(pool, sat, *a);
+                debug_assert!(
+                    *new_width as usize >= va.len(),
+                    "zero-extension narrows {} bits to {new_width}",
+                    va.len()
+                );
                 let f = self.lit_false(sat);
                 let mut out = va;
                 out.resize(*new_width as usize, f);
@@ -440,17 +442,24 @@ impl Blaster {
                 let lc = self.blast_bool(pool, sat, *c);
                 let va = self.blast_bv(pool, sat, *a);
                 let vb = self.blast_bv(pool, sat, *b);
+                debug_assert_eq!(va.len(), vb.len(), "ite branch widths disagree");
                 (0..va.len())
                     .map(|i| self.gate_ite(sat, lc, va[i], vb[i]))
                     .collect()
             }
             other => panic!("blast_bv on non-bit-vector term {other:?}"),
         };
+        // The blasted vector must agree with the term's declared sort.
+        #[cfg(debug_assertions)]
+        if let crate::term::Sort::Bv(w) = pool.sort(t) {
+            debug_assert_eq!(bits.len(), w as usize, "blasted width disagrees with sort");
+        }
         self.bv_cache.insert(t, bits.clone());
         bits
     }
 
     fn mul_vec(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len(), "multiplier operand widths disagree");
         let w = a.len();
         let f = self.lit_false(sat);
         let mut acc = vec![f; w];

@@ -58,7 +58,7 @@ pub fn assert_at_most(sat: &mut Solver, items: &[(Lit, u64)], bound: u64) {
             //   x, if w >= j+1            (x alone reaches it)
             //   x ∧ prev[j-w], if j >= w  (x lifts a smaller prefix)
             let carry = prev[j];
-            let alone = w >= j + 1;
+            let alone = w > j;
             let lifted = if j >= w { prev[j - w] } else { None };
             if carry.is_none() && !alone && lifted.is_none() {
                 continue;

@@ -57,6 +57,10 @@ pub struct Smt {
     /// Maps assumption literals of the last `solve_with` back to terms.
     assumption_map: HashMap<Lit, Term>,
     failed: Vec<Term>,
+    /// Active selector literal: assertions made while set are conditioned
+    /// on it, so whole constraint families can be enabled per solve via
+    /// assumptions (the UNSAT-explanation mechanism).
+    guard: Option<Term>,
 }
 
 impl std::fmt::Debug for Smt {
@@ -247,13 +251,40 @@ impl Smt {
 
     // --- assertions and solving --------------------------------------
 
+    /// Sets (or clears) the active guard selector.
+    ///
+    /// While a guard `g` is set, [`Smt::assert`] asserts `g → t` instead of
+    /// `t`, and [`Smt::assert_at_most`] encodes a bound that collapses to
+    /// the requested one exactly when `g` holds. Passing the guard terms as
+    /// assumptions to [`Smt::solve_with`] then enables their constraint
+    /// families, and [`Smt::failed_assumptions`] names the conflicting
+    /// families on `Unsat` — the second-stage UNSAT explanation used by the
+    /// placement linter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guard term is not Boolean.
+    pub fn set_guard(&mut self, guard: Option<Term>) {
+        if let Some(g) = guard {
+            assert_eq!(self.pool.sort(g), Sort::Bool, "guards must be Boolean");
+        }
+        self.guard = guard;
+    }
+
     /// Asserts a Boolean term. Takes effect at the next `solve`.
+    ///
+    /// Under an active guard `g` (see [`Smt::set_guard`]), `g → t` is
+    /// asserted instead.
     ///
     /// # Panics
     ///
     /// Panics if `t` is not Boolean.
     pub fn assert(&mut self, t: Term) {
         assert_eq!(self.pool.sort(t), Sort::Bool, "assertions must be Boolean");
+        let t = match self.guard {
+            Some(g) => self.pool.implies(g, t),
+            None => t,
+        };
         self.pending.push(t);
         self.asserted.push(t);
     }
@@ -261,21 +292,33 @@ impl Smt {
     /// Asserts the weighted pseudo-Boolean constraint
     /// `Σ weightᵢ · itemᵢ ≤ bound` (items must be Boolean terms).
     ///
-    /// This is assert-only (it cannot be negated or assumed), matching its
-    /// use as the paper's pin-density constraint (Eq. 14).
+    /// This is assert-only (it cannot be negated), matching its use as the
+    /// paper's pin-density constraint (Eq. 14). Under an active guard `g`
+    /// the guard joins the sum with weight `total − bound`, so the bound
+    /// tightens to the requested value exactly when `g` holds and is
+    /// vacuous otherwise.
     ///
     /// # Panics
     ///
     /// Panics if any item is not Boolean.
     pub fn assert_at_most(&mut self, items: &[(Term, u64)], bound: u64) {
         self.flush_pending();
-        let lits: Vec<(Lit, u64)> = items
+        let mut lits: Vec<(Lit, u64)> = items
             .iter()
             .map(|&(t, w)| {
                 assert_eq!(self.pool.sort(t), Sort::Bool, "PB items must be Boolean");
                 (self.blaster.blast_bool(&self.pool, &mut self.sat, t), w)
             })
             .collect();
+        let mut bound = bound;
+        if let Some(g) = self.guard {
+            let total: u64 = lits.iter().map(|&(_, w)| w).sum();
+            if total > bound {
+                let gl = self.blaster.blast_bool(&self.pool, &mut self.sat, g);
+                lits.push((gl, total - bound));
+                bound = total;
+            }
+        }
         pb::assert_at_most(&mut self.sat, &lits, bound);
     }
 
@@ -558,6 +601,50 @@ mod tests {
         assert_eq!(smt.solve_with(&[items[2].0, items[3].0]), SmtResult::Unsat);
         // 2+4 = 6 <= 6 is fine.
         assert_eq!(smt.solve_with(&[items[1].0, items[3].0]), SmtResult::Sat);
+    }
+
+    #[test]
+    fn guarded_assertions_toggle_with_assumptions() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(4, "x");
+        let sel_a = smt.bool_var("sel_a");
+        let sel_b = smt.bool_var("sel_b");
+        smt.set_guard(Some(sel_a));
+        let is3 = smt.eq_const(x, 3);
+        smt.assert(is3);
+        smt.set_guard(Some(sel_b));
+        let is5 = smt.eq_const(x, 5);
+        smt.assert(is5);
+        smt.set_guard(None);
+        // Neither family enabled: free.
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        // Each alone: consistent.
+        assert_eq!(smt.solve_with(&[sel_a]), SmtResult::Sat);
+        assert_eq!(smt.bv_value(x), 3);
+        assert_eq!(smt.solve_with(&[sel_b]), SmtResult::Sat);
+        assert_eq!(smt.bv_value(x), 5);
+        // Both: conflict, and the core names both selectors.
+        assert_eq!(smt.solve_with(&[sel_a, sel_b]), SmtResult::Unsat);
+        let failed = smt.failed_assumptions();
+        assert!(failed.contains(&sel_a) && failed.contains(&sel_b));
+    }
+
+    #[test]
+    fn guarded_pb_is_vacuous_unless_selected() {
+        let mut smt = Smt::new();
+        let items: Vec<(Term, u64)> = (0..4).map(|i| (smt.bool_var(format!("b{i}")), 2)).collect();
+        let sel = smt.bool_var("sel");
+        smt.set_guard(Some(sel));
+        smt.assert_at_most(&items, 3);
+        smt.set_guard(None);
+        let all: Vec<Term> = items.iter().map(|&(t, _)| t).collect();
+        // Guard off: the weight-8 assignment is allowed.
+        assert_eq!(smt.solve_with(&all), SmtResult::Sat);
+        // Guard on: 8 > 3 is rejected, one item (2 <= 3) is fine.
+        let mut with_sel = all.clone();
+        with_sel.push(sel);
+        assert_eq!(smt.solve_with(&with_sel), SmtResult::Unsat);
+        assert_eq!(smt.solve_with(&[sel, items[0].0]), SmtResult::Sat);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! ```
 
 use finfet_ams_place::netlist::{
-    ArrayConstraint, ArrayPattern, ClusterConstraint, Design, DesignBuilder,
-    ExtensionConstraint, ExtensionTarget, SymmetryAxis, SymmetryGroup, SymmetryPair,
+    ArrayConstraint, ArrayPattern, ClusterConstraint, Design, DesignBuilder, ExtensionConstraint,
+    ExtensionTarget, SymmetryAxis, SymmetryGroup, SymmetryPair,
 };
 use finfet_ams_place::place::{Placement, PlacerConfig, SmtPlacer};
 

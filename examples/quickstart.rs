@@ -31,9 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tailsrc = b.add_cell("tail", core, 6, 2, vdd);
     b.add_pin(tailsrc, "d", Some(tail), 1, 1);
     let lp = b.add_cell("load_p", core, 4, 2, vdd);
-    b.add_pin(lp, "d", Some(outp), 1, 1).add_pin(lp, "pad", Some(inp), 0, 0);
+    b.add_pin(lp, "d", Some(outp), 1, 1)
+        .add_pin(lp, "pad", Some(inp), 0, 0);
     let ln = b.add_cell("load_n", core, 4, 2, vdd);
-    b.add_pin(ln, "d", Some(outn), 1, 1).add_pin(ln, "pad", Some(inn), 0, 0);
+    b.add_pin(ln, "d", Some(outn), 1, 1)
+        .add_pin(ln, "pad", Some(inn), 0, 0);
 
     // The pair and its loads must mirror about one shared axis.
     b.add_symmetry(SymmetryGroup {
@@ -55,11 +57,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let placement = SmtPlacer::new(&design, config)?.place()?;
     placement.verify(&design).expect("placement is legal");
 
-    println!("placed {} cells on a {}x{} die:", design.cells().len(), placement.die.w, placement.die.h);
+    println!(
+        "placed {} cells on a {}x{} die:",
+        design.cells().len(),
+        placement.die.w,
+        placement.die.h
+    );
     for (cell, rect) in design.cells().iter().zip(&placement.cells) {
-        println!("  {:<8} at ({:>2}, {:>2})  {}x{}", cell.name, rect.x, rect.y, rect.w, rect.h);
+        println!(
+            "  {:<8} at ({:>2}, {:>2})  {}x{}",
+            cell.name, rect.x, rect.y, rect.w, rect.h
+        );
     }
-    println!("HPWL = {} grid units ({:.3} µm)", placement.hpwl(&design), placement.hpwl_um(&design));
-    println!("solved in {:?} with {} conflicts", placement.stats.runtime, placement.stats.conflicts);
+    println!(
+        "HPWL = {} grid units ({:.3} µm)",
+        placement.hpwl(&design),
+        placement.hpwl_um(&design)
+    );
+    println!(
+        "solved in {:?} with {} conflicts",
+        placement.stats.runtime, placement.stats.conflicts
+    );
     Ok(())
 }

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.optimize.k_iter = 1;
     cfg.optimize.conflict_budget = Some(50_000);
 
-    println!("placing the VCO ({} cells, 2 regions)...", design.cells().len());
+    println!(
+        "placing the VCO ({} cells, 2 regions)...",
+        design.cells().len()
+    );
     let placement = SmtPlacer::new(&design, cfg)?.place()?;
     placement.verify(&design).expect("legal placement");
     let routed = route(&design, &placement, RouterConfig::default());

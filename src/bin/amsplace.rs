@@ -4,15 +4,19 @@
 //! amsplace --demo buf demo.json          # write a benchmark netlist
 //! amsplace demo.json --svg out.svg       # place it, render the layout
 //! amsplace demo.json --no-ams --route    # w/o-constraints arm + routing
+//! amsplace lint demo.json                # pre-solve constraint linter
+//! amsplace lint vco --explain            # + UNSAT explanation if stuck
 //! ```
 
 use finfet_ams_place::netlist::{benchmarks, Design};
-use finfet_ams_place::place::{render_svg, PlacerConfig, SmtPlacer};
+use finfet_ams_place::place::analysis::{self, UnsatOutcome};
+use finfet_ams_place::place::{render_svg, PlaceError, PlacerConfig, SmtPlacer};
 use finfet_ams_place::route::{route, RouterConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: amsplace [OPTIONS] <design.json>
+       amsplace lint [--explain] <design.json|buf|vco|synthetic>
        amsplace --demo <buf|vco|synthetic> <out.json>
 
 options:
@@ -23,11 +27,18 @@ options:
   --iters <n>       optimization iterations (default 2)
   --budget <n>      conflict budget per optimization round (default 100000)
   --quick           small budgets for a fast smoke run
+
+lint mode runs the AMS-Exxx pre-solve checks and exits nonzero iff any
+error-severity diagnostic fires; --explain additionally asks the solver
+which constraint families conflict when the lint is clean but the
+instance is unsatisfiable.
 ";
 
 struct Args {
     design_path: Option<String>,
     demo: Option<(String, String)>,
+    lint: bool,
+    explain: bool,
     out: Option<String>,
     svg: Option<String>,
     do_route: bool,
@@ -41,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         design_path: None,
         demo: None,
+        lint: false,
+        explain: false,
         out: None,
         svg: None,
         do_route: false,
@@ -49,17 +62,21 @@ fn parse_args() -> Result<Args, String> {
         budget: 100_000,
         quick: false,
     };
+    let mut first_positional = true;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
+            "lint" if first_positional => {
+                args.lint = true;
+                first_positional = false;
+            }
             "--demo" => {
                 let which = value("--demo")?;
                 let out = value("--demo")?;
                 args.demo = Some((which, out));
             }
+            "--explain" => args.explain = true,
             "--out" => args.out = Some(value("--out")?),
             "--svg" => args.svg = Some(value("--svg")?),
             "--route" => args.do_route = true,
@@ -76,11 +93,77 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--budget: {e}"))?
             }
             "-h" | "--help" => return Err(String::new()),
-            other if !other.starts_with('-') => args.design_path = Some(other.to_string()),
+            other if !other.starts_with('-') => {
+                args.design_path = Some(other.to_string());
+                first_positional = false;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
+    if args.explain && !args.lint {
+        return Err("--explain only applies to the lint subcommand".into());
+    }
     Ok(args)
+}
+
+/// Loads a design by benchmark name (`buf`, `vco`, `synthetic`) or from a
+/// JSON netlist file.
+fn load_design(spec: &str) -> Result<Design, String> {
+    match spec {
+        "buf" => return Ok(benchmarks::buf()),
+        "vco" => return Ok(benchmarks::vco()),
+        "synthetic" => return Ok(benchmarks::synthetic(Default::default())),
+        _ => {}
+    }
+    let json = std::fs::read_to_string(spec).map_err(|e| format!("reading {spec}: {e}"))?;
+    Design::from_json(&json).map_err(|e| format!("parsing {spec}: {e}"))
+}
+
+/// The `amsplace lint` subcommand. Exits successfully iff no
+/// error-severity diagnostic fires.
+fn run_lint(args: &Args) -> ExitCode {
+    let Some(spec) = &args.design_path else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let design = match load_design(spec) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = PlacerConfig::default();
+    let report = analysis::lint(&design, &config);
+    if report.is_clean() {
+        println!("{}: no findings", design.name());
+    } else {
+        println!("{report}");
+    }
+    if args.explain {
+        if report.has_errors() {
+            println!("explain: skipped (fix the errors above first)");
+        } else {
+            match analysis::explain_unsat(&design, &config) {
+                UnsatOutcome::Feasible => println!("explain: satisfiable"),
+                UnsatOutcome::Unknown => {
+                    println!("explain: undecided within the conflict budget")
+                }
+                UnsatOutcome::Conflict(families) => {
+                    let names: Vec<&str> = families.iter().map(|f| f.name()).collect();
+                    println!(
+                        "explain: UNSAT; conflicting constraint families: {}",
+                        names.join(" + ")
+                    );
+                }
+            }
+        }
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -94,6 +177,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.lint {
+        return run_lint(&args);
+    }
 
     if let Some((which, out)) = &args.demo {
         let design = match which.as_str() {
@@ -160,8 +247,25 @@ fn main() -> ExitCode {
         design.cells().len(),
         design.nets().len()
     );
-    let placement = match SmtPlacer::new(&design, config).and_then(|p| p.place()) {
+    let placement = match SmtPlacer::new(&design, config.clone()).and_then(|p| p.place()) {
         Ok(p) => p,
+        Err(PlaceError::Lint(report)) => {
+            eprintln!("error: the design fails the pre-solve lint:");
+            eprintln!("{report}");
+            eprintln!("hint: `amsplace lint {path}` re-runs these checks standalone");
+            return ExitCode::FAILURE;
+        }
+        Err(e @ PlaceError::Infeasible) => {
+            eprintln!("error: {e}");
+            match finfet_ams_place::place::analysis::explain_unsat(&design, &config) {
+                UnsatOutcome::Conflict(families) => {
+                    let names: Vec<&str> = families.iter().map(|f| f.name()).collect();
+                    eprintln!("conflicting constraint families: {}", names.join(" + "));
+                }
+                _ => eprintln!("(no conflict attribution available)"),
+            }
+            return ExitCode::FAILURE;
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -202,22 +306,33 @@ fn main() -> ExitCode {
         println!("layout rendered to {svg_path}");
     }
     if let Some(out) = &args.out {
+        use finfet_ams_place::netlist::json::Json;
         let rects: Vec<_> = design
             .cells()
             .iter()
             .zip(&placement.cells)
             .map(|(c, r)| {
-                serde_json::json!({
-                    "cell": c.name, "x": r.x, "y": r.y, "w": r.w, "h": r.h
-                })
+                Json::obj([
+                    ("cell", Json::str(&c.name)),
+                    ("x", Json::uint(u64::from(r.x))),
+                    ("y", Json::uint(u64::from(r.y))),
+                    ("w", Json::uint(u64::from(r.w))),
+                    ("h", Json::uint(u64::from(r.h))),
+                ])
             })
             .collect();
-        let doc = serde_json::json!({
-            "design": design.name(),
-            "die": { "w": placement.die.w, "h": placement.die.h },
-            "cells": rects,
-        });
-        if let Err(e) = std::fs::write(out, serde_json::to_string_pretty(&doc).expect("json")) {
+        let doc = Json::obj([
+            ("design", Json::str(design.name())),
+            (
+                "die",
+                Json::obj([
+                    ("w", Json::uint(u64::from(placement.die.w))),
+                    ("h", Json::uint(u64::from(placement.die.h))),
+                ]),
+            ),
+            ("cells", Json::Arr(rects)),
+        ]);
+        if let Err(e) = std::fs::write(out, doc.pretty()) {
             eprintln!("error: writing {out}: {e}");
             return ExitCode::FAILURE;
         }

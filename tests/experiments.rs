@@ -19,12 +19,20 @@ fn quick_cfg() -> PlacerConfig {
 fn table2_statistics_match_the_paper() {
     let buf = benchmarks::buf();
     assert_eq!(
-        (buf.regions().len(), buf.cells().len(), buf.nets().iter().filter(|n| !n.virtual_net).count()),
+        (
+            buf.regions().len(),
+            buf.cells().len(),
+            buf.nets().iter().filter(|n| !n.virtual_net).count()
+        ),
         (1, 42, 66)
     );
     let vco = benchmarks::vco();
     assert_eq!(
-        (vco.regions().len(), vco.cells().len(), vco.nets().iter().filter(|n| !n.virtual_net).count()),
+        (
+            vco.regions().len(),
+            vco.cells().len(),
+            vco.nets().iter().filter(|n| !n.virtual_net).count()
+        ),
         (2, 110, 71)
     );
 }

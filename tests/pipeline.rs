@@ -5,7 +5,12 @@ use finfet_ams_place::place::{PlacerConfig, SmtPlacer};
 use finfet_ams_place::route::{route, RouterConfig};
 use finfet_ams_place::sim::{extract, Tech};
 
-fn place_small(seed: u64) -> (finfet_ams_place::netlist::Design, finfet_ams_place::place::Placement) {
+fn place_small(
+    seed: u64,
+) -> (
+    finfet_ams_place::netlist::Design,
+    finfet_ams_place::place::Placement,
+) {
     let design = benchmarks::synthetic(SyntheticParams {
         cells_per_region: 8,
         nets: 10,
@@ -33,7 +38,10 @@ fn routed_wirelength_dominates_hpwl() {
         routed.wirelength,
         hx + hy
     );
-    assert_eq!(routed.overflow, 0, "small design must route congestion-free");
+    assert_eq!(
+        routed.overflow, 0,
+        "small design must route congestion-free"
+    );
 }
 
 #[test]
@@ -75,7 +83,11 @@ fn extraction_scales_with_route_length() {
         let Some(e) = nets[n.index()].as_ref() else {
             continue;
         };
-        assert!(e.capacitance > 0.0, "net {} has no capacitance", design.net(n).name);
+        assert!(
+            e.capacitance > 0.0,
+            "net {} has no capacitance",
+            design.net(n).name
+        );
         // Pin caps alone set a floor.
         let floor = design.net_degree(n) as f64 * Tech::n5().c_pin;
         assert!(e.capacitance >= floor);
