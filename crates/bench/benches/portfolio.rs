@@ -1,0 +1,115 @@
+//! Portfolio speedup benchmark: the same SAT workloads solved with 1, 2,
+//! and 4 diversified workers, plus a small placement through the builder.
+//!
+//! Runs under `cargo bench -p ams-bench --bench portfolio` (no external
+//! harness; `harness = false`). On a single hardware core the parallel
+//! rows time-slice and mostly measure overhead; on a multi-core host the
+//! winner-takes-all race and clause sharing show real wall-clock gains.
+
+use ams_netlist::benchmarks::{self, SyntheticParams};
+use ams_place::{Placer, PlacerConfig};
+use ams_sat::{Lit, Portfolio, PortfolioConfig, SolveResult, Solver, Var};
+use std::time::Instant;
+
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warmup round, then timed rounds.
+    f();
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
+    }
+    let min = times.iter().min().expect("non-empty");
+    let mean = times.iter().sum::<std::time::Duration>() / iters;
+    println!("{name:<32} min {min:>12.2?}  mean {mean:>12.2?}  ({iters} iters)");
+}
+
+/// Unsatisfiable pigeonhole: n pigeons, n-1 holes.
+fn pigeonhole(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let x: Vec<Vec<Lit>> = (0..n)
+        .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &x {
+        s.add_clause(row);
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            for (&la, &lb) in x[a].iter().zip(&x[b]) {
+                s.add_clause(&[!la, !lb]);
+            }
+        }
+    }
+    s
+}
+
+/// Deterministic pseudo-random 3-SAT near the satisfiable ratio.
+fn random_3sat(vars: usize, clauses: usize, mut seed: u64) -> Solver {
+    let mut s = Solver::new();
+    let vs: Vec<Var> = (0..vars).map(|_| s.new_var()).collect();
+    let mut next = || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (seed >> 33) as usize
+    };
+    for _ in 0..clauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = vs[next() % vars];
+                Lit::new(v, next() % 2 == 0)
+            })
+            .collect();
+        s.add_clause(&lits);
+    }
+    s
+}
+
+fn portfolio(threads: usize) -> Portfolio {
+    Portfolio::new(PortfolioConfig {
+        threads,
+        ..PortfolioConfig::default()
+    })
+}
+
+fn bench_sat_portfolio() {
+    for threads in [1, 2, 4] {
+        bench(&format!("portfolio/ph9_unsat/t{threads}"), 3, || {
+            let (_, verdict) = portfolio(threads).solve(pigeonhole(9), &[], None);
+            assert_eq!(verdict.result, SolveResult::Unsat);
+        });
+    }
+    for threads in [1, 2, 4] {
+        bench(&format!("portfolio/3sat_200v_840c/t{threads}"), 3, || {
+            let (_, verdict) = portfolio(threads).solve(random_3sat(200, 840, 17), &[], None);
+            assert!(verdict.result != SolveResult::Unknown);
+        });
+    }
+}
+
+fn bench_placement_portfolio() {
+    let design = benchmarks::synthetic(SyntheticParams {
+        cells_per_region: 6,
+        nets: 6,
+        symmetry_pairs: 1,
+        ..Default::default()
+    });
+    for threads in [1, 2, 4] {
+        bench(&format!("portfolio/place_synth/t{threads}"), 3, || {
+            let p = Placer::builder(&design)
+                .config(PlacerConfig::fast())
+                .threads(threads)
+                .build()
+                .expect("encode")
+                .place()
+                .expect("place");
+            p.verify(&design).expect("legal placement");
+        });
+    }
+}
+
+fn main() {
+    bench_sat_portfolio();
+    bench_placement_portfolio();
+}

@@ -145,7 +145,7 @@ pub fn explain_unsat(design: &Design, config: &PlacerConfig) -> UnsatOutcome {
     let assumptions: Vec<Term> = selectors.iter().map(|&(t, _)| t).collect();
     match smt.solve_with(&assumptions) {
         SmtResult::Sat => UnsatOutcome::Feasible,
-        SmtResult::Unknown => UnsatOutcome::Unknown,
+        SmtResult::Unknown | SmtResult::Cancelled => UnsatOutcome::Unknown,
         SmtResult::Unsat => {
             let failed = smt.failed_assumptions();
             let mut families: Vec<ConstraintFamily> = selectors

@@ -5,7 +5,7 @@
 //! The linter ([`lint`]) runs *before* any SMT encoding and emits
 //! structured diagnostics ([`ams_netlist::LintReport`]) with stable
 //! `AMS-Exxx`/`AMS-Wxxx`/`AMS-Hxxx` codes. Error-severity findings are
-//! provable unsatisfiability or broken references — [`crate::SmtPlacer`]
+//! provable unsatisfiability or broken references — [`crate::Placer`]
 //! refuses to encode such designs ([`crate::PlaceError::Lint`]), turning
 //! late solver UNSATs and encode panics into early, actionable reports.
 //!

@@ -122,6 +122,31 @@ impl Default for OptimizeConfig {
     }
 }
 
+/// SAT-core execution settings: sequential or parallel portfolio.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Worker threads. `1` (the default) solves sequentially on the
+    /// calling thread, bit-for-bit deterministically. More threads run a
+    /// diversified portfolio that returns the first verdict; results stay
+    /// correct but iteration-level outcomes may vary run to run.
+    pub threads: usize,
+    /// Learnt clauses with LBD at or below this are shared between
+    /// portfolio workers; `0` disables sharing.
+    pub share_lbd_max: u32,
+    /// Base seed for worker diversification (phase/branching randomness).
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            threads: 1,
+            share_lbd_max: 4,
+            seed: 0x5EED,
+        }
+    }
+}
+
 /// Full placement configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PlacerConfig {
@@ -148,6 +173,8 @@ pub struct PlacerConfig {
     /// Dramatically easier to solve; `false` reverts to the literal
     /// encoding for ablation.
     pub array_slots: bool,
+    /// SAT-core execution: thread count and clause-sharing policy.
+    pub solver: SolverConfig,
 }
 
 impl Default for PlacerConfig {
@@ -161,6 +188,7 @@ impl Default for PlacerConfig {
             optimize: OptimizeConfig::default(),
             exact_bbox: false,
             array_slots: true,
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -218,6 +246,15 @@ impl PlacerConfig {
                 o.freeze_fraction
             ));
         }
+        if self.solver.threads == 0 {
+            return Err("solver threads must be at least 1".into());
+        }
+        if self.solver.threads > 128 {
+            return Err(format!(
+                "solver threads {} exceeds the cap of 128",
+                self.solver.threads
+            ));
+        }
         if let Some(pd) = &self.pin_density {
             if pd.beta_x == 0 || pd.beta_y == 0 || pd.stride_x == 0 || pd.stride_y == 0 {
                 return Err("pin-density window and stride must be nonzero".into());
@@ -262,6 +299,17 @@ mod tests {
             }),
             ..PlacerConfig::default()
         };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn solver_thread_bounds_are_enforced() {
+        let mut c = PlacerConfig::default();
+        c.solver.threads = 0;
+        assert!(c.validate().is_err());
+        c.solver.threads = 4;
+        assert_eq!(c.validate(), Ok(()));
+        c.solver.threads = 1000;
         assert!(c.validate().is_err());
     }
 

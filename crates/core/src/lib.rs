@@ -7,11 +7,13 @@
 //! The flow (Fig. 3 of the paper):
 //!
 //! 1. **Power analysis** ([`PowerPlan`]) derives power-abutment constraints;
-//! 2. **SMT placement** ([`SmtPlacer`]) encodes regions, non-overlap,
-//!    hierarchical symmetry, arrays/common-centroid, clusters, extensions,
-//!    power abutment, and window-based pin density into quantifier-free
-//!    bit-vector formulas, then optimizes wirelength by incremental solving
-//!    (Algorithm 1) with assumption-based variable freezing (Eq. 15);
+//! 2. **SMT placement** ([`Placer`], built via [`Placer::builder`]) encodes
+//!    regions, non-overlap, hierarchical symmetry, arrays/common-centroid,
+//!    clusters, extensions, power abutment, and window-based pin density
+//!    into quantifier-free bit-vector formulas, then optimizes wirelength
+//!    by incremental solving (Algorithm 1) with assumption-based variable
+//!    freezing (Eq. 15); each solve can fan out over a parallel solver
+//!    portfolio ([`SolverConfig::threads`] or [`PlacerBuilder::threads`]);
 //! 3. **Post-processing** inserts edge and dummy cells.
 //!
 //! [`Placement::verify`] is an independent legality oracle, and
@@ -28,11 +30,14 @@
 //!
 //! ```no_run
 //! use ams_netlist::benchmarks;
-//! use ams_place::{PlacerConfig, SmtPlacer};
+//! use ams_place::{Placer, PlacerConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let design = benchmarks::buf();
-//! let placement = SmtPlacer::new(&design, PlacerConfig::default())?.place()?;
+//! let placement = Placer::builder(&design)
+//!     .config(PlacerConfig::default())
+//!     .build()?
+//!     .place()?;
 //! assert!(placement.verify(&design).is_ok());
 //! # Ok(())
 //! # }
@@ -50,11 +55,11 @@ mod scale;
 mod svg;
 mod vars;
 
-pub use config::{ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig};
+pub use config::{ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig, SolverConfig};
 pub use placement::{
     placement_from_rects, PinDensityCheck, PlaceStats, Placement, Violation, ViolationKind,
 };
-pub use placer::{PlaceError, SmtPlacer};
+pub use placer::{PlaceError, Placer, PlacerBuilder, SmtPlacer};
 pub use power::{PowerPlan, RegionPowerPlan};
 pub use scale::{bits_for, ScaleInfo};
 pub use svg::render_svg;

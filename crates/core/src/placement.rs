@@ -72,6 +72,13 @@ pub struct PlaceStats {
     pub sat_vars: usize,
     /// SAT clauses in the final encoding.
     pub sat_clauses: usize,
+    /// Solver threads the run was configured with.
+    pub threads: usize,
+    /// Per-worker portfolio counters summed over all solve calls; empty
+    /// for sequential (single-thread) runs.
+    pub workers: Vec<ams_sat::WorkerStats>,
+    /// Worker that produced the verdict of the last portfolio solve.
+    pub winner: Option<usize>,
 }
 
 /// Pin-density parameters a placement was checked against.

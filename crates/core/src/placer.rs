@@ -1,6 +1,7 @@
 //! The SMT placement engine (Fig. 3): encode → incremental optimization
 //! (Algorithm 1) → post-processing.
 
+use crate::analysis::{ConstraintFamily, UnsatOutcome};
 use crate::config::PlacerConfig;
 use crate::encode;
 use crate::placement::{PinDensityCheck, PlaceStats, Placement};
@@ -8,9 +9,12 @@ use crate::power::PowerPlan;
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
 use ams_netlist::{CellId, Design, LintReport, Rect, RegionId};
+use ams_sat::PortfolioConfig;
 use ams_smt::{Smt, SmtResult, Term};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Placement failure.
@@ -23,9 +27,17 @@ pub enum PlaceError {
     Lint(LintReport),
     /// The constraint system is unsatisfiable — no legal placement exists
     /// on the sized die (raise `die_slack` or utilization headroom).
-    Infeasible,
+    Infeasible {
+        /// Minimal-ish set of constraint families the UNSAT explainer
+        /// blames ([`crate::analysis::explain_unsat`]); empty when the
+        /// explainer could not isolate a family subset.
+        conflict: Vec<ConstraintFamily>,
+    },
     /// The first solve exhausted its conflict budget without a verdict.
     BudgetExhausted,
+    /// The run was cancelled through the cancel flag
+    /// ([`PlacerBuilder::cancel_flag`]) before completing.
+    Cancelled,
 }
 
 impl fmt::Display for PlaceError {
@@ -43,17 +55,38 @@ impl fmt::Display for PlaceError {
                 }
                 Ok(())
             }
-            PlaceError::Infeasible => {
-                write!(f, "no legal placement exists for the sized die")
+            PlaceError::Infeasible { conflict } => {
+                write!(f, "no legal placement exists for the sized die")?;
+                if !conflict.is_empty() {
+                    let names: Vec<&str> = conflict.iter().map(|fam| fam.name()).collect();
+                    write!(f, " (conflicting families: {})", names.join(", "))?;
+                }
+                Ok(())
             }
             PlaceError::BudgetExhausted => {
                 write!(f, "conflict budget exhausted before a first solution")
+            }
+            PlaceError::Cancelled => {
+                write!(f, "placement cancelled before completion")
             }
         }
     }
 }
 
-impl Error for PlaceError {}
+impl Error for PlaceError {
+    /// No variant wraps another error type: lint reports and conflict
+    /// families are structured payloads, not error causes. Spelled out so
+    /// the chain contract is explicit rather than inherited by default.
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlaceError::Config(_)
+            | PlaceError::Lint(_)
+            | PlaceError::Infeasible { .. }
+            | PlaceError::BudgetExhausted
+            | PlaceError::Cancelled => None,
+        }
+    }
+}
 
 /// Model snapshot of one SAT iteration.
 #[derive(Clone, Debug)]
@@ -66,23 +99,118 @@ struct Model {
     region_h: Vec<u64>,
 }
 
-/// The SMT-based AMS placement engine.
+/// Fluent constructor for [`Placer`] — the primary entry point.
+///
+/// Obtained from [`Placer::builder`]; encoding happens at
+/// [`PlacerBuilder::build`] so every knob is settled first.
 ///
 /// # Examples
 ///
 /// ```no_run
 /// use ams_netlist::benchmarks;
-/// use ams_place::{PlacerConfig, SmtPlacer};
+/// use ams_place::{Placer, PlacerConfig};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let design = benchmarks::buf();
-/// let placement = SmtPlacer::new(&design, PlacerConfig::fast())?.place()?;
+/// let placement = Placer::builder(&design)
+///     .config(PlacerConfig::fast())
+///     .threads(4)
+///     .build()?
+///     .place()?;
+/// placement.verify(&design).expect("placement is legal");
+/// # Ok(())
+/// # }
+/// ```
+pub struct PlacerBuilder<'a> {
+    design: &'a Design,
+    config: PlacerConfig,
+    threads: Option<usize>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl<'a> PlacerBuilder<'a> {
+    /// Replaces the whole configuration (defaults to
+    /// [`PlacerConfig::default`]).
+    pub fn config(mut self, config: PlacerConfig) -> PlacerBuilder<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Sets the solver thread count: `1` is sequential and deterministic,
+    /// more threads run the diversified portfolio.
+    ///
+    /// When this is never called, the `AMSPLACE_THREADS` environment
+    /// variable (if set to a positive integer) overrides the configured
+    /// [`crate::SolverConfig::threads`].
+    pub fn threads(mut self, threads: usize) -> PlacerBuilder<'a> {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Caps SAT conflicts per solve call — both the first feasibility
+    /// solve and each optimization round (anytime placement).
+    pub fn conflict_budget(mut self, conflicts: u64) -> PlacerBuilder<'a> {
+        self.config.optimize.first_conflict_budget = Some(conflicts);
+        self.config.optimize.conflict_budget = Some(conflicts);
+        self
+    }
+
+    /// Installs a cooperative cancel flag: raising it makes the running
+    /// [`Placer::place`] return [`PlaceError::Cancelled`] promptly.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> PlacerBuilder<'a> {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Validates, lints, and encodes the design into a ready [`Placer`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::Config`] for out-of-range parameters,
+    /// [`PlaceError::Lint`] when the pre-solve linter proves the instance
+    /// broken (see [`crate::analysis::lint`]).
+    pub fn build(self) -> Result<Placer<'a>, PlaceError> {
+        let mut config = self.config;
+        config.solver.threads = self
+            .threads
+            .or_else(env_threads)
+            .unwrap_or(config.solver.threads);
+        let mut placer = Placer::new(self.design, config)?;
+        placer.smt.set_stop_flag(self.cancel);
+        Ok(placer)
+    }
+}
+
+/// `AMSPLACE_THREADS` as a positive integer, if present and parseable.
+fn env_threads() -> Option<usize> {
+    std::env::var("AMSPLACE_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// The SMT-based AMS placement engine.
+///
+/// Prefer [`Placer::builder`]; [`Placer::new`] remains for direct
+/// construction from a full [`PlacerConfig`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use ams_netlist::benchmarks;
+/// use ams_place::{Placer, PlacerConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = benchmarks::buf();
+/// let placement = Placer::new(&design, PlacerConfig::fast())?.place()?;
 /// placement.verify(&design).expect("placement is legal");
 /// println!("HPWL = {} grid units", placement.hpwl(&design));
 /// # Ok(())
 /// # }
 /// ```
-pub struct SmtPlacer<'a> {
+pub struct Placer<'a> {
     design: &'a Design,
     config: PlacerConfig,
     scale: ScaleInfo,
@@ -94,7 +222,23 @@ pub struct SmtPlacer<'a> {
     pd_check: Option<PinDensityCheck>,
 }
 
-impl<'a> SmtPlacer<'a> {
+/// Pre-redesign name of [`Placer`], kept so existing call sites compile.
+///
+/// Deprecated in spirit: new code should use [`Placer::builder`] (or
+/// `Placer::new`); this alias may be removed in a future major version.
+pub type SmtPlacer<'a> = Placer<'a>;
+
+impl<'a> Placer<'a> {
+    /// Starts a [`PlacerBuilder`] for `design` with default configuration.
+    pub fn builder(design: &'a Design) -> PlacerBuilder<'a> {
+        PlacerBuilder {
+            design,
+            config: PlacerConfig::default(),
+            threads: None,
+            cancel: None,
+        }
+    }
+
     /// Builds the full SMT encoding for a design under a configuration.
     ///
     /// # Errors
@@ -102,7 +246,7 @@ impl<'a> SmtPlacer<'a> {
     /// Returns [`PlaceError::Config`] for out-of-range parameters and
     /// [`PlaceError::Lint`] when the pre-solve linter proves the instance
     /// broken or unsatisfiable (see [`crate::analysis::lint`]).
-    pub fn new(design: &'a Design, config: PlacerConfig) -> Result<SmtPlacer<'a>, PlaceError> {
+    pub fn new(design: &'a Design, config: PlacerConfig) -> Result<Placer<'a>, PlaceError> {
         config.validate().map_err(PlaceError::Config)?;
 
         // Phase 0: pre-solve constraint lint. Every error-severity finding
@@ -152,7 +296,17 @@ impl<'a> SmtPlacer<'a> {
         let (phi, phi_w) =
             encode::wirelength::assert_wirelength(&mut smt, design, &scale, &vars, &config);
 
-        Ok(SmtPlacer {
+        // Portfolio dispatch: every solve of the incremental loop fans out
+        // across diversified workers when more than one thread is asked for.
+        if config.solver.threads > 1 {
+            smt.set_portfolio(Some(PortfolioConfig {
+                threads: config.solver.threads,
+                share_lbd_max: config.solver.share_lbd_max,
+                seed: config.solver.seed,
+            }));
+        }
+
+        Ok(Placer {
             design,
             config,
             scale,
@@ -239,7 +393,7 @@ impl<'a> SmtPlacer<'a> {
                 }
                 SmtResult::Unsat => {
                     if best.is_none() {
-                        return Err(PlaceError::Infeasible);
+                        return Err(self.infeasible());
                     }
                     if !assumptions.is_empty() && opt.retry_unfrozen && !retried_unfrozen {
                         // The freeze may be what blocks improvement; retry
@@ -256,10 +410,14 @@ impl<'a> SmtPlacer<'a> {
                     }
                     break;
                 }
+                SmtResult::Cancelled => {
+                    return Err(PlaceError::Cancelled);
+                }
             }
         }
 
         let model = best.expect("loop breaks with a model or returns early");
+        let summary = self.smt.portfolio_summary();
         let stats = PlaceStats {
             iterations: sat_rounds,
             runtime: t0.elapsed(),
@@ -267,8 +425,21 @@ impl<'a> SmtPlacer<'a> {
             hpwl_trace: trace,
             sat_vars: self.smt.num_sat_vars(),
             sat_clauses: self.smt.num_sat_clauses(),
+            threads: self.config.solver.threads.max(1),
+            workers: summary.workers.clone(),
+            winner: summary.last_winner,
         };
         Ok(self.finalize(model, stats))
+    }
+
+    /// Attributes a first-solve UNSAT to constraint families by re-solving
+    /// with per-family guards — cost paid only on the failure path.
+    fn infeasible(&self) -> PlaceError {
+        let conflict = match crate::analysis::explain_unsat(self.design, &self.config) {
+            UnsatOutcome::Conflict(families) => families,
+            UnsatOutcome::Feasible | UnsatOutcome::Unknown => Vec::new(),
+        };
+        PlaceError::Infeasible { conflict }
     }
 
     /// Seeds the SAT polarity toward a quick greedy packing: regions

@@ -23,10 +23,13 @@ const REGION_FILLS: [&str; 6] = [
 ///
 /// ```no_run
 /// # use ams_netlist::benchmarks;
-/// # use ams_place::{PlacerConfig, SmtPlacer, render_svg};
+/// # use ams_place::{Placer, PlacerConfig, render_svg};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let design = benchmarks::buf();
-/// let placement = SmtPlacer::new(&design, PlacerConfig::fast())?.place()?;
+/// let placement = Placer::builder(&design)
+///     .config(PlacerConfig::fast())
+///     .build()?
+///     .place()?;
 /// std::fs::write("buf.svg", render_svg(&design, &placement))?;
 /// # Ok(())
 /// # }

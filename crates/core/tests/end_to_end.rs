@@ -2,7 +2,7 @@
 //! legality oracle.
 
 use ams_netlist::benchmarks::{self, SyntheticParams};
-use ams_place::{PlacerConfig, SmtPlacer, ViolationKind};
+use ams_place::{Placer, PlacerConfig, ViolationKind};
 
 fn fast() -> PlacerConfig {
     PlacerConfig::fast()
@@ -16,7 +16,9 @@ fn tiny_synthetic_places_and_verifies() {
         symmetry_pairs: 1,
         ..Default::default()
     });
-    let p = SmtPlacer::new(&d, fast())
+    let p = Placer::builder(&d)
+        .config(fast())
+        .build()
         .expect("encode")
         .place()
         .expect("place");
@@ -34,7 +36,9 @@ fn two_region_synthetic_places_and_verifies() {
         cluster_size: 3,
         ..Default::default()
     });
-    let p = SmtPlacer::new(&d, fast())
+    let p = Placer::builder(&d)
+        .config(fast())
+        .build()
         .expect("encode")
         .place()
         .expect("place");
@@ -52,7 +56,9 @@ fn optimization_iterations_do_not_increase_hpwl() {
     });
     let mut cfg = fast();
     cfg.optimize.k_iter = 4;
-    let p = SmtPlacer::new(&d, cfg)
+    let p = Placer::builder(&d)
+        .config(cfg)
+        .build()
         .expect("encode")
         .place()
         .expect("place");
@@ -72,7 +78,9 @@ fn without_constraints_arm_still_legal_on_geometry() {
         ..Default::default()
     });
     let plain = d.without_constraints();
-    let p = SmtPlacer::new(&plain, fast().without_ams_constraints())
+    let p = Placer::builder(&plain)
+        .config(fast().without_ams_constraints())
+        .build()
         .expect("encode")
         .place()
         .expect("place");
@@ -93,11 +101,16 @@ fn infeasible_die_is_reported() {
     let mut cfg = fast();
     cfg.utilization = 1.0;
     cfg.die_slack = 1.0;
-    match SmtPlacer::new(&d, cfg).expect("encode").place() {
+    match Placer::builder(&d)
+        .config(cfg)
+        .build()
+        .expect("encode")
+        .place()
+    {
         Ok(p) => p.verify(&d).expect("legal placement"),
         Err(e) => assert!(matches!(
             e,
-            ams_place::PlaceError::Infeasible | ams_place::PlaceError::BudgetExhausted
+            ams_place::PlaceError::Infeasible { .. } | ams_place::PlaceError::BudgetExhausted
         )),
     }
 }
@@ -109,7 +122,9 @@ fn dummy_fill_balances_region_area() {
         nets: 6,
         ..Default::default()
     });
-    let p = SmtPlacer::new(&d, fast())
+    let p = Placer::builder(&d)
+        .config(fast())
+        .build()
         .expect("encode")
         .place()
         .expect("place");
@@ -141,7 +156,9 @@ fn pin_density_violations_detected_by_oracle() {
     });
     let mut cfg = fast();
     cfg.pin_density = None;
-    let mut p = SmtPlacer::new(&d, cfg)
+    let mut p = Placer::builder(&d)
+        .config(cfg)
+        .build()
         .expect("encode")
         .place()
         .expect("place");

@@ -1,0 +1,164 @@
+//! Portfolio placement tests: thread-count agreement, per-worker stats,
+//! single-thread determinism, and cooperative cancellation.
+//!
+//! The always-on tests use small synthetic designs so the suite stays
+//! fast on one core; the paper benchmarks (BUF, VCO) follow the seed
+//! suite's convention of hiding multi-minute placements behind
+//! `#[ignore]` — run them with `--ignored` (release mode recommended).
+
+use ams_netlist::benchmarks::{self, SyntheticParams};
+use ams_place::{PlaceError, Placer, PlacerConfig};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The known-feasible small synthetic the end-to-end suite also places.
+fn small() -> ams_netlist::Design {
+    benchmarks::synthetic(SyntheticParams {
+        cells_per_region: 6,
+        nets: 6,
+        symmetry_pairs: 1,
+        ..Default::default()
+    })
+}
+
+/// The benchmark preset the seed's experiment tests use: one
+/// optimization round under a modest conflict budget.
+fn quick() -> PlacerConfig {
+    let mut c = PlacerConfig::default();
+    c.optimize.k_iter = 1;
+    c.optimize.conflict_budget = Some(20_000);
+    c
+}
+
+fn place(
+    design: &ams_netlist::Design,
+    config: PlacerConfig,
+    threads: usize,
+) -> Result<ams_place::Placement, PlaceError> {
+    Placer::builder(design)
+        .config(config)
+        .threads(threads)
+        .build()?
+        .place()
+}
+
+#[test]
+fn synthetic_agrees_across_thread_counts() {
+    let d = small();
+    for threads in [1, 2, 4] {
+        let p = place(&d, PlacerConfig::fast(), threads).expect("must place");
+        p.verify(&d).expect("legal placement");
+        assert_eq!(p.stats.threads, threads);
+        if threads > 1 {
+            assert_eq!(p.stats.workers.len(), threads, "per-worker stats");
+            assert!(p.stats.winner.is_some(), "winner id recorded");
+        } else {
+            assert!(p.stats.workers.is_empty());
+            assert!(p.stats.winner.is_none());
+        }
+    }
+}
+
+#[test]
+fn infeasible_verdict_agrees_across_thread_counts() {
+    // Zero-slack full utilization: whatever the verdict, it must not
+    // depend on the thread count (portfolios share the formula).
+    let d = small();
+    let mut cfg = PlacerConfig::fast();
+    cfg.utilization = 1.0;
+    cfg.die_slack = 1.0;
+    let verdicts: Vec<bool> = [1, 2, 4]
+        .into_iter()
+        .map(|threads| match place(&d, cfg.clone(), threads) {
+            Ok(p) => {
+                p.verify(&d).expect("legal placement");
+                true
+            }
+            Err(PlaceError::Infeasible { .. }) => false,
+            Err(e) => panic!("unexpected error: {e}"),
+        })
+        .collect();
+    assert!(
+        verdicts.windows(2).all(|w| w[0] == w[1]),
+        "feasibility verdicts diverged across thread counts: {verdicts:?}"
+    );
+}
+
+#[test]
+fn single_thread_placements_are_bit_for_bit_deterministic() {
+    let d = small();
+    let a = place(&d, PlacerConfig::fast(), 1).expect("place");
+    let b = place(&d, PlacerConfig::fast(), 1).expect("place");
+    assert_eq!(a.cells, b.cells);
+    assert_eq!(a.regions, b.regions);
+    assert_eq!(a.dummy_cells, b.dummy_cells);
+    assert_eq!(a.stats.hpwl_trace, b.stats.hpwl_trace);
+    assert_eq!(a.stats.conflicts, b.stats.conflicts);
+}
+
+#[test]
+fn raised_cancel_flag_aborts_promptly() {
+    let d = small();
+    let stop = Arc::new(AtomicBool::new(true));
+    let placer = Placer::builder(&d)
+        .config(PlacerConfig::fast())
+        .threads(2)
+        .cancel_flag(Arc::clone(&stop))
+        .build()
+        .expect("encode");
+    let t0 = Instant::now();
+    let r = placer.place();
+    assert!(matches!(r, Err(PlaceError::Cancelled)), "got {r:?}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "cancellation must be prompt"
+    );
+}
+
+#[test]
+fn env_var_sets_default_thread_count() {
+    // Builder without .threads() honors AMSPLACE_THREADS; an explicit
+    // .threads() call wins over the environment. Explicit-thread callers
+    // elsewhere in this binary are unaffected by the temporary variable.
+    std::env::set_var("AMSPLACE_THREADS", "2");
+    let d = small();
+    let p = Placer::builder(&d)
+        .config(PlacerConfig::fast())
+        .build()
+        .expect("encode")
+        .place()
+        .expect("place");
+    assert_eq!(p.stats.threads, 2);
+    let p = place(&d, PlacerConfig::fast(), 1).expect("place");
+    assert_eq!(p.stats.threads, 1);
+    std::env::remove_var("AMSPLACE_THREADS");
+}
+
+#[test]
+#[ignore = "minutes in debug: three BUF placements; run with --ignored (release recommended)"]
+fn buf_agrees_across_thread_counts() {
+    let d = benchmarks::buf();
+    for threads in [1, 2, 4] {
+        let p = place(&d, quick(), threads).expect("buf must place");
+        p.verify(&d).expect("legal placement");
+        assert_eq!(p.stats.threads, threads);
+        if threads > 1 {
+            assert_eq!(p.stats.workers.len(), threads);
+            assert!(p.stats.winner.is_some());
+        }
+    }
+}
+
+#[test]
+#[ignore = "minutes in debug: full VCO placement on 4 workers; run with --ignored (release recommended)"]
+fn vco_places_on_four_threads_with_worker_stats() {
+    let d = benchmarks::vco();
+    let p = place(&d, quick(), 4).expect("vco must place");
+    p.verify(&d).expect("legal placement");
+    assert_eq!(p.stats.threads, 4);
+    assert_eq!(p.stats.workers.len(), 4, "per-worker stats");
+    assert!(p.stats.winner.is_some(), "winner id recorded");
+    let conflicts: u64 = p.stats.workers.iter().map(|w| w.conflicts).sum();
+    assert!(conflicts > 0, "workers report conflict counters");
+}

@@ -12,12 +12,15 @@
 //!
 //! ```no_run
 //! use ams_netlist::benchmarks;
-//! use ams_place::{PlacerConfig, SmtPlacer};
+//! use ams_place::{Placer, PlacerConfig};
 //! use ams_route::{route, RouterConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let design = benchmarks::buf();
-//! let placement = SmtPlacer::new(&design, PlacerConfig::fast())?.place()?;
+//! let placement = Placer::builder(&design)
+//!     .config(PlacerConfig::fast())
+//!     .build()?
+//!     .place()?;
 //! let routed = route(&design, &placement, RouterConfig::default());
 //! println!("RWL = {} tracks, {} vias", routed.wirelength, routed.vias);
 //! # Ok(())

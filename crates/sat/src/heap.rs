@@ -44,6 +44,13 @@ impl VarHeap {
         self.positions.get(v.index()).is_some_and(|&p| p != ABSENT)
     }
 
+    /// The variable stored at heap slot `i` (arbitrary order beyond the
+    /// root); used for random-branching diversification.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<Var> {
+        self.heap.get(i).copied()
+    }
+
     /// Inserts `v` if absent.
     pub fn insert(&mut self, v: Var, activity: &[f64]) {
         self.grow_to(v.index() + 1);

@@ -7,7 +7,9 @@
 //! Features: two-watched-literal propagation, first-UIP learning with
 //! recursive clause minimization, VSIDS + phase saving, Luby restarts,
 //! LBD-ordered learnt-database reduction, solving under assumptions with
-//! failed-assumption cores, and conflict/propagation budgets.
+//! failed-assumption cores, conflict/propagation budgets, cooperative
+//! cancellation ([`Solver::set_stop_flag`]), and a diversified parallel
+//! [`Portfolio`] with learnt-clause sharing.
 //!
 //! ## Example
 //!
@@ -27,10 +29,12 @@ mod clause;
 mod heap;
 mod lit;
 mod luby;
+mod portfolio;
 mod solver;
 
 pub use clause::{ClauseDb, ClauseRef};
 pub use heap::VarHeap;
 pub use lit::{Lbool, Lit, Var};
 pub use luby::luby;
-pub use solver::{SolveResult, Solver, Stats};
+pub use portfolio::{Portfolio, PortfolioConfig, PortfolioVerdict, WorkerStats};
+pub use solver::{ClauseExchange, SolveResult, Solver, Stats};

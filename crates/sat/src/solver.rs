@@ -14,6 +14,8 @@ use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::lit::{Lbool, Lit, Var};
 use crate::luby::luby;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -25,6 +27,28 @@ pub enum SolveResult {
     Unsat,
     /// A budget expired before a verdict was reached.
     Unknown,
+    /// The stop flag ([`Solver::set_stop_flag`]) was raised before a
+    /// verdict was reached — another portfolio worker won, or the caller
+    /// cancelled the solve. The solver stays usable.
+    Cancelled,
+}
+
+/// Learnt-clause exchange between cooperating solvers.
+///
+/// A portfolio driver installs one endpoint per worker with
+/// [`Solver::set_exchange`]; the solver offers every learnt clause through
+/// [`ClauseExchange::export`] and drains peer clauses at quiescent points
+/// (decision level zero, between restarts) through
+/// [`ClauseExchange::import`]. Imported clauses must be logical
+/// consequences of the shared formula — learnt clauses always are,
+/// regardless of the assumptions in effect when they were derived.
+pub trait ClauseExchange: Send {
+    /// Offers a freshly learnt clause with its literal-block distance;
+    /// returns whether the endpoint shared it with peers.
+    fn export(&mut self, lits: &[Lit], lbd: u32) -> bool;
+
+    /// Drains clauses received from peers since the last call.
+    fn import(&mut self) -> Vec<Vec<Lit>>;
 }
 
 /// Search statistics, cumulative across `solve` calls.
@@ -42,6 +66,10 @@ pub struct Stats {
     pub learnts: u64,
     /// Number of `solve` calls.
     pub solves: u64,
+    /// Learnt clauses exported through the [`ClauseExchange`] endpoint.
+    pub shared_exported: u64,
+    /// Peer clauses imported through the [`ClauseExchange`] endpoint.
+    pub shared_imported: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -68,7 +96,6 @@ struct Watcher {
 /// assert_eq!(solver.solve_with(&[!b]), SolveResult::Unsat);
 /// assert_eq!(solver.failed_assumptions(), &[!b]);
 /// ```
-#[derive(Debug)]
 pub struct Solver {
     db: ClauseDb,
     clauses: Vec<ClauseRef>,
@@ -106,6 +133,20 @@ pub struct Solver {
     /// reruns when new top-level facts exist.
     simplified_at: usize,
     stats: Stats,
+
+    // Diversification knobs (portfolio workers vary these; the defaults
+    // reproduce the historical single-thread behaviour bit-for-bit).
+    var_decay: f64,
+    restart_base: u64,
+    /// Xorshift state for random branching; branching is deterministic
+    /// when `rand_freq == 0.0` (the default).
+    rand_state: u64,
+    rand_freq: f64,
+
+    /// Cooperative cancellation, polled at quiescent points of the search.
+    stop: Option<Arc<AtomicBool>>,
+    /// Learnt-clause exchange endpoint (portfolio mode).
+    exchange: Option<Box<dyn ClauseExchange>>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -117,6 +158,63 @@ const LEARNT_GROWTH: f64 = 1.3;
 impl Default for Solver {
     fn default() -> Self {
         Solver::new()
+    }
+}
+
+impl std::fmt::Debug for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("vars", &self.num_vars())
+            .field("clauses", &self.clauses.len())
+            .field("learnts", &self.learnts.len())
+            .field("ok", &self.ok)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for Solver {
+    /// Clones the full solver state (clauses, learnts, activities, phases,
+    /// statistics). The [`ClauseExchange`] endpoint is *not* cloned — the
+    /// copy starts detached — while a stop flag, if set, is shared with
+    /// the clone.
+    fn clone(&self) -> Solver {
+        Solver {
+            db: self.db.clone(),
+            clauses: self.clauses.clone(),
+            learnts: self.learnts.clone(),
+            watches: self.watches.clone(),
+            assigns: self.assigns.clone(),
+            polarity: self.polarity.clone(),
+            user_polarity: self.user_polarity.clone(),
+            reason: self.reason.clone(),
+            level: self.level.clone(),
+            trail: self.trail.clone(),
+            trail_lim: self.trail_lim.clone(),
+            qhead: self.qhead,
+            activity: self.activity.clone(),
+            var_inc: self.var_inc,
+            order: self.order.clone(),
+            cla_inc: self.cla_inc,
+            ok: self.ok,
+            model: self.model.clone(),
+            conflict_core: self.conflict_core.clone(),
+            assumptions: self.assumptions.clone(),
+            seen: self.seen.clone(),
+            analyze_stack: self.analyze_stack.clone(),
+            analyze_toclear: self.analyze_toclear.clone(),
+            conflict_budget: self.conflict_budget,
+            propagation_budget: self.propagation_budget,
+            max_learnts: self.max_learnts,
+            simplified_at: self.simplified_at,
+            stats: self.stats,
+            var_decay: self.var_decay,
+            restart_base: self.restart_base,
+            rand_state: self.rand_state,
+            rand_freq: self.rand_freq,
+            stop: self.stop.clone(),
+            exchange: None,
+        }
     }
 }
 
@@ -152,6 +250,12 @@ impl Solver {
             max_learnts: 0.0,
             simplified_at: 0,
             stats: Stats::default(),
+            var_decay: VAR_DECAY,
+            restart_base: RESTART_BASE,
+            rand_state: 0,
+            rand_freq: 0.0,
+            stop: None,
+            exchange: None,
         }
     }
 
@@ -206,6 +310,100 @@ impl Solver {
     /// Limits the next `solve` calls to roughly `props` propagations.
     pub fn set_propagation_budget(&mut self, props: Option<u64>) {
         self.propagation_budget = props;
+    }
+
+    // --- portfolio hooks ------------------------------------------------
+
+    /// Installs (or clears) a cooperative stop flag. While the flag reads
+    /// `true`, `solve` returns [`SolveResult::Cancelled`] at the next
+    /// quiescent point; the solver state stays valid and reusable.
+    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.stop = stop;
+    }
+
+    /// Installs (or clears) a learnt-clause exchange endpoint.
+    pub fn set_exchange(&mut self, exchange: Option<Box<dyn ClauseExchange>>) {
+        self.exchange = exchange;
+    }
+
+    /// Sets the VSIDS activity decay factor (clamped to `[0.5, 0.999]`);
+    /// lower values make the search more greedy, a portfolio
+    /// diversification axis.
+    pub fn set_var_decay(&mut self, decay: f64) {
+        self.var_decay = decay.clamp(0.5, 0.999);
+    }
+
+    /// Sets the base conflict interval of the Luby restart sequence
+    /// (clamped to at least 1).
+    pub fn set_restart_base(&mut self, base: u64) {
+        self.restart_base = base.max(1);
+    }
+
+    /// Enables random branching: with probability `freq` a decision picks a
+    /// uniformly random entry of the branch heap instead of the VSIDS
+    /// maximum. `freq == 0.0` (the default) is fully deterministic.
+    pub fn set_random_branch(&mut self, seed: u64, freq: f64) {
+        // Xorshift needs a nonzero state.
+        self.rand_state = seed | 1;
+        self.rand_freq = freq.clamp(0.0, 1.0);
+    }
+
+    /// Overwrites every variable's saved phase with pseudo-random values
+    /// derived from `seed` — the polarity diversification axis. Explicit
+    /// [`Solver::set_polarity_hint`] values are preserved.
+    pub fn randomize_phases(&mut self, seed: u64) {
+        let mut state = seed | 1;
+        for (vi, p) in self.polarity.iter_mut().enumerate() {
+            if self.user_polarity[vi].is_none() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *p = state & 1 == 1;
+            }
+        }
+    }
+
+    /// Sets every variable's saved phase to `positive` (unless pinned by
+    /// [`Solver::set_polarity_hint`]) — the cheap "all-true / all-false
+    /// default polarity" diversification axis.
+    pub fn set_default_polarity(&mut self, positive: bool) {
+        for (vi, p) in self.polarity.iter_mut().enumerate() {
+            if self.user_polarity[vi].is_none() {
+                *p = positive;
+            }
+        }
+    }
+
+    #[inline]
+    fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rand_state ^= self.rand_state << 13;
+        self.rand_state ^= self.rand_state >> 7;
+        self.rand_state ^= self.rand_state << 17;
+        self.rand_state
+    }
+
+    /// Drains the exchange endpoint and attaches the received clauses.
+    /// Must be called at decision level zero; imported clauses are logical
+    /// consequences of the shared formula, so attaching them preserves
+    /// equivalence.
+    fn import_shared(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let Some(exchange) = self.exchange.as_mut() else {
+            return;
+        };
+        let incoming = exchange.import();
+        for lits in incoming {
+            self.stats.shared_imported += 1;
+            if !self.add_clause(&lits) {
+                break; // root conflict: the solver is now permanently UNSAT
+            }
+        }
     }
 
     /// Adds a clause; returns `false` if the formula became trivially
@@ -286,11 +484,19 @@ impl Solver {
 
         let mut restart = 1u64;
         let result = loop {
+            // Quiescent point: honor cancellation and merge peer clauses.
+            if self.stop_requested() {
+                break SolveResult::Cancelled;
+            }
+            self.import_shared();
+            if !self.ok {
+                break SolveResult::Unsat;
+            }
             let budget_left = self.budget_left(conflict_start, prop_start);
             if budget_left == Some(0) {
                 break SolveResult::Unknown;
             }
-            let limit = RESTART_BASE * luby(restart);
+            let limit = self.restart_base * luby(restart);
             let limit = match budget_left {
                 Some(b) => limit.min(b.max(1)),
                 None => limit,
@@ -749,11 +955,21 @@ impl Solver {
 
     fn record_learnt(&mut self, learnt: &[Lit]) {
         if learnt.len() == 1 {
+            if let Some(exchange) = self.exchange.as_mut() {
+                if exchange.export(learnt, 1) {
+                    self.stats.shared_exported += 1;
+                }
+            }
             self.unchecked_enqueue(learnt[0], None);
             return;
         }
         let cref = self.db.alloc(learnt, true);
         let lbd = self.compute_lbd(learnt);
+        if let Some(exchange) = self.exchange.as_mut() {
+            if exchange.export(learnt, lbd) {
+                self.stats.shared_exported += 1;
+            }
+        }
         self.db.set_lbd(cref, lbd);
         self.db.set_activity(cref, self.cla_inc);
         self.learnts.push(cref);
@@ -875,6 +1091,22 @@ impl Solver {
     }
 
     fn pick_branch_lit(&mut self) -> Option<Lit> {
+        // Random branching (diversification): with probability `rand_freq`
+        // decide on a uniformly random heap entry instead of the VSIDS max.
+        // The chosen variable stays in the heap; `pop_max` skips assigned
+        // variables, so no bookkeeping is needed.
+        if self.rand_freq > 0.0 && !self.order.is_empty() {
+            let coin = (self.next_rand() >> 11) as f64 / (1u64 << 53) as f64;
+            if coin < self.rand_freq {
+                let idx = self.next_rand() as usize % self.order.len();
+                if let Some(v) = self.order.get(idx) {
+                    if self.assigns[v.index()] == Lbool::Undef {
+                        self.stats.decisions += 1;
+                        return Some(Lit::new(v, self.polarity[v.index()]));
+                    }
+                }
+            }
+        }
         while let Some(v) = self.order.pop_max(&self.activity) {
             if self.assigns[v.index()] == Lbool::Undef {
                 self.stats.decisions += 1;
@@ -895,13 +1127,17 @@ impl Solver {
                     self.ok = false;
                     return Some(SolveResult::Unsat);
                 }
+                if self.stop_requested() {
+                    self.cancel_until(0);
+                    return Some(SolveResult::Cancelled);
+                }
                 let (learnt, backjump) = self.analyze(confl);
                 // Never backjump into the assumption prefix shallower than
                 // needed: cancel_until handles the standard case; assumption
                 // literals are re-established by the decision loop below.
                 self.cancel_until(backjump);
                 self.record_learnt(&learnt);
-                self.var_inc /= VAR_DECAY;
+                self.var_inc /= self.var_decay;
                 self.cla_inc /= CLAUSE_DECAY;
 
                 if self.learnts.len() as f64 >= self.max_learnts + self.trail.len() as f64 {
@@ -912,6 +1148,10 @@ impl Solver {
                 if conflicts_here >= conflict_limit {
                     self.cancel_until(0);
                     return None; // restart
+                }
+                if self.stop_requested() {
+                    self.cancel_until(0);
+                    return Some(SolveResult::Cancelled);
                 }
                 if self.decision_level() == 0 {
                     self.simplify();

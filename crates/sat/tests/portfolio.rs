@@ -1,0 +1,136 @@
+//! Portfolio integration tests: verdict agreement across thread counts and
+//! prompt cancellation, both externally triggered and winner-triggered.
+
+use ams_sat::{Lit, Portfolio, PortfolioConfig, SolveResult, Solver};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Unsatisfiable pigeonhole: n pigeons, n-1 holes.
+fn pigeonhole(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let x: Vec<Vec<Lit>> = (0..n)
+        .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &x {
+        s.add_clause(row);
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            for (&la, &lb) in x[a].iter().zip(&x[b]) {
+                s.add_clause(&[!la, !lb]);
+            }
+        }
+    }
+    s
+}
+
+/// Deterministic pseudo-random 3-SAT.
+fn random_3sat(vars: usize, clauses: usize, mut seed: u64) -> Solver {
+    let mut s = Solver::new();
+    let vs: Vec<_> = (0..vars).map(|_| s.new_var()).collect();
+    let mut next = || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (seed >> 33) as usize
+    };
+    for _ in 0..clauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = vs[next() % vars];
+                Lit::new(v, next() % 2 == 0)
+            })
+            .collect();
+        s.add_clause(&lits);
+    }
+    s
+}
+
+fn portfolio(threads: usize) -> Portfolio {
+    Portfolio::new(PortfolioConfig {
+        threads,
+        ..PortfolioConfig::default()
+    })
+}
+
+#[test]
+fn verdicts_agree_across_thread_counts() {
+    let instances: Vec<(Solver, SolveResult)> = vec![
+        (pigeonhole(7), SolveResult::Unsat),
+        (random_3sat(120, 380, 11), SolveResult::Sat),
+    ];
+    for (base, expected) in instances {
+        for threads in [1, 2, 4] {
+            let (winner, verdict) = portfolio(threads).solve(base.clone(), &[], None);
+            assert_eq!(verdict.result, expected, "threads={threads}");
+            assert_eq!(verdict.workers.len(), threads);
+            assert_eq!(
+                verdict.workers[verdict.winner].result,
+                Some(expected),
+                "winner stats must carry the verdict"
+            );
+            if expected == SolveResult::Sat {
+                // The winning solver must expose a readable model.
+                let _ = winner.value(ams_sat::Var::from_index(0));
+            }
+        }
+    }
+}
+
+#[test]
+fn losing_workers_stop_after_a_verdict() {
+    // Hard enough that no worker finishes within the winner's margin, so
+    // losers must be cancelled mid-search rather than completing.
+    let base = pigeonhole(9);
+    let (_, verdict) = portfolio(4).solve(base, &[], None);
+    assert_eq!(verdict.result, SolveResult::Unsat);
+    let finished = verdict
+        .workers
+        .iter()
+        .filter(|w| matches!(w.result, Some(SolveResult::Sat | SolveResult::Unsat)))
+        .count();
+    let cancelled = verdict
+        .workers
+        .iter()
+        .filter(|w| w.result == Some(SolveResult::Cancelled))
+        .count();
+    assert!(finished >= 1, "someone must have won");
+    assert_eq!(
+        finished + cancelled,
+        verdict.workers.len(),
+        "every non-winner must be cancelled, not left searching: {:?}",
+        verdict.workers
+    );
+}
+
+#[test]
+fn pre_raised_stop_flag_cancels_immediately() {
+    let mut base = pigeonhole(10);
+    let stop = Arc::new(AtomicBool::new(true));
+    base.set_stop_flag(Some(Arc::clone(&stop)));
+    let t0 = Instant::now();
+    assert_eq!(base.solve(), SolveResult::Cancelled);
+    assert!(
+        t0.elapsed() < Duration::from_secs(1),
+        "a raised flag must cancel at the first quiescent point"
+    );
+    // The solver stays usable once the flag clears.
+    stop.store(false, Ordering::Relaxed);
+    base.set_conflict_budget(Some(10));
+    assert_eq!(base.solve(), SolveResult::Unknown);
+}
+
+#[test]
+fn clause_sharing_reaches_peers() {
+    // A conflict-rich instance so low-LBD clauses actually flow.
+    let base = pigeonhole(8);
+    let (_, verdict) = portfolio(4).solve(base, &[], None);
+    assert_eq!(verdict.result, SolveResult::Unsat);
+    let exported: u64 = verdict.workers.iter().map(|w| w.exported).sum();
+    assert!(
+        exported > 0,
+        "no clauses were shared: {:?}",
+        verdict.workers
+    );
+}

@@ -34,5 +34,5 @@ mod pb;
 mod solver;
 mod term;
 
-pub use solver::{Smt, SmtResult};
+pub use solver::{PortfolioSummary, Smt, SmtResult};
 pub use term::{Sort, Term, TermKind, TermPool};

@@ -3,8 +3,12 @@
 use crate::blast::Blaster;
 use crate::pb;
 use crate::term::{truncate, Sort, Term, TermKind, TermPool};
-use ams_sat::{Lit, SolveResult, Solver};
+use ams_sat::{
+    Lit, Portfolio, PortfolioConfig, PortfolioVerdict, SolveResult, Solver, WorkerStats,
+};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Result of an [`Smt::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -15,6 +19,21 @@ pub enum SmtResult {
     Unsat,
     /// A solver budget expired.
     Unknown,
+    /// The solve was cancelled through the stop flag
+    /// ([`Smt::set_stop_flag`]) before a verdict.
+    Cancelled,
+}
+
+/// Aggregated portfolio statistics across the [`Smt`] solver's lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PortfolioSummary {
+    /// Per-worker counters summed over every portfolio solve; the
+    /// per-call `result` field is the worker's outcome in the *last* solve.
+    pub workers: Vec<WorkerStats>,
+    /// Winning worker id of the most recent portfolio solve.
+    pub last_winner: Option<usize>,
+    /// Number of solve calls dispatched to the portfolio.
+    pub solves: u64,
 }
 
 /// An incremental QF_BV SMT solver over a CDCL SAT core.
@@ -61,6 +80,13 @@ pub struct Smt {
     /// on it, so whole constraint families can be enabled per solve via
     /// assumptions (the UNSAT-explanation mechanism).
     guard: Option<Term>,
+    /// When set with more than one thread, solves dispatch to a parallel
+    /// portfolio over diversified clones of the SAT core.
+    portfolio: Option<PortfolioConfig>,
+    /// Cooperative cancellation for both sequential and portfolio solves.
+    stop: Option<Arc<AtomicBool>>,
+    /// Aggregated portfolio counters across solve calls.
+    portfolio_summary: PortfolioSummary,
 }
 
 impl std::fmt::Debug for Smt {
@@ -124,8 +150,29 @@ impl Smt {
     }
 
     /// Bounds the conflicts of subsequent `solve` calls (anytime solving).
+    ///
+    /// In portfolio mode the budget applies to each worker independently.
     pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
         self.sat.set_conflict_budget(conflicts);
+    }
+
+    /// Enables (or disables) parallel portfolio solving. With `None`, or a
+    /// configuration whose `threads <= 1`, solves run sequentially on the
+    /// calling thread — bit-for-bit deterministic.
+    pub fn set_portfolio(&mut self, config: Option<PortfolioConfig>) {
+        self.portfolio = config;
+    }
+
+    /// Installs (or clears) a cooperative stop flag: raising it makes the
+    /// current and subsequent solves return [`SmtResult::Cancelled`].
+    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.stop = stop;
+    }
+
+    /// Aggregated portfolio statistics; `workers` is empty until a solve
+    /// actually dispatches to the portfolio.
+    pub fn portfolio_summary(&self) -> &PortfolioSummary {
+        &self.portfolio_summary
     }
 
     // --- term constructors -------------------------------------------
@@ -349,9 +396,10 @@ impl Smt {
             self.assumption_map.insert(l, t);
             lits.push(l);
         }
-        match self.sat.solve_with(&lits) {
+        match self.solve_sat(&lits) {
             SolveResult::Sat => SmtResult::Sat,
             SolveResult::Unknown => SmtResult::Unknown,
+            SolveResult::Cancelled => SmtResult::Cancelled,
             SolveResult::Unsat => {
                 self.failed = self
                     .sat
@@ -362,6 +410,49 @@ impl Smt {
                 SmtResult::Unsat
             }
         }
+    }
+
+    /// Runs the SAT core on `lits`, dispatching to the parallel portfolio
+    /// when one is configured with more than one thread. The winning
+    /// worker's solver replaces the core, so models, failed assumptions,
+    /// and learnt clauses carry over to subsequent incremental calls.
+    fn solve_sat(&mut self, lits: &[Lit]) -> SolveResult {
+        match self.portfolio {
+            Some(cfg) if cfg.threads > 1 => {
+                let base = std::mem::replace(&mut self.sat, Solver::new());
+                let (winner, verdict) = Portfolio::new(cfg).solve(base, lits, self.stop.as_ref());
+                self.sat = winner;
+                self.record_portfolio(&verdict);
+                verdict.result
+            }
+            _ => {
+                self.sat.set_stop_flag(self.stop.clone());
+                let result = self.sat.solve_with(lits);
+                self.sat.set_stop_flag(None);
+                result
+            }
+        }
+    }
+
+    /// Folds one portfolio verdict into the running summary.
+    fn record_portfolio(&mut self, verdict: &PortfolioVerdict) {
+        let summary = &mut self.portfolio_summary;
+        if summary.workers.len() < verdict.workers.len() {
+            summary
+                .workers
+                .resize_with(verdict.workers.len(), WorkerStats::default);
+        }
+        for (acc, w) in summary.workers.iter_mut().zip(&verdict.workers) {
+            acc.id = w.id;
+            acc.conflicts += w.conflicts;
+            acc.decisions += w.decisions;
+            acc.restarts += w.restarts;
+            acc.exported += w.exported;
+            acc.imported += w.imported;
+            acc.result = w.result;
+        }
+        summary.last_winner = Some(verdict.winner);
+        summary.solves += 1;
     }
 
     /// After `Unsat` from [`Smt::solve_with`], the failing assumption terms.
@@ -583,7 +674,9 @@ mod tests {
                     rounds += 1;
                 }
                 SmtResult::Unsat => break,
-                SmtResult::Unknown => panic!("no budget set"),
+                SmtResult::Unknown | SmtResult::Cancelled => {
+                    panic!("no budget or stop flag was set")
+                }
             }
         }
         assert!(rounds >= 1);
@@ -695,5 +788,56 @@ mod tests {
         let y = smt.bv_const(8, 5);
         let z = smt.add(x, y);
         assert_eq!(smt.bv_value(z), 12);
+    }
+
+    #[test]
+    fn portfolio_dispatch_agrees_with_sequential() {
+        for threads in [1usize, 2, 4] {
+            let mut smt = Smt::new();
+            smt.set_portfolio(Some(PortfolioConfig {
+                threads,
+                ..PortfolioConfig::default()
+            }));
+            let x = smt.bv_var(8, "x");
+            let c200 = smt.bv_const(8, 200);
+            let c220 = smt.bv_const(8, 220);
+            let lo = smt.ugt(x, c200);
+            let hi = smt.ult(x, c220);
+            smt.assert(lo);
+            smt.assert(hi);
+            assert_eq!(smt.solve(), SmtResult::Sat, "threads={threads}");
+            let v = smt.bv_value(x);
+            assert!(v > 200 && v < 220);
+            // Assumptions must reach every worker: force an UNSAT core.
+            let c100 = smt.bv_const(8, 100);
+            let low = smt.ult(x, c100);
+            assert_eq!(smt.solve_with(&[low]), SmtResult::Unsat);
+            assert_eq!(smt.failed_assumptions(), &[low]);
+            // Retracting the assumption restores satisfiability.
+            assert_eq!(smt.solve(), SmtResult::Sat);
+            let summary = smt.portfolio_summary();
+            if threads > 1 {
+                assert_eq!(summary.workers.len(), threads);
+                assert_eq!(summary.solves, 3);
+                assert!(summary.last_winner.is_some());
+            } else {
+                assert!(summary.workers.is_empty());
+                assert_eq!(summary.solves, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn raised_stop_flag_cancels_smt_solve() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(8, "x");
+        let c3 = smt.bv_const(8, 3);
+        let c = smt.ugt(x, c3);
+        smt.assert(c);
+        let stop = Arc::new(AtomicBool::new(true));
+        smt.set_stop_flag(Some(Arc::clone(&stop)));
+        assert_eq!(smt.solve(), SmtResult::Cancelled);
+        stop.store(false, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(smt.solve(), SmtResult::Sat);
     }
 }

@@ -6,8 +6,7 @@
 //! cargo run --release --example buf_flow
 //! ```
 
-use finfet_ams_place::netlist::benchmarks;
-use finfet_ams_place::place::{PlacerConfig, SmtPlacer};
+use finfet_ams_place::prelude::*;
 use finfet_ams_place::route::{route, RouterConfig};
 use finfet_ams_place::sim::{analyze_buf, extract, Tech};
 
@@ -25,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         println!("=== BUF {label} ===");
-        let placement = SmtPlacer::new(&design, arm_cfg)?.place()?;
+        let placement = Placer::builder(&design).config(arm_cfg).build()?.place()?;
         placement.verify(&design).expect("legal placement");
         let routed = route(&design, &placement, RouterConfig::default());
         let nets = extract(&design, &placement, &routed, &Tech::n5());

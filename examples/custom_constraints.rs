@@ -7,10 +7,10 @@
 //! ```
 
 use finfet_ams_place::netlist::{
-    ArrayConstraint, ArrayPattern, ClusterConstraint, Design, DesignBuilder, ExtensionConstraint,
-    ExtensionTarget, SymmetryAxis, SymmetryGroup, SymmetryPair,
+    ArrayConstraint, ArrayPattern, ClusterConstraint, ExtensionConstraint, ExtensionTarget,
+    SymmetryAxis, SymmetryGroup, SymmetryPair,
 };
-use finfet_ams_place::place::{Placement, PlacerConfig, SmtPlacer};
+use finfet_ams_place::prelude::*;
 
 fn build() -> Result<Design, Box<dyn std::error::Error>> {
     let mut b = DesignBuilder::new("showcase");
@@ -98,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== all constraint families on ===");
     let mut config = PlacerConfig::fast();
     config.die_slack = 1.6; // generous sizing for a toy-scale die
-    let full = SmtPlacer::new(&design, config.clone())?.place()?;
+    let full = Placer::builder(&design)
+        .config(config.clone())
+        .build()?
+        .place()?;
     full.verify(&design).expect("legal");
     ascii(&design, &full);
     println!(
@@ -109,7 +112,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== AMS families off (critical constraints only) ===");
     let plain_design = design.without_constraints();
-    let plain = SmtPlacer::new(&plain_design, config.without_ams_constraints())?.place()?;
+    let plain = Placer::builder(&plain_design)
+        .config(config.without_ams_constraints())
+        .build()?
+        .place()?;
     plain.verify(&plain_design).expect("legal");
     ascii(&plain_design, &plain);
     println!(

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use finfet_ams_place::netlist::{DesignBuilder, SymmetryAxis, SymmetryGroup, SymmetryPair};
-use finfet_ams_place::place::{PlacerConfig, SmtPlacer};
+use finfet_ams_place::netlist::{SymmetryAxis, SymmetryGroup, SymmetryPair};
+use finfet_ams_place::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A differential pair with a tail source and two load cells.
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // odd-width span); give this 5-cell toy generous sizing slack.
     let mut config = PlacerConfig::fast();
     config.die_slack = 1.6;
-    let placement = SmtPlacer::new(&design, config)?.place()?;
+    let placement = Placer::builder(&design).config(config).build()?.place()?;
     placement.verify(&design).expect("placement is legal");
 
     println!(

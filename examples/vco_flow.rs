@@ -6,8 +6,7 @@
 //! cargo run --release --example vco_flow
 //! ```
 
-use finfet_ams_place::netlist::benchmarks;
-use finfet_ams_place::place::{PlacerConfig, SmtPlacer};
+use finfet_ams_place::prelude::*;
 use finfet_ams_place::route::{route, RouterConfig};
 use finfet_ams_place::sim::{extract, Tech, VcoModel};
 
@@ -21,8 +20,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "placing the VCO ({} cells, 2 regions)...",
         design.cells().len()
     );
-    let placement = SmtPlacer::new(&design, cfg)?.place()?;
+    // `.threads()` is left unset, so AMSPLACE_THREADS (when exported)
+    // switches this run onto the parallel portfolio.
+    let placement = Placer::builder(&design).config(cfg).build()?.place()?;
     placement.verify(&design).expect("legal placement");
+    if placement.stats.threads > 1 {
+        println!(
+            "portfolio: {} workers, winner {:?}",
+            placement.stats.threads, placement.stats.winner
+        );
+        for w in &placement.stats.workers {
+            println!(
+                "  worker {}: {} conflicts, shared {} out / {} in",
+                w.id, w.conflicts, w.exported, w.imported
+            );
+        }
+    }
     let routed = route(&design, &placement, RouterConfig::default());
     println!(
         "routed: {:.1} µm wire, {} vias, overflow {}",

@@ -13,4 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo test (parallel portfolio, AMSPLACE_THREADS=4)"
+# Re-runs the placement-facing suites with the portfolio as the default
+# solver path, so the multi-threaded dispatch stays covered by CI.
+AMSPLACE_THREADS=4 cargo test -q -p ams-place -p finfet-ams-place
+
 echo "All checks passed."

@@ -10,7 +10,7 @@
 
 use finfet_ams_place::netlist::{benchmarks, Design};
 use finfet_ams_place::place::analysis::{self, UnsatOutcome};
-use finfet_ams_place::place::{render_svg, PlaceError, PlacerConfig, SmtPlacer};
+use finfet_ams_place::place::{render_svg, PlaceError, Placer, PlacerConfig};
 use finfet_ams_place::route::{route, RouterConfig};
 use std::process::ExitCode;
 
@@ -26,6 +26,8 @@ options:
   --no-ams          drop the AMS constraint families (w/o-Cstr. arm)
   --iters <n>       optimization iterations (default 2)
   --budget <n>      conflict budget per optimization round (default 100000)
+  --threads <n>     parallel portfolio workers (default: AMSPLACE_THREADS
+                    from the environment, else 1 = sequential)
   --quick           small budgets for a fast smoke run
 
 lint mode runs the AMS-Exxx pre-solve checks and exits nonzero iff any
@@ -45,6 +47,7 @@ struct Args {
     no_ams: bool,
     iters: usize,
     budget: u64,
+    threads: Option<usize>,
     quick: bool,
 }
 
@@ -60,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         no_ams: false,
         iters: 2,
         budget: 100_000,
+        threads: None,
         quick: false,
     };
     let mut first_positional = true;
@@ -91,6 +95,15 @@ fn parse_args() -> Result<Args, String> {
                 args.budget = value("--budget")?
                     .parse()
                     .map_err(|e| format!("--budget: {e}"))?
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
             }
             "-h" | "--help" => return Err(String::new()),
             other if !other.starts_with('-') => {
@@ -247,7 +260,11 @@ fn main() -> ExitCode {
         design.cells().len(),
         design.nets().len()
     );
-    let placement = match SmtPlacer::new(&design, config.clone()).and_then(|p| p.place()) {
+    let mut builder = Placer::builder(&design).config(config);
+    if let Some(n) = args.threads {
+        builder = builder.threads(n);
+    }
+    let placement = match builder.build().and_then(|p| p.place()) {
         Ok(p) => p,
         Err(PlaceError::Lint(report)) => {
             eprintln!("error: the design fails the pre-solve lint:");
@@ -255,14 +272,13 @@ fn main() -> ExitCode {
             eprintln!("hint: `amsplace lint {path}` re-runs these checks standalone");
             return ExitCode::FAILURE;
         }
-        Err(e @ PlaceError::Infeasible) => {
-            eprintln!("error: {e}");
-            match finfet_ams_place::place::analysis::explain_unsat(&design, &config) {
-                UnsatOutcome::Conflict(families) => {
-                    let names: Vec<&str> = families.iter().map(|f| f.name()).collect();
-                    eprintln!("conflicting constraint families: {}", names.join(" + "));
-                }
-                _ => eprintln!("(no conflict attribution available)"),
+        Err(PlaceError::Infeasible { conflict }) => {
+            eprintln!("error: no legal placement exists for the sized die");
+            if conflict.is_empty() {
+                eprintln!("(no conflict attribution available)");
+            } else {
+                let names: Vec<&str> = conflict.iter().map(|f| f.name()).collect();
+                eprintln!("conflicting constraint families: {}", names.join(" + "));
             }
             return ExitCode::FAILURE;
         }
@@ -288,6 +304,22 @@ fn main() -> ExitCode {
         placement.stats.iterations,
         placement.stats.runtime
     );
+    if placement.stats.threads > 1 {
+        let winner = placement
+            .stats
+            .winner
+            .map_or_else(|| "-".to_string(), |w| w.to_string());
+        println!(
+            "portfolio: {} workers, winner {winner}",
+            placement.stats.threads
+        );
+        for w in &placement.stats.workers {
+            println!(
+                "  worker {}: {} conflicts, {} decisions, {} restarts, shared {} out / {} in",
+                w.id, w.conflicts, w.decisions, w.restarts, w.exported, w.imported
+            );
+        }
+    }
 
     if args.do_route {
         let routed = route(&design, &placement, RouterConfig::default());

@@ -14,19 +14,26 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use finfet_ams_place::netlist::benchmarks;
-//! use finfet_ams_place::place::{PlacerConfig, SmtPlacer};
+//! ```no_run
+//! use finfet_ams_place::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let design = benchmarks::buf();
-//! let config = PlacerConfig::fast();
-//! let placement = SmtPlacer::new(&design, config)?.place()?;
+//! let placement = Placer::builder(&design)
+//!     .config(PlacerConfig::fast())
+//!     .build()?
+//!     .place()?;
 //! assert!(placement.verify(&design).is_ok());
 //! println!("HPWL = {}", placement.hpwl(&design));
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Parallel portfolio solving is one builder knob away —
+//! `.threads(4)` fans every SAT call of the incremental loop out over
+//! diversified workers, and `placement.stats.workers` reports per-worker
+//! conflict/clause-sharing counters. `threads(1)` (the default) stays
+//! bit-for-bit deterministic.
 
 pub use ams_netlist as netlist;
 pub use ams_place as place;
@@ -34,3 +41,30 @@ pub use ams_route as route;
 pub use ams_sat as sat;
 pub use ams_sim as sim;
 pub use ams_smt as smt;
+
+/// The stable one-import API surface: everything the common
+/// encode → place → verify flow needs.
+///
+/// ```no_run
+/// use finfet_ams_place::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = benchmarks::buf();
+/// let placement = Placer::builder(&design)
+///     .config(PlacerConfig::fast())
+///     .threads(4)
+///     .build()?
+///     .place()?;
+/// assert!(placement.verify(&design).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use ams_netlist::{benchmarks, Design, DesignBuilder, LintReport, Rect};
+    pub use ams_place::analysis::{explain_unsat, lint, ConstraintFamily, UnsatOutcome};
+    pub use ams_place::{
+        PlaceError, PlaceStats, Placement, Placer, PlacerBuilder, PlacerConfig, SolverConfig,
+    };
+    pub use ams_sat::{PortfolioConfig, WorkerStats};
+    pub use ams_smt::PortfolioSummary;
+}

@@ -1,7 +1,7 @@
 //! Cross-crate integration: netlist → placement → routing → extraction.
 
 use finfet_ams_place::netlist::benchmarks::{self, SyntheticParams};
-use finfet_ams_place::place::{PlacerConfig, SmtPlacer};
+use finfet_ams_place::place::{Placer, PlacerConfig};
 use finfet_ams_place::route::{route, RouterConfig};
 use finfet_ams_place::sim::{extract, Tech};
 
@@ -18,7 +18,9 @@ fn place_small(
         seed,
         ..Default::default()
     });
-    let placement = SmtPlacer::new(&design, PlacerConfig::fast())
+    let placement = Placer::builder(&design)
+        .config(PlacerConfig::fast())
+        .build()
         .expect("encode")
         .place()
         .expect("place");
