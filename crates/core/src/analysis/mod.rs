@@ -14,6 +14,7 @@
 //! Booleans and names the conflicting constraint-family combination.
 
 mod capacity;
+mod configcheck;
 mod density;
 mod explain;
 mod structure;
@@ -52,6 +53,7 @@ pub fn lint_with(
     config: &PlacerConfig,
 ) -> LintReport {
     let mut report = LintReport::new();
+    configcheck::check(config, &mut report);
     structure::check(design, constraints, &mut report);
     let scale = ScaleInfo::compute(design, config);
     let plan = if config.toggles.power_abutment {

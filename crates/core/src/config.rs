@@ -1,5 +1,7 @@
 //! Placement engine configuration.
 
+use std::time::Duration;
+
 /// Which constraint families to encode.
 ///
 /// The paper's "w/ Cstr." arm enables everything; "w/o Cstr." disables the
@@ -135,6 +137,13 @@ pub struct SolverConfig {
     pub share_lbd_max: u32,
     /// Base seed for worker diversification (phase/branching randomness).
     pub seed: u64,
+    /// Wall-clock deadline for the whole `place()` call, covering every
+    /// SAT round and relaxation rung. When it expires after the first
+    /// model, the best placement so far is returned (tagged
+    /// `PlaceOutcome::Anytime`); before any model, the solve fails with
+    /// `PlaceError::DeadlineExpired`. `None` (the default) never reads
+    /// the clock during search, preserving sequential determinism.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SolverConfig {
@@ -143,6 +152,28 @@ impl Default for SolverConfig {
             threads: 1,
             share_lbd_max: 4,
             seed: 0x5EED,
+            deadline: None,
+        }
+    }
+}
+
+/// Infeasibility-recovery behaviour: when the first solve is UNSAT, the
+/// placer consumes the UNSAT explanation and retries with targeted
+/// relaxations (a bounded ladder) instead of failing outright.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Whether the relaxation ladder runs at all. With `false`,
+    /// `Infeasible` is returned on the first UNSAT as before.
+    pub enabled: bool,
+    /// Maximum relaxation rungs to attempt before giving up.
+    pub max_rungs: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            enabled: true,
+            max_rungs: 4,
         }
     }
 }
@@ -173,8 +204,15 @@ pub struct PlacerConfig {
     /// Dramatically easier to solve; `false` reverts to the literal
     /// encoding for ablation.
     pub array_slots: bool,
-    /// SAT-core execution: thread count and clause-sharing policy.
+    /// SAT-core execution: thread count, clause-sharing policy, deadline.
     pub solver: SolverConfig,
+    /// Infeasibility-recovery (relaxation ladder) behaviour.
+    pub recovery: RecoveryConfig,
+    /// Scale factor on extension-constraint margins (Eq. 11), in `[0, 1]`.
+    /// `1.0` (the default) honors the margins as specified; the recovery
+    /// ladder lowers it to relax over-constrained designs, and `0.0`
+    /// disables the margins entirely.
+    pub extension_scale: f64,
 }
 
 impl Default for PlacerConfig {
@@ -189,6 +227,8 @@ impl Default for PlacerConfig {
             exact_bbox: false,
             array_slots: true,
             solver: SolverConfig::default(),
+            recovery: RecoveryConfig::default(),
+            extension_scale: 1.0,
         }
     }
 }
@@ -233,18 +273,39 @@ impl PlacerConfig {
                 self.aspect_ratio
             ));
         }
-        if self.die_slack < 1.0 {
-            return Err(format!("die slack {} must be >= 1", self.die_slack));
+        if !(self.die_slack >= 1.0 && self.die_slack.is_finite()) {
+            return Err(format!(
+                "die slack {} must be finite and >= 1",
+                self.die_slack
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.extension_scale) {
+            return Err(format!(
+                "extension_scale {} outside [0, 1]",
+                self.extension_scale
+            ));
         }
         let o = &self.optimize;
         if !(o.zeta_start > 0.0 && o.zeta_start <= 1.0) {
             return Err(format!("zeta_start {} outside (0, 1]", o.zeta_start));
+        }
+        if !(o.zeta_step >= 0.0 && o.zeta_step.is_finite()) {
+            return Err(format!("zeta_step {} must be finite and >= 0", o.zeta_step));
+        }
+        if !(o.zeta_min > 0.0 && o.zeta_min <= 1.0) {
+            return Err(format!("zeta_min {} outside (0, 1]", o.zeta_min));
         }
         if !(0.0..=1.0).contains(&o.freeze_fraction) {
             return Err(format!(
                 "freeze_fraction {} outside [0, 1]",
                 o.freeze_fraction
             ));
+        }
+        if o.conflict_budget == Some(0) || o.first_conflict_budget == Some(0) {
+            return Err("a conflict budget of 0 can never solve; use None to disable".into());
+        }
+        if self.solver.deadline == Some(Duration::ZERO) {
+            return Err("a zero deadline expires before solving; use None to disable".into());
         }
         if self.solver.threads == 0 {
             return Err("solver threads must be at least 1".into());
@@ -259,9 +320,9 @@ impl PlacerConfig {
             if pd.beta_x == 0 || pd.beta_y == 0 || pd.stride_x == 0 || pd.stride_y == 0 {
                 return Err("pin-density window and stride must be nonzero".into());
             }
-            if pd.auto_margin < 1.0 {
+            if !(pd.auto_margin >= 1.0 && pd.auto_margin.is_finite()) {
                 return Err(format!(
-                    "pin-density auto margin {} must be >= 1",
+                    "pin-density auto margin {} must be finite and >= 1",
                     pd.auto_margin
                 ));
             }
@@ -311,6 +372,39 @@ mod tests {
         assert_eq!(c.validate(), Ok(()));
         c.solver.threads = 1000;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn non_finite_and_zero_robustness_params_are_rejected() {
+        let c = PlacerConfig {
+            die_slack: f64::NAN,
+            ..PlacerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = PlacerConfig::default();
+        c.optimize.freeze_fraction = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = PlacerConfig::default();
+        c.optimize.zeta_step = f64::INFINITY;
+        assert!(c.validate().is_err());
+        let mut c = PlacerConfig::default();
+        c.optimize.zeta_min = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = PlacerConfig::default();
+        c.optimize.conflict_budget = Some(0);
+        assert!(c.validate().is_err());
+        let mut c = PlacerConfig::default();
+        c.solver.deadline = Some(Duration::ZERO);
+        assert!(c.validate().is_err());
+        let c = PlacerConfig {
+            extension_scale: -0.5,
+            ..PlacerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = PlacerConfig::default();
+        c.solver.deadline = Some(Duration::from_millis(50));
+        c.extension_scale = 0.5;
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -31,13 +31,22 @@ pub(crate) fn cell_margins(
     for e in &design.constraints().extensions {
         if let ExtensionTarget::Cell(c) = e.target {
             let mm = &mut m[c.index()];
-            mm.left = mm.left.max(scale.scale_x_ceil(e.left));
-            mm.right = mm.right.max(scale.scale_x_ceil(e.right));
-            mm.bottom = mm.bottom.max(scale.scale_y_ceil(e.bottom));
-            mm.top = mm.top.max(scale.scale_y_ceil(e.top));
+            mm.left = mm.left.max(rescale(scale.scale_x_ceil(e.left), config));
+            mm.right = mm.right.max(rescale(scale.scale_x_ceil(e.right), config));
+            mm.bottom = mm.bottom.max(rescale(scale.scale_y_ceil(e.bottom), config));
+            mm.top = mm.top.max(rescale(scale.scale_y_ceil(e.top), config));
         }
     }
     m
+}
+
+/// Applies the recovery ladder's extension-margin scale factor
+/// ([`PlacerConfig::extension_scale`], 1.0 outside recovery).
+fn rescale(margin: u32, config: &PlacerConfig) -> u32 {
+    if config.extension_scale >= 1.0 {
+        return margin;
+    }
+    (f64::from(margin) * config.extension_scale).floor() as u32
 }
 
 /// Scaled extra margins around a region from region-target extensions.
@@ -53,10 +62,10 @@ pub(crate) fn region_margins(
     }
     for e in &design.constraints().extensions {
         if e.target == ExtensionTarget::Region(r) {
-            m.left = m.left.max(scale.scale_x_ceil(e.left));
-            m.right = m.right.max(scale.scale_x_ceil(e.right));
-            m.bottom = m.bottom.max(scale.scale_y_ceil(e.bottom));
-            m.top = m.top.max(scale.scale_y_ceil(e.top));
+            m.left = m.left.max(rescale(scale.scale_x_ceil(e.left), config));
+            m.right = m.right.max(rescale(scale.scale_x_ceil(e.right), config));
+            m.bottom = m.bottom.max(rescale(scale.scale_y_ceil(e.bottom), config));
+            m.top = m.top.max(rescale(scale.scale_y_ceil(e.top), config));
         }
     }
     m

@@ -55,9 +55,12 @@ mod scale;
 mod svg;
 mod vars;
 
-pub use config::{ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig, SolverConfig};
+pub use config::{
+    ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig, RecoveryConfig, SolverConfig,
+};
 pub use placement::{
-    placement_from_rects, PinDensityCheck, PlaceStats, Placement, Violation, ViolationKind,
+    placement_from_rects, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats, Placement,
+    Relaxation, Violation, ViolationKind,
 };
 pub use placer::{PlaceError, Placer, PlacerBuilder, SmtPlacer};
 pub use power::{PowerPlan, RegionPowerPlan};

@@ -57,9 +57,111 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Why an [`PlaceOutcome::Anytime`] placement stopped short of the full
+/// optimization schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradeReason {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The per-round conflict (or propagation) budget ran out.
+    ConflictBudget,
+    /// The solver infrastructure degraded mid-run (e.g. every portfolio
+    /// worker of a later round panicked) after a model was already found.
+    SolverFailure,
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradeReason::Deadline => "deadline expired",
+            DegradeReason::ConflictBudget => "conflict budget exhausted",
+            DegradeReason::SolverFailure => "solver failure",
+        })
+    }
+}
+
+/// One relaxation rung applied by the infeasibility-recovery ladder.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Relaxation {
+    /// The pin-density threshold `λ_th` (Eq. 14) was raised.
+    RaisePinDensity {
+        /// Threshold before the rung.
+        from: u64,
+        /// Threshold after the rung.
+        to: u64,
+    },
+    /// Extension margins (Eq. 11) were scaled down; `0.0` disables them.
+    RelaxExtensions {
+        /// The new margin scale factor in `[0, 1)`.
+        scale: f64,
+    },
+    /// The die was widened by raising the slack factor, admitting more
+    /// region dimension candidates (Eq. 4–5).
+    WidenDie {
+        /// The new die slack factor.
+        die_slack: f64,
+    },
+}
+
+impl fmt::Display for Relaxation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relaxation::RaisePinDensity { from, to } => {
+                write!(f, "raised pin-density threshold λ_th {from} → {to}")
+            }
+            Relaxation::RelaxExtensions { scale } => {
+                write!(f, "scaled extension margins to {scale:.2}×")
+            }
+            Relaxation::WidenDie { die_slack } => {
+                write!(f, "widened die slack to {die_slack:.2}×")
+            }
+        }
+    }
+}
+
+/// Quality tag of a returned placement: did the run complete its schedule,
+/// degrade gracefully, or recover from infeasibility?
+#[derive(Clone, PartialEq, Debug, Default)]
+pub enum PlaceOutcome {
+    /// The optimization schedule ran to completion (UNSAT-proven optimum
+    /// of the final ζ round, or the configured iteration count).
+    #[default]
+    Optimal,
+    /// Best-so-far model returned after the deadline or budget expired
+    /// mid-schedule; the placement is legal but less optimized.
+    Anytime {
+        /// SAT rounds that completed before degradation.
+        rounds: usize,
+        /// What cut the schedule short.
+        reason: DegradeReason,
+    },
+    /// The initial constraint system was infeasible; the listed
+    /// relaxations were applied (in order) to obtain this placement.
+    Recovered {
+        /// Every rung applied, in application order.
+        relaxations: Vec<Relaxation>,
+    },
+}
+
+impl fmt::Display for PlaceOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceOutcome::Optimal => f.write_str("optimal"),
+            PlaceOutcome::Anytime { rounds, reason } => {
+                write!(f, "anytime ({reason} after {rounds} round(s))")
+            }
+            PlaceOutcome::Recovered { relaxations } => {
+                write!(f, "recovered ({} relaxation rung(s))", relaxations.len())
+            }
+        }
+    }
+}
+
 /// Search/optimization statistics of a placement run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PlaceStats {
+    /// Quality tag: optimal, anytime-degraded, or recovered-from-UNSAT.
+    pub outcome: PlaceOutcome,
     /// Optimization iterations performed (Algorithm 1 loop count).
     pub iterations: usize,
     /// Wall-clock runtime of the placement (encode + solve + post).

@@ -2,20 +2,22 @@
 //! (Algorithm 1) → post-processing.
 
 use crate::analysis::{ConstraintFamily, UnsatOutcome};
-use crate::config::PlacerConfig;
+use crate::config::{PinDensityConfig, PlacerConfig};
 use crate::encode;
-use crate::placement::{PinDensityCheck, PlaceStats, Placement};
+use crate::placement::{
+    DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats, Placement, Relaxation,
+};
 use crate::power::PowerPlan;
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
-use ams_netlist::{CellId, Design, LintReport, Rect, RegionId};
-use ams_sat::PortfolioConfig;
+use ams_netlist::{CellId, Design, DiagCode, LintReport, Rect, RegionId};
+use ams_sat::{PortfolioConfig, StopCause};
 use ams_smt::{Smt, SmtResult, Term};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Placement failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -35,9 +37,18 @@ pub enum PlaceError {
     },
     /// The first solve exhausted its conflict budget without a verdict.
     BudgetExhausted,
+    /// The wall-clock deadline ([`PlacerBuilder::deadline`] /
+    /// [`crate::SolverConfig::deadline`]) expired before *any* model was
+    /// found. Once a model exists the deadline degrades the result to
+    /// [`crate::PlaceOutcome::Anytime`] instead of erroring.
+    DeadlineExpired,
     /// The run was cancelled through the cancel flag
     /// ([`PlacerBuilder::cancel_flag`]) before completing.
     Cancelled,
+    /// An internal invariant failed — e.g. every portfolio worker panicked
+    /// before a first model existed. Never caused by the design or the
+    /// configuration; the message is diagnostic.
+    Internal(String),
 }
 
 impl fmt::Display for PlaceError {
@@ -66,8 +77,14 @@ impl fmt::Display for PlaceError {
             PlaceError::BudgetExhausted => {
                 write!(f, "conflict budget exhausted before a first solution")
             }
+            PlaceError::DeadlineExpired => {
+                write!(f, "wall-clock deadline expired before a first solution")
+            }
             PlaceError::Cancelled => {
                 write!(f, "placement cancelled before completion")
+            }
+            PlaceError::Internal(msg) => {
+                write!(f, "internal placer failure: {msg}")
             }
         }
     }
@@ -83,7 +100,9 @@ impl Error for PlaceError {
             | PlaceError::Lint(_)
             | PlaceError::Infeasible { .. }
             | PlaceError::BudgetExhausted
-            | PlaceError::Cancelled => None,
+            | PlaceError::DeadlineExpired
+            | PlaceError::Cancelled
+            | PlaceError::Internal(_) => None,
         }
     }
 }
@@ -125,6 +144,7 @@ pub struct PlacerBuilder<'a> {
     design: &'a Design,
     config: PlacerConfig,
     threads: Option<usize>,
+    deadline: Option<Duration>,
     cancel: Option<Arc<AtomicBool>>,
 }
 
@@ -155,6 +175,20 @@ impl<'a> PlacerBuilder<'a> {
         self
     }
 
+    /// Caps the whole [`Placer::place`] call — every SAT round and
+    /// relaxation rung — at a wall-clock deadline. When it expires after
+    /// the first model, the best placement found so far is returned tagged
+    /// [`crate::PlaceOutcome::Anytime`]; before any model,
+    /// [`PlaceError::DeadlineExpired`].
+    ///
+    /// When this is never called, the `AMSPLACE_DEADLINE_MS` environment
+    /// variable (if set to a positive integer, in milliseconds) overrides
+    /// the configured [`crate::SolverConfig::deadline`].
+    pub fn deadline(mut self, deadline: Duration) -> PlacerBuilder<'a> {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Installs a cooperative cancel flag: raising it makes the running
     /// [`Placer::place`] return [`PlaceError::Cancelled`] promptly.
     pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> PlacerBuilder<'a> {
@@ -175,7 +209,12 @@ impl<'a> PlacerBuilder<'a> {
             .threads
             .or_else(env_threads)
             .unwrap_or(config.solver.threads);
+        config.solver.deadline = self
+            .deadline
+            .or_else(env_deadline)
+            .or(config.solver.deadline);
         let mut placer = Placer::new(self.design, config)?;
+        placer.cancel = self.cancel.clone();
         placer.smt.set_stop_flag(self.cancel);
         Ok(placer)
     }
@@ -189,6 +228,17 @@ fn env_threads() -> Option<usize> {
         .parse::<usize>()
         .ok()
         .filter(|&n| n > 0)
+}
+
+/// `AMSPLACE_DEADLINE_MS` as a positive millisecond count, if present.
+fn env_deadline() -> Option<Duration> {
+    std::env::var("AMSPLACE_DEADLINE_MS")
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
 }
 
 /// The SMT-based AMS placement engine.
@@ -220,6 +270,8 @@ pub struct Placer<'a> {
     phi: Term,
     phi_w: u32,
     pd_check: Option<PinDensityCheck>,
+    // Kept so recovery-ladder rebuilds can reinstall the caller's flag.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 /// Pre-redesign name of [`Placer`], kept so existing call sites compile.
@@ -235,6 +287,7 @@ impl<'a> Placer<'a> {
             design,
             config: PlacerConfig::default(),
             threads: None,
+            deadline: None,
             cancel: None,
         }
     }
@@ -251,10 +304,19 @@ impl<'a> Placer<'a> {
 
         // Phase 0: pre-solve constraint lint. Every error-severity finding
         // is a proof of unsatisfiability (or a broken reference that would
-        // panic the encoders), so encoding would be wasted work.
+        // panic the encoders), so encoding would be wasted work. One
+        // exception: pin-density infeasibility (AMS-E011) is exactly what
+        // the recovery ladder repairs by raising λ_th, so when recovery is
+        // enabled such designs proceed to the solve-and-relax loop.
         let report = crate::analysis::lint(design, &config);
         if report.has_errors() {
-            return Err(PlaceError::Lint(report));
+            let recoverable = config.recovery.enabled
+                && report
+                    .errors()
+                    .all(|d| d.code == DiagCode::PinDensityInfeasible);
+            if !recoverable {
+                return Err(PlaceError::Lint(report));
+            }
         }
 
         // Phase 1: power analysis (Fig. 3).
@@ -303,6 +365,7 @@ impl<'a> Placer<'a> {
                 threads: config.solver.threads,
                 share_lbd_max: config.solver.share_lbd_max,
                 seed: config.solver.seed,
+                ..PortfolioConfig::default()
             }));
         }
 
@@ -316,6 +379,7 @@ impl<'a> Placer<'a> {
             phi,
             phi_w,
             pd_check,
+            cancel: None,
         })
     }
 
@@ -334,14 +398,76 @@ impl<'a> Placer<'a> {
         self.smt.num_sat_clauses()
     }
 
-    /// Runs the incremental placement flow to completion.
+    /// Runs the incremental placement flow to completion, supervising the
+    /// wall-clock deadline and — when the constraints are infeasible and
+    /// recovery is enabled ([`crate::RecoveryConfig`]) — a bounded ladder
+    /// of targeted relaxations driven by the UNSAT explanation.
     ///
     /// # Errors
     ///
-    /// [`PlaceError::Infeasible`] if the constraints admit no placement;
-    /// [`PlaceError::BudgetExhausted`] if the first solve hits its budget.
+    /// [`PlaceError::Infeasible`] if the constraints admit no placement
+    /// even after the relaxation ladder;
+    /// [`PlaceError::BudgetExhausted`] / [`PlaceError::DeadlineExpired`]
+    /// if the conflict budget or wall-clock deadline runs out before a
+    /// first model (after one, degradation tags the result
+    /// [`PlaceOutcome::Anytime`] instead);
+    /// [`PlaceError::Cancelled`] when the cancel flag is raised;
+    /// [`PlaceError::Internal`] if the solver infrastructure itself failed
+    /// (e.g. every portfolio worker panicked) before a model existed.
     pub fn place(mut self) -> Result<Placement, PlaceError> {
         let t0 = Instant::now();
+        let deadline = self.config.solver.deadline.map(|d| t0 + d);
+        self.smt.set_deadline(deadline);
+
+        let max_rungs = if self.config.recovery.enabled {
+            self.config.recovery.max_rungs
+        } else {
+            0
+        };
+        let mut relaxations: Vec<Relaxation> = Vec::new();
+
+        loop {
+            match self.solve_rounds(t0, deadline) {
+                Ok(mut placement) => {
+                    if !relaxations.is_empty() {
+                        placement.stats.outcome = PlaceOutcome::Recovered { relaxations };
+                        placement.stats.runtime = t0.elapsed();
+                    }
+                    return Ok(placement);
+                }
+                Err(PlaceError::Infeasible { conflict }) => {
+                    let out_of_time = deadline.is_some_and(|d| Instant::now() >= d);
+                    if relaxations.len() >= max_rungs || out_of_time {
+                        return Err(PlaceError::Infeasible { conflict });
+                    }
+                    let Some((relax, config)) = self.next_relaxation(&conflict, &relaxations)
+                    else {
+                        return Err(PlaceError::Infeasible { conflict });
+                    };
+                    relaxations.push(relax);
+                    // Re-encode from scratch under the relaxed config: the
+                    // incremental core has already learnt the conflict.
+                    let cancel = self.cancel.take();
+                    self = Placer::new(self.design, config)?;
+                    self.cancel = cancel.clone();
+                    self.smt.set_stop_flag(cancel);
+                    self.smt.set_deadline(deadline);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The Algorithm 1 incremental loop: a feasibility solve, then
+    /// ζ-tightened improvement rounds, returning the best placement found.
+    /// Deadline/budget expiry (or losing every portfolio worker) after the
+    /// first model degrades the result to [`PlaceOutcome::Anytime`] rather
+    /// than failing.
+    fn solve_rounds(
+        &mut self,
+        t0: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<Placement, PlaceError> {
         let opt = self.config.optimize;
         self.seed_hints();
         self.smt.set_conflict_budget(opt.first_conflict_budget);
@@ -351,8 +477,16 @@ impl<'a> Placer<'a> {
         let mut assumptions: Vec<Term> = Vec::new();
         let mut sat_rounds = 0usize;
         let mut retried_unfrozen = false;
+        let mut degraded: Option<DegradeReason> = None;
 
         loop {
+            // Between rounds the deadline is checked precisely (in-search
+            // checks are coarsened to every few conflicts): with a model in
+            // hand there is no point starting a round we cannot finish.
+            if best.is_some() && deadline.is_some_and(|d| Instant::now() >= d) {
+                degraded = Some(DegradeReason::Deadline);
+                break;
+            }
             match self.smt.solve_with(&assumptions) {
                 SmtResult::Sat => {
                     retried_unfrozen = false;
@@ -405,9 +539,21 @@ impl<'a> Placer<'a> {
                     break;
                 }
                 SmtResult::Unknown => {
+                    let cause = self.smt.stop_cause();
                     if best.is_none() {
-                        return Err(PlaceError::BudgetExhausted);
+                        return Err(match cause {
+                            Some(StopCause::Deadline) => PlaceError::DeadlineExpired,
+                            Some(StopCause::AllWorkersPanicked) => PlaceError::Internal(
+                                "every portfolio worker panicked before a model was found".into(),
+                            ),
+                            _ => PlaceError::BudgetExhausted,
+                        });
                     }
+                    degraded = Some(match cause {
+                        Some(StopCause::Deadline) => DegradeReason::Deadline,
+                        Some(StopCause::AllWorkersPanicked) => DegradeReason::SolverFailure,
+                        _ => DegradeReason::ConflictBudget,
+                    });
                     break;
                 }
                 SmtResult::Cancelled => {
@@ -416,9 +562,20 @@ impl<'a> Placer<'a> {
             }
         }
 
-        let model = best.expect("loop breaks with a model or returns early");
+        let Some(model) = best else {
+            return Err(PlaceError::Internal(
+                "optimization loop ended without a model or an error".into(),
+            ));
+        };
         let summary = self.smt.portfolio_summary();
         let stats = PlaceStats {
+            outcome: match degraded {
+                None => PlaceOutcome::Optimal,
+                Some(reason) => PlaceOutcome::Anytime {
+                    rounds: sat_rounds,
+                    reason,
+                },
+            },
             iterations: sat_rounds,
             runtime: t0.elapsed(),
             conflicts: self.smt.sat_stats().conflicts,
@@ -430,6 +587,76 @@ impl<'a> Placer<'a> {
             winner: summary.last_winner,
         };
         Ok(self.finalize(model, stats))
+    }
+
+    /// Picks the next relaxation rung for an infeasible instance blamed on
+    /// `conflict` (empty when [`crate::analysis::explain_unsat`] could not
+    /// isolate families). Order: raise the pin-density threshold λ_th
+    /// (Eq. 14), then soften extension margins (Eq. 11) 1.0 → 0.5 → 0.0,
+    /// then widen the die (admitting more region dimension candidates,
+    /// Eq. 4–5). Purely structural conflicts — symmetry, arrays, power
+    /// abutment — are never relaxed away: those constraints are the spec.
+    fn next_relaxation(
+        &self,
+        conflict: &[ConstraintFamily],
+        applied: &[Relaxation],
+    ) -> Option<(Relaxation, PlacerConfig)> {
+        let unattributed = conflict.is_empty();
+        let blames = |fam: ConstraintFamily| conflict.contains(&fam);
+        let mut config = self.config.clone();
+        // Each retry runs under a decayed feasibility budget so an
+        // unrecoverable instance cannot burn max_rungs full budgets.
+        config.optimize.first_conflict_budget = config
+            .optimize
+            .first_conflict_budget
+            .map(|b| (b / 2).max(10_000));
+
+        // Rung A: raise λ_th. On an unattributed conflict this is tried at
+        // most twice before the geometric rungs get their turn.
+        let pd_raises = applied
+            .iter()
+            .filter(|r| matches!(r, Relaxation::RaisePinDensity { .. }))
+            .count();
+        if let Some(pd) = &self.config.pin_density {
+            if blames(ConstraintFamily::PinDensity) || (unattributed && pd_raises < 2) {
+                let from = encode::pin_density::resolve_lambda(self.design, &self.scale, pd);
+                let auto = encode::pin_density::resolve_lambda(
+                    self.design,
+                    &self.scale,
+                    &PinDensityConfig {
+                        lambda: None,
+                        ..*pd
+                    },
+                );
+                // At least halfway toward the auto-calibrated threshold,
+                // and always a strict geometric step up from the current.
+                let to = auto.max(from + from / 2 + 1);
+                config.pin_density = Some(PinDensityConfig {
+                    lambda: Some(to),
+                    ..*pd
+                });
+                return Some((Relaxation::RaisePinDensity { from, to }, config));
+            }
+        }
+
+        if blames(ConstraintFamily::CoreGeometry) || unattributed {
+            // Rung B: soften extension margins, if they are in play.
+            if self.config.toggles.extensions && self.config.extension_scale > 0.0 {
+                let scale = if self.config.extension_scale > 0.5 {
+                    0.5
+                } else {
+                    0.0
+                };
+                config.extension_scale = scale;
+                return Some((Relaxation::RelaxExtensions { scale }, config));
+            }
+            // Rung C: widen the die.
+            let die_slack = self.config.die_slack * 1.15;
+            config.die_slack = die_slack;
+            return Some((Relaxation::WidenDie { die_slack }, config));
+        }
+
+        None
     }
 
     /// Attributes a first-solve UNSAT to constraint families by re-solving

@@ -74,6 +74,18 @@ pub enum DiagCode {
     /// `AMS-E014`: a cluster or extension references a missing cell,
     /// region, or array.
     DanglingReference,
+    /// `AMS-E015`: `freeze_fraction` is not a finite value in `[0, 1]`.
+    FreezeFractionInvalid,
+    /// `AMS-E016`: the wirelength ζ tightening schedule is broken —
+    /// `zeta_start`, `zeta_step`, or `zeta_min` is non-finite or outside
+    /// its valid range, so the optimization loop cannot converge.
+    ZetaScheduleInvalid,
+    /// `AMS-E017`: a conflict budget of zero — the solve can never take a
+    /// single step; use `None` to disable budgeting instead.
+    ZeroBudget,
+    /// `AMS-E018`: a zero-length wall-clock deadline — the solve expires
+    /// before it starts; use `None` to disable the deadline instead.
+    ZeroDeadline,
     /// `AMS-W001`: the same pair appears in multiple symmetry groups of
     /// the same axis — redundant, and it doubles the encoding.
     DuplicateConstraint,
@@ -96,7 +108,7 @@ pub enum DiagCode {
 
 impl DiagCode {
     /// Every defined code, in code order.
-    pub const ALL: [DiagCode; 20] = [
+    pub const ALL: [DiagCode; 24] = [
         DiagCode::SymmetryHeightMismatch,
         DiagCode::SymmetryDanglingCell,
         DiagCode::SymmetryCyclicShare,
@@ -111,6 +123,10 @@ impl DiagCode {
         DiagCode::BitWidthOverflow,
         DiagCode::ContradictoryConstraint,
         DiagCode::DanglingReference,
+        DiagCode::FreezeFractionInvalid,
+        DiagCode::ZetaScheduleInvalid,
+        DiagCode::ZeroBudget,
+        DiagCode::ZeroDeadline,
         DiagCode::DuplicateConstraint,
         DiagCode::EmptyConstraint,
         DiagCode::UnreferencedCell,
@@ -136,6 +152,10 @@ impl DiagCode {
             DiagCode::BitWidthOverflow => "AMS-E012",
             DiagCode::ContradictoryConstraint => "AMS-E013",
             DiagCode::DanglingReference => "AMS-E014",
+            DiagCode::FreezeFractionInvalid => "AMS-E015",
+            DiagCode::ZetaScheduleInvalid => "AMS-E016",
+            DiagCode::ZeroBudget => "AMS-E017",
+            DiagCode::ZeroDeadline => "AMS-E018",
             DiagCode::DuplicateConstraint => "AMS-W001",
             DiagCode::EmptyConstraint => "AMS-W002",
             DiagCode::UnreferencedCell => "AMS-W003",
@@ -162,6 +182,10 @@ impl DiagCode {
             DiagCode::BitWidthOverflow => "BitWidthOverflow",
             DiagCode::ContradictoryConstraint => "ContradictoryConstraint",
             DiagCode::DanglingReference => "DanglingReference",
+            DiagCode::FreezeFractionInvalid => "FreezeFractionInvalid",
+            DiagCode::ZetaScheduleInvalid => "ZetaScheduleInvalid",
+            DiagCode::ZeroBudget => "ZeroBudget",
+            DiagCode::ZeroDeadline => "ZeroDeadline",
             DiagCode::DuplicateConstraint => "DuplicateConstraint",
             DiagCode::EmptyConstraint => "EmptyConstraint",
             DiagCode::UnreferencedCell => "UnreferencedCell",
@@ -338,6 +362,7 @@ mod tests {
         }
         assert_eq!(DiagCode::SymmetryHeightMismatch.code(), "AMS-E001");
         assert_eq!(DiagCode::PowerRowOverflow.code(), "AMS-E010");
+        assert_eq!(DiagCode::ZeroDeadline.code(), "AMS-E018");
         assert_eq!(DiagCode::UnreferencedCell.code(), "AMS-W003");
     }
 

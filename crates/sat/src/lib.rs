@@ -37,4 +37,4 @@ pub use heap::VarHeap;
 pub use lit::{Lbool, Lit, Var};
 pub use luby::luby;
 pub use portfolio::{Portfolio, PortfolioConfig, PortfolioVerdict, WorkerStats};
-pub use solver::{ClauseExchange, SolveResult, Solver, Stats};
+pub use solver::{ClauseExchange, SolveResult, Solver, Stats, StopCause};

@@ -17,7 +17,10 @@
 //! regardless of assumptions, so sharing is sound even under Algorithm-1
 //! freeze assumptions. The first worker with a verdict raises a shared
 //! [`AtomicBool`] stop flag that the others honor at their next quiescent
-//! point.
+//! point. Every worker runs under [`std::panic::catch_unwind`], so a
+//! crashing worker only removes itself from the race; the solve fails
+//! (with [`crate::StopCause::AllWorkersPanicked`]) only when no worker
+//! survives.
 //!
 //! Verdicts are deterministic — every worker decides the same formula — but
 //! *which* model (and which worker) wins can vary run-to-run with thread
@@ -25,7 +28,8 @@
 //! which bypasses this module entirely.
 
 use crate::lit::Lit;
-use crate::solver::{ClauseExchange, SolveResult, Solver};
+use crate::solver::{ClauseExchange, SolveResult, Solver, StopCause};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -40,6 +44,11 @@ pub struct PortfolioConfig {
     pub share_lbd_max: u32,
     /// Base seed for the per-worker diversification streams.
     pub seed: u64,
+    /// Test-only fault injection: a threaded worker whose id bit is set in
+    /// this mask panics instead of solving, exercising the panic-isolation
+    /// path. Ignored by the sequential (`threads <= 1`) path. Leave at `0`.
+    #[doc(hidden)]
+    pub panic_inject_mask: u64,
 }
 
 impl Default for PortfolioConfig {
@@ -48,12 +57,13 @@ impl Default for PortfolioConfig {
             threads: 1,
             share_lbd_max: 4,
             seed: 0x5EED,
+            panic_inject_mask: 0,
         }
     }
 }
 
 /// Per-worker search counters for one portfolio solve.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WorkerStats {
     /// Worker index (0 is the undiversified baseline).
     pub id: usize,
@@ -68,20 +78,31 @@ pub struct WorkerStats {
     /// Peer clauses this worker imported.
     pub imported: u64,
     /// This worker's own outcome — losing workers typically report
-    /// [`SolveResult::Cancelled`]. `None` only in aggregates that span
-    /// multiple solve calls.
+    /// [`SolveResult::Cancelled`]. `None` in aggregates that span
+    /// multiple solve calls, and for workers that panicked.
     pub result: Option<SolveResult>,
+    /// Whether this worker's thread panicked. The race continues with the
+    /// survivors; the counters of a panicked worker read zero because its
+    /// solver state was lost in the unwind.
+    pub panicked: bool,
+    /// The panic payload, when it carried a message.
+    pub panic_message: Option<String>,
 }
 
 /// Outcome of a [`Portfolio::solve`] call.
 #[derive(Clone, Debug)]
 pub struct PortfolioVerdict {
-    /// The verdict. [`SolveResult::Unknown`] means every worker exhausted
-    /// its budget; [`SolveResult::Cancelled`] means the external stop flag
-    /// was raised before any verdict.
+    /// The verdict. [`SolveResult::Unknown`] means every surviving worker
+    /// exhausted its budget or deadline (or every worker panicked — see
+    /// [`PortfolioVerdict::cause`]); [`SolveResult::Cancelled`] means the
+    /// external stop flag was raised before any verdict.
     pub result: SolveResult,
-    /// Index of the worker whose verdict won (0 when none did).
+    /// Index of the worker whose verdict won (the lowest-id surviving
+    /// worker when none did, `0` when every worker panicked).
     pub winner: usize,
+    /// Why the solve stopped without a verdict; `Some` exactly when
+    /// `result` is [`SolveResult::Unknown`].
+    pub cause: Option<StopCause>,
     /// Per-worker counters, indexed by worker id.
     pub workers: Vec<WorkerStats>,
 }
@@ -141,6 +162,7 @@ impl ClauseExchange for BusEndpoint {
 /// });
 /// let (winner, verdict) = portfolio.solve(base, &[], None);
 /// assert_eq!(verdict.result, SolveResult::Sat);
+/// let winner = winner.expect("at least one worker survived");
 /// assert!(winner.lit_model(b));
 /// assert_eq!(verdict.workers.len(), 2);
 /// ```
@@ -164,6 +186,12 @@ impl Portfolio {
     /// workers and returns the winning worker's solver (model, failed
     /// assumptions, and learnt clauses intact) together with the verdict.
     ///
+    /// Workers run under [`std::panic::catch_unwind`]: a panicking worker
+    /// is recorded in its [`WorkerStats`] (`panicked` + `panic_message`)
+    /// and the race continues with the survivors. The returned solver is
+    /// `None` only when *every* worker panicked — the verdict is then
+    /// [`SolveResult::Unknown`] with [`StopCause::AllWorkersPanicked`].
+    ///
     /// An optional external `stop` flag cancels the whole portfolio; the
     /// call then returns [`SolveResult::Cancelled`]. With `threads <= 1`
     /// the base solver runs sequentially on the calling thread —
@@ -173,7 +201,7 @@ impl Portfolio {
         base: Solver,
         assumptions: &[Lit],
         stop: Option<&Arc<AtomicBool>>,
-    ) -> (Solver, PortfolioVerdict) {
+    ) -> (Option<Solver>, PortfolioVerdict) {
         let threads = self.config.threads.max(1);
         if threads == 1 {
             return self.solve_sequential(base, assumptions, stop);
@@ -202,7 +230,10 @@ impl Portfolio {
         solvers.reverse();
 
         let share = self.config.share_lbd_max;
-        let mut finished: Vec<(usize, SolveResult, Solver)> = std::thread::scope(|scope| {
+        let inject = self.config.panic_inject_mask;
+        // Worker id → (result, surviving solver, panic message).
+        type WorkerReturn = (usize, Option<SolveResult>, Option<Solver>, Option<String>);
+        let mut finished: Vec<WorkerReturn> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for ((id, mut solver), inbox) in solvers.into_iter().zip(inboxes) {
                 let peers: Vec<Sender<Vec<Lit>>> = senders
@@ -213,27 +244,40 @@ impl Portfolio {
                     .collect();
                 let internal_stop = Arc::clone(&internal_stop);
                 let winner_slot = Arc::clone(&winner_slot);
-                handles.push(scope.spawn(move || {
-                    if share > 0 {
-                        solver.set_exchange(Some(Box::new(BusEndpoint {
-                            peers,
-                            inbox,
-                            share_lbd_max: share,
-                        })));
-                    }
-                    solver.set_stop_flag(Some(Arc::clone(&internal_stop)));
-                    let result = solver.solve_with(assumptions);
-                    if matches!(result, SolveResult::Sat | SolveResult::Unsat) {
-                        let mut slot = winner_slot.lock().expect("winner slot poisoned");
-                        if slot.is_none() {
-                            *slot = Some(id);
-                            internal_stop.store(true, Ordering::Relaxed);
-                        }
-                    }
-                    solver.set_exchange(None);
-                    solver.set_stop_flag(None);
-                    (id, result, solver)
-                }));
+                handles.push((
+                    id,
+                    scope.spawn(move || {
+                        // The unwind boundary: a panic anywhere in this
+                        // worker (solver bug, injected fault) is contained
+                        // here; its solver state is lost, the race goes on.
+                        panic::catch_unwind(AssertUnwindSafe(move || {
+                            if inject & (1u64 << (id as u32 & 63)) != 0 {
+                                panic!("injected test panic in worker {id}");
+                            }
+                            if share > 0 {
+                                solver.set_exchange(Some(Box::new(BusEndpoint {
+                                    peers,
+                                    inbox,
+                                    share_lbd_max: share,
+                                })));
+                            }
+                            solver.set_stop_flag(Some(Arc::clone(&internal_stop)));
+                            let result = solver.solve_with(assumptions);
+                            if matches!(result, SolveResult::Sat | SolveResult::Unsat) {
+                                let mut slot = winner_slot
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                                if slot.is_none() {
+                                    *slot = Some(id);
+                                    internal_stop.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            solver.set_exchange(None);
+                            solver.set_stop_flag(None);
+                            (result, solver)
+                        }))
+                    }),
+                ));
             }
             drop(senders);
 
@@ -245,7 +289,7 @@ impl Portfolio {
                         internal_stop.store(true, Ordering::Relaxed);
                         break;
                     }
-                    if handles.iter().all(|h| h.is_finished()) {
+                    if handles.iter().all(|(_, h)| h.is_finished()) {
                         break;
                     }
                     std::thread::sleep(std::time::Duration::from_micros(200));
@@ -254,46 +298,75 @@ impl Portfolio {
 
             handles
                 .into_iter()
-                .map(|h| h.join().expect("portfolio worker panicked"))
+                .map(|(id, h)| match h.join() {
+                    Ok(Ok((result, solver))) => (id, Some(result), Some(solver), None),
+                    // Caught by catch_unwind, or (defensively) a panic that
+                    // escaped it — either way the worker is dead.
+                    Ok(Err(payload)) | Err(payload) => {
+                        (id, None, None, Some(panic_text(payload.as_ref())))
+                    }
+                })
                 .collect()
         });
-        finished.sort_by_key(|&(id, _, _)| id);
+        finished.sort_by_key(|&(id, ..)| id);
 
         let externally_cancelled = stop.is_some_and(|s| s.load(Ordering::Relaxed));
-        let winner = winner_slot.lock().expect("winner slot poisoned").take();
+        let winner = winner_slot
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
         let workers: Vec<WorkerStats> = finished
             .iter()
-            .map(|(id, result, s)| {
-                let st = s.stats();
-                WorkerStats {
-                    id: *id,
-                    conflicts: st.conflicts - base_counters.conflicts,
-                    decisions: st.decisions - base_counters.decisions,
-                    restarts: st.restarts - base_counters.restarts,
-                    exported: st.shared_exported - base_counters.shared_exported,
-                    imported: st.shared_imported - base_counters.shared_imported,
-                    result: Some(*result),
+            .map(|(id, result, s, panic_message)| match s {
+                Some(s) => {
+                    let st = s.stats();
+                    WorkerStats {
+                        id: *id,
+                        conflicts: st.conflicts - base_counters.conflicts,
+                        decisions: st.decisions - base_counters.decisions,
+                        restarts: st.restarts - base_counters.restarts,
+                        exported: st.shared_exported - base_counters.shared_exported,
+                        imported: st.shared_imported - base_counters.shared_imported,
+                        result: *result,
+                        panicked: false,
+                        panic_message: None,
+                    }
                 }
+                None => WorkerStats {
+                    id: *id,
+                    panicked: true,
+                    panic_message: panic_message.clone(),
+                    ..WorkerStats::default()
+                },
             })
             .collect();
 
-        let (winner_id, result) = match winner {
-            Some(id) => (id, finished[id].1),
-            None if externally_cancelled => (0, SolveResult::Cancelled),
-            // No verdict and no cancellation: every worker ran out of
-            // budget.
-            None => (0, SolveResult::Unknown),
+        let first_survivor = finished.iter().find(|f| f.2.is_some()).map(|f| f.0);
+        let (winner_id, result, cause) = match (winner, first_survivor) {
+            (Some(id), _) => (id, finished[id].1.expect("winner produced a verdict"), None),
+            // Every worker panicked: no solver state survives to report.
+            (None, None) => (0, SolveResult::Unknown, Some(StopCause::AllWorkersPanicked)),
+            (None, Some(fs)) if externally_cancelled => (fs, SolveResult::Cancelled, None),
+            // No verdict, no cancellation: every surviving worker ran out
+            // of budget or deadline. Report the broadest cause.
+            (None, Some(fs)) => {
+                let cause = finished
+                    .iter()
+                    .filter_map(|f| f.2.as_ref().and_then(|s| s.stop_cause()))
+                    .max_by_key(|&c| cause_priority(c));
+                (fs, SolveResult::Unknown, cause)
+            }
         };
         let solver = finished
             .into_iter()
-            .find(|&(id, _, _)| id == winner_id)
-            .map(|(_, _, s)| s)
-            .expect("winner id is a worker id");
+            .find(|&(id, ..)| id == winner_id)
+            .and_then(|(_, _, s, _)| s);
         (
             solver,
             PortfolioVerdict {
                 result,
                 winner: winner_id,
+                cause,
                 workers,
             },
         )
@@ -304,12 +377,13 @@ impl Portfolio {
         mut base: Solver,
         assumptions: &[Lit],
         stop: Option<&Arc<AtomicBool>>,
-    ) -> (Solver, PortfolioVerdict) {
+    ) -> (Option<Solver>, PortfolioVerdict) {
         base.set_stop_flag(stop.cloned());
         let before = base.stats();
         let result = base.solve_with(assumptions);
         base.set_stop_flag(None);
         let after = base.stats();
+        let cause = base.stop_cause();
         let workers = vec![WorkerStats {
             id: 0,
             conflicts: after.conflicts - before.conflicts,
@@ -318,15 +392,41 @@ impl Portfolio {
             exported: 0,
             imported: 0,
             result: Some(result),
+            panicked: false,
+            panic_message: None,
         }];
         (
-            base,
+            Some(base),
             PortfolioVerdict {
                 result,
                 winner: 0,
+                cause,
                 workers,
             },
         )
+    }
+}
+
+/// Extracts a human-readable message from a panic payload; `&str` and
+/// `String` payloads (the `panic!` macro's output) are passed through.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Ranks stop causes for aggregation across workers: a deadline expiry is
+/// the most actionable signal, budget exhaustion next.
+fn cause_priority(c: StopCause) -> u8 {
+    match c {
+        StopCause::Deadline => 3,
+        StopCause::ConflictBudget => 2,
+        StopCause::PropagationBudget => 1,
+        StopCause::AllWorkersPanicked => 0,
     }
 }
 
@@ -411,6 +511,7 @@ mod tests {
             });
             let (winner, verdict) = p.solve(s.clone(), &[v[0]], None);
             assert_eq!(verdict.result, SolveResult::Sat, "threads={threads}");
+            let winner = winner.expect("a worker survived");
             assert!(winner.lit_model(v[39]), "implication chain must hold");
         }
     }
@@ -427,7 +528,64 @@ mod tests {
         });
         let (winner, verdict) = p.solve(s, &[!a, !b], None);
         assert_eq!(verdict.result, SolveResult::Unsat);
+        let winner = winner.expect("a worker survived");
         assert!(!winner.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn injected_panic_is_survived_by_the_rest() {
+        let (base, _) = pigeonhole(6);
+        let p = Portfolio::new(PortfolioConfig {
+            threads: 3,
+            panic_inject_mask: 0b010, // kill worker 1
+            ..PortfolioConfig::default()
+        });
+        let (winner, verdict) = p.solve(base, &[], None);
+        assert_eq!(verdict.result, SolveResult::Unsat);
+        assert!(winner.is_some(), "survivors must still produce a solver");
+        assert!(verdict.workers[1].panicked);
+        assert!(verdict.workers[1]
+            .panic_message
+            .as_deref()
+            .is_some_and(|m| m.contains("injected test panic")));
+        assert_eq!(verdict.workers[1].result, None);
+        assert!(!verdict.workers[0].panicked);
+        assert!(!verdict.workers[2].panicked);
+    }
+
+    #[test]
+    fn all_workers_panicking_reports_the_cause() {
+        let (base, _) = pigeonhole(6);
+        let p = Portfolio::new(PortfolioConfig {
+            threads: 3,
+            panic_inject_mask: 0b111,
+            ..PortfolioConfig::default()
+        });
+        let (winner, verdict) = p.solve(base, &[], None);
+        assert!(winner.is_none());
+        assert_eq!(verdict.result, SolveResult::Unknown);
+        assert_eq!(verdict.cause, Some(StopCause::AllWorkersPanicked));
+        assert!(verdict.workers.iter().all(|w| w.panicked));
+    }
+
+    #[test]
+    fn exhausted_budgets_surface_a_cause() {
+        let (mut base, _) = pigeonhole(9);
+        base.set_conflict_budget(Some(10));
+        for threads in [1, 2] {
+            let p = Portfolio::new(PortfolioConfig {
+                threads,
+                ..PortfolioConfig::default()
+            });
+            let (winner, verdict) = p.solve(base.clone(), &[], None);
+            assert_eq!(verdict.result, SolveResult::Unknown, "threads={threads}");
+            assert_eq!(
+                verdict.cause,
+                Some(StopCause::ConflictBudget),
+                "threads={threads}"
+            );
+            assert!(winner.is_some());
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::lit::{Lbool, Lit, Var};
 use crate::luby::luby;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,6 +32,25 @@ pub enum SolveResult {
     /// verdict was reached — another portfolio worker won, or the caller
     /// cancelled the solve. The solver stays usable.
     Cancelled,
+}
+
+/// Why the last `solve` call stopped without a verdict.
+///
+/// Set whenever [`Solver::solve_with`] returns [`SolveResult::Unknown`]
+/// (and by the portfolio driver when every worker dies); read it with
+/// [`Solver::stop_cause`] to distinguish a budget expiry from a
+/// wall-clock deadline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopCause {
+    /// The conflict budget ([`Solver::set_conflict_budget`]) ran out.
+    ConflictBudget,
+    /// The propagation budget ([`Solver::set_propagation_budget`]) ran out.
+    PropagationBudget,
+    /// The wall-clock deadline ([`Solver::set_deadline`]) passed.
+    Deadline,
+    /// Every portfolio worker panicked; reported by
+    /// [`crate::Portfolio::solve`], never by a lone solver.
+    AllWorkersPanicked,
 }
 
 /// Learnt-clause exchange between cooperating solvers.
@@ -127,6 +147,14 @@ pub struct Solver {
 
     conflict_budget: Option<u64>,
     propagation_budget: Option<u64>,
+    /// Wall-clock deadline; checked precisely at quiescent points and
+    /// coarsely (every [`DEADLINE_CHECK_INTERVAL`] conflicts/decisions)
+    /// inside the search to stay off the hot path.
+    deadline: Option<Instant>,
+    /// Countdown until the next coarse deadline check.
+    deadline_check_in: u32,
+    /// Why the last solve returned [`SolveResult::Unknown`], if it did.
+    last_stop_cause: Option<StopCause>,
 
     max_learnts: f64,
     /// Root-trail length at the last `simplify`, so simplification only
@@ -150,6 +178,10 @@ pub struct Solver {
 }
 
 const VAR_DECAY: f64 = 0.95;
+/// Conflicts/decisions between coarse wall-clock reads during search.
+/// Small enough that a deadline overshoot stays in the sub-millisecond
+/// range, large enough that `Instant::now` never shows up in profiles.
+const DEADLINE_CHECK_INTERVAL: u32 = 64;
 const CLAUSE_DECAY: f32 = 0.999;
 const RESTART_BASE: u64 = 256;
 const LEARNT_FRACTION: f64 = 1.0;
@@ -205,6 +237,9 @@ impl Clone for Solver {
             analyze_toclear: self.analyze_toclear.clone(),
             conflict_budget: self.conflict_budget,
             propagation_budget: self.propagation_budget,
+            deadline: self.deadline,
+            deadline_check_in: self.deadline_check_in,
+            last_stop_cause: self.last_stop_cause,
             max_learnts: self.max_learnts,
             simplified_at: self.simplified_at,
             stats: self.stats,
@@ -247,6 +282,9 @@ impl Solver {
             analyze_toclear: Vec::new(),
             conflict_budget: None,
             propagation_budget: None,
+            deadline: None,
+            deadline_check_in: DEADLINE_CHECK_INTERVAL,
+            last_stop_cause: None,
             max_learnts: 0.0,
             simplified_at: 0,
             stats: Stats::default(),
@@ -310,6 +348,25 @@ impl Solver {
     /// Limits the next `solve` calls to roughly `props` propagations.
     pub fn set_propagation_budget(&mut self, props: Option<u64>) {
         self.propagation_budget = props;
+    }
+
+    /// Installs (or clears) a wall-clock deadline for the next `solve`
+    /// calls. Once the instant passes, `solve` returns
+    /// [`SolveResult::Unknown`] with [`Solver::stop_cause`] reporting
+    /// [`StopCause::Deadline`]; the solver stays valid and reusable.
+    ///
+    /// The clock is read precisely at quiescent points and only every few
+    /// dozen conflicts/decisions inside the search, so the overshoot past
+    /// the deadline is bounded but nonzero. With no deadline installed the
+    /// solver never reads the clock, preserving bit-for-bit determinism.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Why the last `solve` stopped without a verdict — `Some` exactly
+    /// when it returned [`SolveResult::Unknown`].
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        self.last_stop_cause
     }
 
     // --- portfolio hooks ------------------------------------------------
@@ -471,6 +528,7 @@ impl Solver {
         self.stats.solves += 1;
         self.model.clear();
         self.conflict_core.clear();
+        self.last_stop_cause = None;
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -492,8 +550,13 @@ impl Solver {
             if !self.ok {
                 break SolveResult::Unsat;
             }
+            if self.deadline_passed() {
+                self.last_stop_cause = Some(StopCause::Deadline);
+                break SolveResult::Unknown;
+            }
             let budget_left = self.budget_left(conflict_start, prop_start);
             if budget_left == Some(0) {
+                self.last_stop_cause = Some(self.budget_cause(conflict_start));
                 break SolveResult::Unknown;
             }
             let limit = self.restart_base * luby(restart);
@@ -548,6 +611,37 @@ impl Solver {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Which budget is exhausted, given that `budget_left` hit zero.
+    fn budget_cause(&self, conflict_start: u64) -> StopCause {
+        match self.conflict_budget {
+            Some(cb) if self.stats.conflicts - conflict_start >= cb => StopCause::ConflictBudget,
+            _ => StopCause::PropagationBudget,
+        }
+    }
+
+    /// Precise deadline check for quiescent points; no clock read when no
+    /// deadline is installed.
+    #[inline]
+    fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Coarsened deadline check for the search hot path: reads the clock
+    /// only every [`DEADLINE_CHECK_INTERVAL`] calls, and never when no
+    /// deadline is installed (keeping deterministic runs clock-free).
+    #[inline]
+    fn deadline_due(&mut self) -> bool {
+        if self.deadline.is_none() {
+            return false;
+        }
+        self.deadline_check_in = self.deadline_check_in.saturating_sub(1);
+        if self.deadline_check_in > 0 {
+            return false;
+        }
+        self.deadline_check_in = DEADLINE_CHECK_INTERVAL;
+        self.deadline_passed()
+    }
 
     fn budget_left(&self, conflict_start: u64, prop_start: u64) -> Option<u64> {
         let mut left: Option<u64> = None;
@@ -1131,6 +1225,11 @@ impl Solver {
                     self.cancel_until(0);
                     return Some(SolveResult::Cancelled);
                 }
+                if self.deadline_due() {
+                    self.last_stop_cause = Some(StopCause::Deadline);
+                    self.cancel_until(0);
+                    return Some(SolveResult::Unknown);
+                }
                 let (learnt, backjump) = self.analyze(confl);
                 // Never backjump into the assumption prefix shallower than
                 // needed: cancel_until handles the standard case; assumption
@@ -1152,6 +1251,11 @@ impl Solver {
                 if self.stop_requested() {
                     self.cancel_until(0);
                     return Some(SolveResult::Cancelled);
+                }
+                if self.deadline_due() {
+                    self.last_stop_cause = Some(StopCause::Deadline);
+                    self.cancel_until(0);
+                    return Some(SolveResult::Unknown);
                 }
                 if self.decision_level() == 0 {
                     self.simplify();
@@ -1325,6 +1429,64 @@ mod tests {
         s.set_conflict_budget(Some(10));
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
+    }
+
+    /// Hard unsat pigeonhole: `n` pigeons, `n - 1` holes.
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let x: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &x {
+            s.add_clause(row);
+        }
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                for (&a, &b) in x[i1].iter().zip(&x[i2]) {
+                    s.add_clause(&[!a, !b]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown_with_cause() {
+        let mut s = pigeonhole(9);
+        s.set_deadline(Some(Instant::now()));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_cause(), Some(StopCause::Deadline));
+        // Clearing the deadline makes the solver fully usable again, and a
+        // verdict clears the cause.
+        s.set_deadline(None);
+        s.set_conflict_budget(Some(10));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_cause(), Some(StopCause::ConflictBudget));
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.stop_cause(), None);
+    }
+
+    #[test]
+    fn deadline_interrupts_a_running_search() {
+        let mut s = pigeonhole(10);
+        let deadline = std::time::Duration::from_millis(30);
+        s.set_deadline(Some(Instant::now() + deadline));
+        let t0 = Instant::now();
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_cause(), Some(StopCause::Deadline));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "the coarse check must fire well before the instance is solved"
+        );
+    }
+
+    #[test]
+    fn propagation_budget_cause_is_reported() {
+        let mut s = pigeonhole(9);
+        s.set_propagation_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_cause(), Some(StopCause::PropagationBudget));
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn verdicts_agree_across_thread_counts() {
             );
             if expected == SolveResult::Sat {
                 // The winning solver must expose a readable model.
+                let winner = winner.expect("a worker survived");
                 let _ = winner.value(ams_sat::Var::from_index(0));
             }
         }

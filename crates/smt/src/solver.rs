@@ -4,11 +4,12 @@ use crate::blast::Blaster;
 use crate::pb;
 use crate::term::{truncate, Sort, Term, TermKind, TermPool};
 use ams_sat::{
-    Lit, Portfolio, PortfolioConfig, PortfolioVerdict, SolveResult, Solver, WorkerStats,
+    Lit, Portfolio, PortfolioConfig, PortfolioVerdict, SolveResult, Solver, StopCause, WorkerStats,
 };
 use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Result of an [`Smt::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -17,7 +18,8 @@ pub enum SmtResult {
     Sat,
     /// Unsatisfiable under the current assertions (and assumptions).
     Unsat,
-    /// A solver budget expired.
+    /// A solver budget or wall-clock deadline expired;
+    /// [`Smt::stop_cause`] says which.
     Unknown,
     /// The solve was cancelled through the stop flag
     /// ([`Smt::set_stop_flag`]) before a verdict.
@@ -85,6 +87,11 @@ pub struct Smt {
     portfolio: Option<PortfolioConfig>,
     /// Cooperative cancellation for both sequential and portfolio solves.
     stop: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline forwarded to the SAT core (and every portfolio
+    /// worker, which inherits it through cloning).
+    deadline: Option<Instant>,
+    /// Why the last solve returned [`SmtResult::Unknown`], if it did.
+    last_cause: Option<StopCause>,
     /// Aggregated portfolio counters across solve calls.
     portfolio_summary: PortfolioSummary,
 }
@@ -167,6 +174,22 @@ impl Smt {
     /// current and subsequent solves return [`SmtResult::Cancelled`].
     pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
         self.stop = stop;
+    }
+
+    /// Installs (or clears) a wall-clock deadline for subsequent solves.
+    /// Once it passes, solves return [`SmtResult::Unknown`] with
+    /// [`Smt::stop_cause`] reporting [`StopCause::Deadline`]. Portfolio
+    /// workers inherit the deadline. With no deadline set, solves never
+    /// read the clock (preserving sequential determinism).
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+        self.sat.set_deadline(deadline);
+    }
+
+    /// Why the last solve stopped without a verdict — `Some` exactly when
+    /// it returned [`SmtResult::Unknown`].
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        self.last_cause
     }
 
     /// Aggregated portfolio statistics; `workers` is empty until a solve
@@ -421,14 +444,23 @@ impl Smt {
             Some(cfg) if cfg.threads > 1 => {
                 let base = std::mem::replace(&mut self.sat, Solver::new());
                 let (winner, verdict) = Portfolio::new(cfg).solve(base, lits, self.stop.as_ref());
-                self.sat = winner;
+                match winner {
+                    Some(winner) => self.sat = winner,
+                    // Every worker panicked and the base state was consumed
+                    // by the race. The replacement core is empty, so the
+                    // instance must be treated as dead by the caller — the
+                    // verdict's cause (AllWorkersPanicked) says why.
+                    None => self.sat.set_deadline(self.deadline),
+                }
                 self.record_portfolio(&verdict);
+                self.last_cause = verdict.cause;
                 verdict.result
             }
             _ => {
                 self.sat.set_stop_flag(self.stop.clone());
                 let result = self.sat.solve_with(lits);
                 self.sat.set_stop_flag(None);
+                self.last_cause = self.sat.stop_cause();
                 result
             }
         }
@@ -450,6 +482,11 @@ impl Smt {
             acc.exported += w.exported;
             acc.imported += w.imported;
             acc.result = w.result;
+            // A panic is sticky across solves; keep the latest message.
+            acc.panicked |= w.panicked;
+            if w.panic_message.is_some() {
+                acc.panic_message.clone_from(&w.panic_message);
+            }
         }
         summary.last_winner = Some(verdict.winner);
         summary.solves += 1;
@@ -825,6 +862,42 @@ mod tests {
                 assert_eq!(summary.solves, 0);
             }
         }
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown_with_cause() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(8, "x");
+        let c3 = smt.bv_const(8, 3);
+        let c = smt.ugt(x, c3);
+        smt.assert(c);
+        smt.set_deadline(Some(Instant::now()));
+        assert_eq!(smt.solve(), SmtResult::Unknown);
+        assert_eq!(smt.stop_cause(), Some(StopCause::Deadline));
+        // Clearing the deadline restores normal solving.
+        smt.set_deadline(None);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        assert_eq!(smt.stop_cause(), None);
+    }
+
+    #[test]
+    fn worker_panic_is_recorded_in_summary() {
+        let mut smt = Smt::new();
+        smt.set_portfolio(Some(PortfolioConfig {
+            threads: 3,
+            panic_inject_mask: 0b100, // kill worker 2; 0 and 1 survive
+            ..PortfolioConfig::default()
+        }));
+        let x = smt.bv_var(8, "x");
+        let c3 = smt.bv_const(8, 3);
+        let c = smt.ugt(x, c3);
+        smt.assert(c);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        assert!(smt.bv_value(x) > 3);
+        let summary = smt.portfolio_summary();
+        assert!(summary.workers[2].panicked);
+        assert!(summary.workers[2].panic_message.is_some());
+        assert!(!summary.workers[0].panicked);
     }
 
     #[test]

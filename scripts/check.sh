@@ -18,4 +18,15 @@ echo "==> cargo test (parallel portfolio, AMSPLACE_THREADS=4)"
 # solver path, so the multi-threaded dispatch stays covered by CI.
 AMSPLACE_THREADS=4 cargo test -q -p ams-place -p finfet-ams-place
 
+echo "==> never-panic suite (randomized designs/configs)"
+cargo test -q -p ams-place --test never_panic
+
+echo "==> deadline-bounded portfolio smoke run"
+# One end-to-end CLI run: portfolio solving under a wall-clock deadline,
+# machine-readable stats out. Exit code 0 covers optimal, anytime, and
+# recovered outcomes alike.
+cargo run -q --bin amsplace -- synthetic --threads 4 --quick \
+    --deadline-ms 30000 --stats-json /tmp/amsplace-smoke.json
+grep -q '"outcome"' /tmp/amsplace-smoke.json
+
 echo "All checks passed."

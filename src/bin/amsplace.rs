@@ -8,27 +8,40 @@
 //! amsplace lint vco --explain            # + UNSAT explanation if stuck
 //! ```
 
+use finfet_ams_place::netlist::json::Json;
 use finfet_ams_place::netlist::{benchmarks, Design};
 use finfet_ams_place::place::analysis::{self, UnsatOutcome};
-use finfet_ams_place::place::{render_svg, PlaceError, Placer, PlacerConfig};
+use finfet_ams_place::place::{
+    render_svg, PlaceError, PlaceOutcome, Placement, Placer, PlacerConfig,
+};
 use finfet_ams_place::route::{route, RouterConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: amsplace [OPTIONS] <design.json>
+usage: amsplace [OPTIONS] <design.json|buf|vco|synthetic>
        amsplace lint [--explain] <design.json|buf|vco|synthetic>
        amsplace --demo <buf|vco|synthetic> <out.json>
 
 options:
-  --out <file>      write the placement (cell rectangles) as JSON
-  --svg <file>      render the placed layout as SVG
-  --route           also route and report RWL / vias / overflow
-  --no-ams          drop the AMS constraint families (w/o-Cstr. arm)
-  --iters <n>       optimization iterations (default 2)
-  --budget <n>      conflict budget per optimization round (default 100000)
-  --threads <n>     parallel portfolio workers (default: AMSPLACE_THREADS
-                    from the environment, else 1 = sequential)
-  --quick           small budgets for a fast smoke run
+  --out <file>        write the placement (cell rectangles) as JSON
+  --svg <file>        render the placed layout as SVG
+  --stats-json <file> write run statistics (outcome, workers, ...) as JSON
+  --route             also route and report RWL / vias / overflow
+  --no-ams            drop the AMS constraint families (w/o-Cstr. arm)
+  --iters <n>         optimization iterations (default 2)
+  --budget <n>        conflict budget per optimization round (default 100000)
+  --threads <n>       parallel portfolio workers (default: AMSPLACE_THREADS
+                      from the environment, else 1 = sequential)
+  --deadline-ms <n>   wall-clock deadline for the whole solve; after the
+                      first model it degrades to the best placement so far
+                      (default: AMSPLACE_DEADLINE_MS, else none)
+  --max-relax <n>     relaxation rungs to try on infeasibility (default 4,
+                      0 disables the recovery ladder)
+  --quick             small budgets for a fast smoke run
+
+exit codes: 0 success (incl. anytime/recovered placements), 1 usage or
+I/O or internal failure, 2 infeasible, 3 cancelled, 4 deadline expired
+before any model, 5 conflict budget exhausted before any model.
 
 lint mode runs the AMS-Exxx pre-solve checks and exits nonzero iff any
 error-severity diagnostic fires; --explain additionally asks the solver
@@ -43,11 +56,14 @@ struct Args {
     explain: bool,
     out: Option<String>,
     svg: Option<String>,
+    stats_json: Option<String>,
     do_route: bool,
     no_ams: bool,
     iters: usize,
     budget: u64,
     threads: Option<usize>,
+    deadline_ms: Option<u64>,
+    max_relax: Option<usize>,
     quick: bool,
 }
 
@@ -59,11 +75,14 @@ fn parse_args() -> Result<Args, String> {
         explain: false,
         out: None,
         svg: None,
+        stats_json: None,
         do_route: false,
         no_ams: false,
         iters: 2,
         budget: 100_000,
         threads: None,
+        deadline_ms: None,
+        max_relax: None,
         quick: false,
     };
     let mut first_positional = true;
@@ -105,6 +124,23 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.threads = Some(n);
             }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be positive".into());
+                }
+                args.deadline_ms = Some(ms);
+            }
+            "--max-relax" => {
+                args.max_relax = Some(
+                    value("--max-relax")?
+                        .parse()
+                        .map_err(|e| format!("--max-relax: {e}"))?,
+                );
+            }
+            "--stats-json" => args.stats_json = Some(value("--stats-json")?),
             "-h" | "--help" => return Err(String::new()),
             other if !other.starts_with('-') => {
                 args.design_path = Some(other.to_string());
@@ -179,6 +215,93 @@ fn run_lint(args: &Args) -> ExitCode {
     }
 }
 
+/// Maps a placement failure to its documented process exit code.
+fn place_exit_code(e: &PlaceError) -> ExitCode {
+    match e {
+        PlaceError::Infeasible { .. } => ExitCode::from(2),
+        PlaceError::Cancelled => ExitCode::from(3),
+        PlaceError::DeadlineExpired => ExitCode::from(4),
+        PlaceError::BudgetExhausted => ExitCode::from(5),
+        PlaceError::Config(_) | PlaceError::Lint(_) | PlaceError::Internal(_) => ExitCode::FAILURE,
+    }
+}
+
+/// Serializes run statistics (outcome, solver counters, per-worker
+/// portfolio health) for `--stats-json`.
+fn stats_to_json(design: &Design, placement: &Placement) -> Json {
+    let s = &placement.stats;
+    let (kind, detail) = match &s.outcome {
+        PlaceOutcome::Optimal => (Json::str("optimal"), Json::Null),
+        PlaceOutcome::Anytime { rounds, reason } => (
+            Json::str("anytime"),
+            Json::obj([
+                ("rounds", Json::uint(*rounds as u64)),
+                ("reason", Json::str(reason.to_string())),
+            ]),
+        ),
+        PlaceOutcome::Recovered { relaxations } => (
+            Json::str("recovered"),
+            Json::obj([(
+                "relaxations",
+                Json::Arr(
+                    relaxations
+                        .iter()
+                        .map(|r| Json::str(r.to_string()))
+                        .collect(),
+                ),
+            )]),
+        ),
+    };
+    let workers: Vec<Json> = s
+        .workers
+        .iter()
+        .map(|w| {
+            Json::obj([
+                ("id", Json::uint(w.id as u64)),
+                ("conflicts", Json::uint(w.conflicts)),
+                ("decisions", Json::uint(w.decisions)),
+                ("restarts", Json::uint(w.restarts)),
+                ("exported", Json::uint(w.exported)),
+                ("imported", Json::uint(w.imported)),
+                ("panicked", Json::Bool(w.panicked)),
+                (
+                    "panic_message",
+                    w.panic_message.as_ref().map_or(Json::Null, Json::str),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("design", Json::str(design.name())),
+        ("outcome", kind),
+        ("outcome_detail", detail),
+        ("iterations", Json::uint(s.iterations as u64)),
+        ("runtime_ms", Json::uint(s.runtime.as_millis() as u64)),
+        ("conflicts", Json::uint(s.conflicts)),
+        ("sat_vars", Json::uint(s.sat_vars as u64)),
+        ("sat_clauses", Json::uint(s.sat_clauses as u64)),
+        ("threads", Json::uint(s.threads as u64)),
+        (
+            "winner",
+            s.winner.map_or(Json::Null, |w| Json::uint(w as u64)),
+        ),
+        ("workers", Json::Arr(workers)),
+        (
+            "hpwl_trace",
+            Json::Arr(s.hpwl_trace.iter().map(|&v| Json::uint(v)).collect()),
+        ),
+        (
+            "die",
+            Json::obj([
+                ("w", Json::uint(u64::from(placement.die.w))),
+                ("h", Json::uint(u64::from(placement.die.h))),
+            ]),
+        ),
+        ("hpwl_um", Json::Num(placement.hpwl_um(design))),
+        ("area_um2", Json::Num(placement.area_um2(design))),
+    ])
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -223,17 +346,10 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let json = match std::fs::read_to_string(path) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("error: reading {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let design = match Design::from_json(&json) {
+    let design = match load_design(path) {
         Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: parsing {path}: {e}");
+        Err(msg) => {
+            eprintln!("error: {msg}");
             return ExitCode::FAILURE;
         }
     };
@@ -243,12 +359,20 @@ fn main() -> ExitCode {
         design
     };
 
-    let mut config = PlacerConfig::default();
+    let mut config = if args.quick {
+        PlacerConfig::fast()
+    } else {
+        PlacerConfig::default()
+    };
     config.optimize.k_iter = args.iters;
     config.optimize.conflict_budget = Some(args.budget);
     if args.quick {
         config.optimize.k_iter = config.optimize.k_iter.min(1);
         config.optimize.conflict_budget = Some(20_000);
+    }
+    if let Some(rungs) = args.max_relax {
+        config.recovery.max_rungs = rungs;
+        config.recovery.enabled = rungs > 0;
     }
     if args.no_ams {
         config = config.without_ams_constraints();
@@ -263,6 +387,9 @@ fn main() -> ExitCode {
     let mut builder = Placer::builder(&design).config(config);
     if let Some(n) = args.threads {
         builder = builder.threads(n);
+    }
+    if let Some(ms) = args.deadline_ms {
+        builder = builder.deadline(std::time::Duration::from_millis(ms));
     }
     let placement = match builder.build().and_then(|p| p.place()) {
         Ok(p) => p,
@@ -280,11 +407,11 @@ fn main() -> ExitCode {
                 let names: Vec<&str> = conflict.iter().map(|f| f.name()).collect();
                 eprintln!("conflicting constraint families: {}", names.join(" + "));
             }
-            return ExitCode::FAILURE;
+            return place_exit_code(&PlaceError::Infeasible { conflict });
         }
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return place_exit_code(&e);
         }
     };
     if let Err(violations) = placement.verify(&design) {
@@ -304,6 +431,18 @@ fn main() -> ExitCode {
         placement.stats.iterations,
         placement.stats.runtime
     );
+    match &placement.stats.outcome {
+        PlaceOutcome::Optimal => {}
+        PlaceOutcome::Anytime { .. } => {
+            println!("outcome: {}", placement.stats.outcome);
+        }
+        PlaceOutcome::Recovered { relaxations } => {
+            println!("outcome: {}", placement.stats.outcome);
+            for r in relaxations {
+                println!("  rung: {r}");
+            }
+        }
+    }
     if placement.stats.threads > 1 {
         let winner = placement
             .stats
@@ -315,10 +454,24 @@ fn main() -> ExitCode {
         );
         for w in &placement.stats.workers {
             println!(
-                "  worker {}: {} conflicts, {} decisions, {} restarts, shared {} out / {} in",
-                w.id, w.conflicts, w.decisions, w.restarts, w.exported, w.imported
+                "  worker {}: {} conflicts, {} decisions, {} restarts, shared {} out / {} in{}",
+                w.id,
+                w.conflicts,
+                w.decisions,
+                w.restarts,
+                w.exported,
+                w.imported,
+                if w.panicked { " [panicked]" } else { "" }
             );
         }
+    }
+    if let Some(stats_path) = &args.stats_json {
+        let doc = stats_to_json(&design, &placement);
+        if let Err(e) = std::fs::write(stats_path, doc.pretty()) {
+            eprintln!("error: writing {stats_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("stats written to {stats_path}");
     }
 
     if args.do_route {
@@ -338,7 +491,6 @@ fn main() -> ExitCode {
         println!("layout rendered to {svg_path}");
     }
     if let Some(out) = &args.out {
-        use finfet_ams_place::netlist::json::Json;
         let rects: Vec<_> = design
             .cells()
             .iter()

@@ -34,6 +34,13 @@
 //! diversified workers, and `placement.stats.workers` reports per-worker
 //! conflict/clause-sharing counters. `threads(1)` (the default) stays
 //! bit-for-bit deterministic.
+//!
+//! Robustness knobs ride the same builder: `.deadline(Duration)` bounds
+//! the whole run by wall clock and degrades to the best placement found
+//! so far (`placement.stats.outcome` reports `Anytime`), portfolio
+//! workers are panic-isolated (a crash is recorded per worker and the
+//! race continues), and infeasible instances are retried through a
+//! bounded relaxation ladder (`PlaceOutcome::Recovered`).
 
 pub use ams_netlist as netlist;
 pub use ams_place as place;
@@ -63,8 +70,9 @@ pub mod prelude {
     pub use ams_netlist::{benchmarks, Design, DesignBuilder, LintReport, Rect};
     pub use ams_place::analysis::{explain_unsat, lint, ConstraintFamily, UnsatOutcome};
     pub use ams_place::{
-        PlaceError, PlaceStats, Placement, Placer, PlacerBuilder, PlacerConfig, SolverConfig,
+        DegradeReason, PlaceError, PlaceOutcome, PlaceStats, Placement, Placer, PlacerBuilder,
+        PlacerConfig, RecoveryConfig, Relaxation, SolverConfig,
     };
-    pub use ams_sat::{PortfolioConfig, WorkerStats};
+    pub use ams_sat::{PortfolioConfig, StopCause, WorkerStats};
     pub use ams_smt::PortfolioSummary;
 }
