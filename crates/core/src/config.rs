@@ -144,6 +144,13 @@ pub struct SolverConfig {
     /// `PlaceError::DeadlineExpired`. `None` (the default) never reads
     /// the clock during search, preserving sequential determinism.
     pub deadline: Option<Duration>,
+    /// Certified solving: capture a DRAT proof of every SAT-core
+    /// derivation, so an infeasibility verdict carries a machine-checkable
+    /// certificate (`PlaceError::Infeasible::certificate`, validated with
+    /// [`ams_sat::drat::check`]) and a satisfiable run re-verifies its
+    /// model (`PlaceStats::certify`). Costs proof-logging time and memory;
+    /// off by default.
+    pub certify: bool,
 }
 
 impl Default for SolverConfig {
@@ -153,6 +160,7 @@ impl Default for SolverConfig {
             share_lbd_max: 4,
             seed: 0x5EED,
             deadline: None,
+            certify: false,
         }
     }
 }

@@ -45,6 +45,7 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod brute;
 mod config;
 mod encode;
 mod placement;
@@ -59,10 +60,13 @@ pub use config::{
     ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig, RecoveryConfig, SolverConfig,
 };
 pub use placement::{
-    placement_from_rects, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats, Placement,
-    Relaxation, Violation, ViolationKind,
+    placement_from_rects, CertifyReport, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats,
+    Placement, Relaxation, Violation, ViolationKind,
 };
 pub use placer::{PlaceError, Placer, PlacerBuilder, SmtPlacer};
+// Re-exported so downstream consumers can validate infeasibility
+// certificates without depending on `ams_sat` directly.
+pub use ams_sat::drat;
 pub use power::{PowerPlan, RegionPowerPlan};
 pub use scale::{bits_for, ScaleInfo};
 pub use svg::render_svg;

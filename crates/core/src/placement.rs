@@ -181,6 +181,22 @@ pub struct PlaceStats {
     pub workers: Vec<ams_sat::WorkerStats>,
     /// Worker that produced the verdict of the last portfolio solve.
     pub winner: Option<usize>,
+    /// Certification artifacts of a `certify`-mode run
+    /// ([`crate::SolverConfig::certify`]); `None` otherwise.
+    pub certify: Option<CertifyReport>,
+}
+
+/// What a `certify`-mode placement run captured and re-checked.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CertifyReport {
+    /// CNF clauses the bit-blaster produced (the certificate's axioms).
+    pub cnf_clauses: usize,
+    /// DRAT proof steps (clause additions + deletions) the SAT core
+    /// emitted across all solve rounds.
+    pub proof_steps: usize,
+    /// Independent re-verification of the final model: number of
+    /// [`Violation`]s `Placement::verify` found (0 for a sound run).
+    pub model_violations: usize,
 }
 
 /// Pin-density parameters a placement was checked against.

@@ -5,13 +5,13 @@ use crate::analysis::{ConstraintFamily, UnsatOutcome};
 use crate::config::{PinDensityConfig, PlacerConfig};
 use crate::encode;
 use crate::placement::{
-    DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats, Placement, Relaxation,
+    CertifyReport, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats, Placement, Relaxation,
 };
 use crate::power::PowerPlan;
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
 use ams_netlist::{CellId, Design, DiagCode, LintReport, Rect, RegionId};
-use ams_sat::{PortfolioConfig, StopCause};
+use ams_sat::{PortfolioConfig, Proof, StopCause};
 use ams_smt::{Smt, SmtResult, Term};
 use std::error::Error;
 use std::fmt;
@@ -34,6 +34,10 @@ pub enum PlaceError {
         /// blames ([`crate::analysis::explain_unsat`]); empty when the
         /// explainer could not isolate a family subset.
         conflict: Vec<ConstraintFamily>,
+        /// In certify mode ([`crate::SolverConfig::certify`]), the DRAT
+        /// certificate of the final infeasibility verdict; validate it
+        /// with [`ams_sat::drat::check`]. `None` outside certify mode.
+        certificate: Option<Box<Proof>>,
     },
     /// The first solve exhausted its conflict budget without a verdict.
     BudgetExhausted,
@@ -66,7 +70,7 @@ impl fmt::Display for PlaceError {
                 }
                 Ok(())
             }
-            PlaceError::Infeasible { conflict } => {
+            PlaceError::Infeasible { conflict, .. } => {
                 write!(f, "no legal placement exists for the sized die")?;
                 if !conflict.is_empty() {
                     let names: Vec<&str> = conflict.iter().map(|fam| fam.name()).collect();
@@ -196,6 +200,16 @@ impl<'a> PlacerBuilder<'a> {
         self
     }
 
+    /// Enables certified solving ([`crate::SolverConfig::certify`]): the
+    /// SAT core logs a DRAT proof, infeasibility verdicts carry a
+    /// checkable certificate, and satisfiable runs re-verify their model
+    /// (reported in [`crate::PlaceStats::certify`]). Call after
+    /// [`PlacerBuilder::config`], which replaces the whole configuration.
+    pub fn certify(mut self, on: bool) -> PlacerBuilder<'a> {
+        self.config.solver.certify = on;
+        self
+    }
+
     /// Validates, lints, and encodes the design into a ready [`Placer`].
     ///
     /// # Errors
@@ -304,13 +318,15 @@ impl<'a> Placer<'a> {
 
         // Phase 0: pre-solve constraint lint. Every error-severity finding
         // is a proof of unsatisfiability (or a broken reference that would
-        // panic the encoders), so encoding would be wasted work. One
-        // exception: pin-density infeasibility (AMS-E011) is exactly what
-        // the recovery ladder repairs by raising λ_th, so when recovery is
-        // enabled such designs proceed to the solve-and-relax loop.
+        // panic the encoders), so encoding would be wasted work. Two
+        // exceptions let pin-density infeasibility (AMS-E011) through to
+        // the solver: the recovery ladder repairs exactly that by raising
+        // λ_th, and certify mode wants the *solver's* UNSAT — with its
+        // DRAT certificate — rather than the linter's uncheckable verdict.
         let report = crate::analysis::lint(design, &config);
         if report.has_errors() {
-            let recoverable = config.recovery.enabled
+            let solvable = config.recovery.enabled || config.solver.certify;
+            let recoverable = solvable
                 && report
                     .errors()
                     .all(|d| d.code == DiagCode::PinDensityInfeasible);
@@ -329,6 +345,10 @@ impl<'a> Placer<'a> {
         // Phase 2: scaling and variable initialization.
         let scale = ScaleInfo::compute(design, &config);
         let mut smt = Smt::new();
+        if config.solver.certify {
+            // Before any assertion, so the certificate's CNF is complete.
+            smt.enable_proof();
+        }
         let vars = VarMap::create(&mut smt, design, &scale, &plan, &config);
 
         // Constraint formulation (Section IV.C, a–g).
@@ -435,14 +455,23 @@ impl<'a> Placer<'a> {
                     }
                     return Ok(placement);
                 }
-                Err(PlaceError::Infeasible { conflict }) => {
+                Err(PlaceError::Infeasible {
+                    conflict,
+                    certificate,
+                }) => {
                     let out_of_time = deadline.is_some_and(|d| Instant::now() >= d);
                     if relaxations.len() >= max_rungs || out_of_time {
-                        return Err(PlaceError::Infeasible { conflict });
+                        return Err(PlaceError::Infeasible {
+                            conflict,
+                            certificate,
+                        });
                     }
                     let Some((relax, config)) = self.next_relaxation(&conflict, &relaxations)
                     else {
-                        return Err(PlaceError::Infeasible { conflict });
+                        return Err(PlaceError::Infeasible {
+                            conflict,
+                            certificate,
+                        });
                     };
                     relaxations.push(relax);
                     // Re-encode from scratch under the relaxed config: the
@@ -585,8 +614,24 @@ impl<'a> Placer<'a> {
             threads: self.config.solver.threads.max(1),
             workers: summary.workers.clone(),
             winner: summary.last_winner,
+            certify: None,
         };
-        Ok(self.finalize(model, stats))
+        let mut placement = self.finalize(model, stats);
+        // Certify mode closes the SAT half of the loop: re-check the model
+        // against the independent legality oracle and report the proof-log
+        // footprint alongside.
+        if let Some(proof) = self.smt.proof_log() {
+            let model_violations = match placement.verify(self.design) {
+                Ok(()) => 0,
+                Err(v) => v.len(),
+            };
+            placement.stats.certify = Some(CertifyReport {
+                cnf_clauses: proof.num_clauses(),
+                proof_steps: proof.num_steps(),
+                model_violations,
+            });
+        }
+        Ok(placement)
     }
 
     /// Picks the next relaxation rung for an infeasible instance blamed on
@@ -662,11 +707,19 @@ impl<'a> Placer<'a> {
     /// Attributes a first-solve UNSAT to constraint families by re-solving
     /// with per-family guards — cost paid only on the failure path.
     fn infeasible(&self) -> PlaceError {
+        // Snapshot the certificate first: the explainer runs fresh solves
+        // on a separate core, but the verdict being certified is *this*
+        // core's (the first solve runs without assumptions, so the target
+        // is the empty clause).
+        let certificate = self.smt.unsat_certificate().map(Box::new);
         let conflict = match crate::analysis::explain_unsat(self.design, &self.config) {
             UnsatOutcome::Conflict(families) => families,
             UnsatOutcome::Feasible | UnsatOutcome::Unknown => Vec::new(),
         };
-        PlaceError::Infeasible { conflict }
+        PlaceError::Infeasible {
+            conflict,
+            certificate,
+        }
     }
 
     /// Seeds the SAT polarity toward a quick greedy packing: regions

@@ -1,0 +1,191 @@
+//! Differential fuzzing: three independent deciders must agree.
+//!
+//! Each seeded round draws a random mini-design (one region, 2–4 cells)
+//! and a random sizing, then decides feasibility three ways:
+//!
+//! 1. the SMT placer, sequential (`threads = 1`),
+//! 2. the SMT placer over the parallel portfolio (`threads = 4`),
+//! 3. [`ams_place::brute::reference_place`] — exhaustive enumeration of
+//!    the same discrete space with [`Placement::verify`] as the only
+//!    legality arbiter.
+//!
+//! Every SAT model must pass the oracle, every UNSAT verdict must come
+//! with a DRAT certificate the in-repo checker accepts, and the three
+//! verdicts must never disagree. `differential_mini_designs_agree` is the
+//! always-on subset; the fifty-design acceptance run is `#[ignore]`d into
+//! the release-mode scheduled job (see `.github/workflows/nightly.yml`)
+//! and the release step of CI.
+
+use ams_netlist::benchmarks::{synthetic, SyntheticParams};
+use ams_netlist::rng::SplitMix64;
+use ams_place::brute::{reference_place, BruteLimits, ReferenceVerdict};
+use ams_place::{drat, PlaceError, Placer, PlacerConfig};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Verdict {
+    Sat,
+    Unsat,
+}
+
+/// Decides one instance with the SMT placer in certify mode, enforcing
+/// the per-verdict obligations (oracle-legal model / checkable proof).
+fn smt_verdict(
+    design: &ams_netlist::Design,
+    cfg: &PlacerConfig,
+    threads: usize,
+    label: &str,
+) -> Verdict {
+    let mut builder = Placer::builder(design).config(cfg.clone()).certify(true);
+    if threads > 1 {
+        builder = builder.threads(threads);
+    }
+    let placer = builder
+        .build()
+        .unwrap_or_else(|e| panic!("{label}: config rejected: {e}"));
+    match placer.place() {
+        Ok(placement) => {
+            if let Err(violations) = placement.verify(design) {
+                panic!("{label}: illegal model: {violations:?}");
+            }
+            let report = placement
+                .stats
+                .certify
+                .expect("certify mode re-verifies the model");
+            assert_eq!(report.model_violations, 0, "{label}: certify disagrees");
+            Verdict::Sat
+        }
+        Err(PlaceError::Infeasible { certificate, .. }) => {
+            let proof = certificate.unwrap_or_else(|| panic!("{label}: UNSAT without proof"));
+            let stats = drat::check(&proof)
+                .unwrap_or_else(|e| panic!("{label}: certificate rejected: {e}"));
+            assert!(stats.additions > 0 || !proof.clauses.is_empty());
+            Verdict::Unsat
+        }
+        // The pre-solve linter only rejects provably-broken inputs, so it
+        // counts as an (uncertified) UNSAT verdict; the reference placer
+        // cross-checks it below like any other disagreement.
+        Err(PlaceError::Lint(_)) => Verdict::Unsat,
+        Err(e) => panic!("{label}: unexpected failure: {e}"),
+    }
+}
+
+struct FuzzStats {
+    compared: usize,
+    sat: usize,
+    unsat: usize,
+    skipped_too_large: usize,
+}
+
+/// Runs seeded rounds until `target` designs received all three verdicts.
+fn run_rounds(target: usize, base_seed: u64) -> FuzzStats {
+    let mut stats = FuzzStats {
+        compared: 0,
+        sat: 0,
+        unsat: 0,
+        skipped_too_large: 0,
+    };
+    let limits = BruteLimits {
+        max_leaves: 300_000,
+        max_nodes: 4_000_000,
+    };
+    let mut round = 0u64;
+    while stats.compared < target {
+        round += 1;
+        assert!(
+            round < 4 * target as u64 + 64,
+            "too many rounds skipped as TooLarge ({} of {round})",
+            stats.skipped_too_large
+        );
+        let mut rng = SplitMix64::new(base_seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let params = SyntheticParams {
+            regions: 1,
+            cells_per_region: rng.range_u64(2, 4) as usize,
+            nets: rng.range_u64(1, 4) as usize,
+            net_degree: 2,
+            symmetry_pairs: rng.range_u64(0, 1) as usize,
+            cluster_size: 0,
+            seed: rng.next_u64(),
+        };
+        let design = synthetic(params);
+
+        let mut cfg = PlacerConfig::fast();
+        cfg.pin_density = None;
+        cfg.recovery.enabled = false;
+        cfg.optimize.k_iter = 1;
+        cfg.optimize.conflict_budget = Some(50_000);
+        if round.is_multiple_of(3) {
+            // Harsh sizing profile: most of these are infeasible, which
+            // exercises the UNSAT-certificate path of all three deciders.
+            cfg.utilization = 0.95 + 0.05 * rng.next_f64();
+            cfg.die_slack = 1.0;
+            cfg.aspect_ratio = 2.0 + 2.0 * rng.next_f64();
+        } else {
+            cfg.utilization = 0.55 + 0.4 * rng.next_f64();
+            cfg.die_slack = 1.0 + 0.25 * rng.next_f64();
+            cfg.aspect_ratio = [0.5, 1.0, 2.0][rng.index(3)];
+        }
+
+        let reference = match reference_place(&design, &cfg, &limits) {
+            ReferenceVerdict::Feasible(p) => {
+                assert!(p.verify(&design).is_ok(), "round {round}: bad reference");
+                Verdict::Sat
+            }
+            ReferenceVerdict::Infeasible => Verdict::Unsat,
+            ReferenceVerdict::TooLarge => {
+                stats.skipped_too_large += 1;
+                continue;
+            }
+            ReferenceVerdict::Unsupported(what) => {
+                panic!("round {round}: generator produced unsupported feature: {what}")
+            }
+        };
+
+        let seq = smt_verdict(&design, &cfg, 1, &format!("round {round} threads=1"));
+        let par = smt_verdict(&design, &cfg, 4, &format!("round {round} threads=4"));
+
+        assert_eq!(
+            seq,
+            par,
+            "round {round} ({}): sequential vs portfolio disagree",
+            design.name()
+        );
+        assert_eq!(
+            seq,
+            reference,
+            "round {round} ({}): SMT placer vs exhaustive reference disagree",
+            design.name()
+        );
+        stats.compared += 1;
+        match seq {
+            Verdict::Sat => stats.sat += 1,
+            Verdict::Unsat => stats.unsat += 1,
+        }
+    }
+    stats
+}
+
+/// Always-on subset: quick enough for every `cargo test` run.
+#[test]
+fn differential_mini_designs_agree() {
+    let stats = run_rounds(10, 0xD1FF);
+    assert!(stats.sat > 0, "subset never exercised the SAT path");
+}
+
+/// The acceptance run: fifty mini-designs, three deciders, zero
+/// disagreements, every UNSAT certified. Release-mode only (scheduled
+/// job + CI release step) — too slow for the debug-mode suite.
+#[test]
+#[ignore = "release-mode scheduled/CI job: cargo test --release -- --ignored"]
+fn differential_fifty_designs_agree() {
+    let stats = run_rounds(50, 0xF0221);
+    assert!(
+        stats.sat >= 5,
+        "only {} of 50 designs were feasible — generator drifted",
+        stats.sat
+    );
+    assert!(
+        stats.unsat >= 5,
+        "only {} of 50 designs were infeasible — UNSAT path under-tested",
+        stats.unsat
+    );
+}

@@ -2,9 +2,10 @@
 //! single-thread determinism, and cooperative cancellation.
 //!
 //! The always-on tests use small synthetic designs so the suite stays
-//! fast on one core; the paper benchmarks (BUF, VCO) follow the seed
-//! suite's convention of hiding multi-minute placements behind
-//! `#[ignore]` — run them with `--ignored` (release mode recommended).
+//! fast on one core; the paper benchmarks (BUF, VCO) hide their
+//! multi-minute placements behind `#[ignore]` and run in the scheduled
+//! release-mode job (`.github/workflows/nightly.yml`, which executes
+//! `cargo test --release -- --ignored`).
 
 use ams_netlist::benchmarks::{self, SyntheticParams};
 use ams_place::{PlaceError, Placer, PlacerConfig};
@@ -136,7 +137,7 @@ fn env_var_sets_default_thread_count() {
 }
 
 #[test]
-#[ignore = "minutes in debug: three BUF placements; run with --ignored (release recommended)"]
+#[ignore = "minutes in debug; nightly release job runs it: cargo test --release -- --ignored"]
 fn buf_agrees_across_thread_counts() {
     let d = benchmarks::buf();
     for threads in [1, 2, 4] {
@@ -151,7 +152,7 @@ fn buf_agrees_across_thread_counts() {
 }
 
 #[test]
-#[ignore = "minutes in debug: full VCO placement on 4 workers; run with --ignored (release recommended)"]
+#[ignore = "minutes in debug; nightly release job runs it: cargo test --release -- --ignored"]
 fn vco_places_on_four_threads_with_worker_stats() {
     let d = benchmarks::vco();
     let p = place(&d, quick(), 4).expect("vco must place");

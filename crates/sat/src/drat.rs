@@ -1,0 +1,760 @@
+//! DRAT/DRUP proof logging and an in-repo backward proof checker.
+//!
+//! An UNSAT answer from a CDCL solver is only as trustworthy as the solver
+//! itself. This module turns UNSAT verdicts into *checkable certificates*:
+//! the solver records every learnt-clause addition and deletion into a
+//! [`ProofLog`], and [`check`] replays the derivation backwards with reverse
+//! unit propagation (RUP), verifying that the claimed conclusion really
+//! follows from the original clause set.
+//!
+//! # Proof format
+//!
+//! The captured [`Proof`] is the clausal DRUP fragment of DRAT:
+//!
+//! * `clauses` — the original CNF exactly as handed to
+//!   [`Solver::add_clause`](crate::Solver::add_clause) (pre-normalization,
+//!   so the certificate speaks about the formula the caller asserted);
+//! * `steps` — an ordered log of [`ProofStep::Add`] (learnt, imported, or
+//!   terminal clauses) and [`ProofStep::Delete`] (database reduction,
+//!   root-level simplification) entries;
+//! * `target` — the claimed consequence: the empty clause for a refutation,
+//!   or the clause of negated failed assumptions for UNSAT under
+//!   assumptions.
+//!
+//! Only RUP steps are emitted (the solver never performs RAT inferences),
+//! which keeps the checker simple and — crucially — makes the proof
+//! *monotone*: every added clause is entailed by the original formula, so a
+//! checker may soundly ignore deletions and tolerate duplicate additions.
+//! That monotonicity is what lets a parallel portfolio share one interleaved
+//! log: each worker's learnt clause is RUP with respect to its own clause
+//! database, which is always a subset of "original formula + log prefix"
+//! provided clauses are logged before they are exported to peers.
+//!
+//! # Checker algorithm
+//!
+//! [`check`] is a backward DRUP checker in the style of `drat-trim`:
+//!
+//! 1. replay the step list forwards, building one clause record per
+//!    addition and resolving deletions against active records (unmatched
+//!    deletions are counted and ignored — sound, see above);
+//! 2. verify the `target` clause is RUP with respect to the final database,
+//!    marking every clause used as a propagation antecedent as *needed*;
+//! 3. walk the steps backwards: additions are removed from the database and
+//!    RUP-checked (against the strictly earlier database) only if needed,
+//!    deletions are re-activated;
+//! 4. on success, report how much of the proof and formula was actually
+//!    used ([`CheckStats`]).
+//!
+//! Unit propagation uses two watched literals per clause, so checking cost
+//! is proportional to the needed core rather than the full log.
+
+use crate::lit::{Lbool, Lit};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Proof capture
+// ---------------------------------------------------------------------------
+
+/// One derivation step of a DRAT proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A clause addition: learnt, imported from a portfolio peer, or the
+    /// terminal (empty / negated-assumption) clause.
+    Add(Vec<Lit>),
+    /// A clause deletion (database reduction or root simplification).
+    Delete(Vec<Lit>),
+}
+
+/// A complete captured proof: original CNF, derivation steps, and the
+/// claimed conclusion.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Proof {
+    /// Original clauses, verbatim as asserted.
+    pub clauses: Vec<Vec<Lit>>,
+    /// Additions and deletions, in emission order.
+    pub steps: Vec<ProofStep>,
+    /// The claimed consequence: empty for a refutation of `clauses`,
+    /// otherwise the clause of negated failed assumptions.
+    pub target: Vec<Lit>,
+}
+
+impl Proof {
+    /// Number of addition steps.
+    pub fn additions(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ProofStep::Add(_)))
+            .count()
+    }
+
+    /// Serializes the original clauses in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let nv = self.max_var_count();
+        let mut out = format!("p cnf {} {}\n", nv, self.clauses.len());
+        for c in &self.clauses {
+            push_clause_line(&mut out, c, "");
+        }
+        out
+    }
+
+    /// Serializes the derivation steps (plus the terminal `target` clause)
+    /// in the standard textual DRAT format, consumable by external
+    /// checkers such as `drat-trim`.
+    pub fn to_drat(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            match s {
+                ProofStep::Add(c) => push_clause_line(&mut out, c, ""),
+                ProofStep::Delete(c) => push_clause_line(&mut out, c, "d "),
+            }
+        }
+        if !self.target.is_empty() {
+            push_clause_line(&mut out, &self.target, "");
+        }
+        out.push_str("0\n");
+        out
+    }
+
+    fn max_var_count(&self) -> usize {
+        let mut nv = 0usize;
+        for c in self.clauses.iter().chain(std::iter::once(&self.target)) {
+            for l in c {
+                nv = nv.max(l.var().index() + 1);
+            }
+        }
+        for s in &self.steps {
+            let (ProofStep::Add(c) | ProofStep::Delete(c)) = s;
+            for l in c {
+                nv = nv.max(l.var().index() + 1);
+            }
+        }
+        nv
+    }
+}
+
+fn push_clause_line(out: &mut String, c: &[Lit], prefix: &str) {
+    out.push_str(prefix);
+    for l in c {
+        let v = (l.var().index() + 1) as i64;
+        let d = if l.is_positive() { v } else { -v };
+        out.push_str(&d.to_string());
+        out.push(' ');
+    }
+    out.push_str("0\n");
+}
+
+#[derive(Debug, Default)]
+struct ProofInner {
+    clauses: Vec<Vec<Lit>>,
+    steps: Vec<ProofStep>,
+    log_deletions: bool,
+}
+
+/// A shared, thread-safe proof sink.
+///
+/// Cloning a `ProofLog` clones the *handle*: all clones append to the same
+/// log. The parallel portfolio relies on this — every diversified worker
+/// clone of a [`Solver`](crate::Solver) inherits the handle, producing one
+/// interleaved (and still valid, by RUP monotonicity) derivation.
+///
+/// Deletion logging is on by default and should be switched off with
+/// [`ProofLog::set_log_deletions`] before sharing the log between workers:
+/// a deletion by one worker does not remove the clause from its peers, so
+/// honoring it could orphan a peer's later derivation.
+#[derive(Clone, Debug, Default)]
+pub struct ProofLog {
+    inner: Arc<Mutex<ProofInner>>,
+}
+
+impl ProofLog {
+    /// Creates an empty log with deletion logging enabled.
+    pub fn new() -> ProofLog {
+        ProofLog {
+            inner: Arc::new(Mutex::new(ProofInner {
+                clauses: Vec::new(),
+                steps: Vec::new(),
+                log_deletions: true,
+            })),
+        }
+    }
+
+    /// Records an original clause, verbatim.
+    pub fn log_original(&self, lits: &[Lit]) {
+        self.inner.lock().unwrap().clauses.push(lits.to_vec());
+    }
+
+    /// Records a derived clause addition.
+    pub fn log_addition(&self, lits: &[Lit]) {
+        self.inner
+            .lock()
+            .unwrap()
+            .steps
+            .push(ProofStep::Add(lits.to_vec()));
+    }
+
+    /// Records a clause deletion (no-op while deletion logging is off).
+    pub fn log_deletion(&self, lits: &[Lit]) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.log_deletions {
+            inner.steps.push(ProofStep::Delete(lits.to_vec()));
+        }
+    }
+
+    /// Enables or disables deletion logging. Must be disabled while several
+    /// solvers share this log (see the type-level docs).
+    pub fn set_log_deletions(&self, on: bool) {
+        self.inner.lock().unwrap().log_deletions = on;
+    }
+
+    /// Number of original clauses captured so far.
+    pub fn num_clauses(&self) -> usize {
+        self.inner.lock().unwrap().clauses.len()
+    }
+
+    /// Number of derivation steps captured so far.
+    pub fn num_steps(&self) -> usize {
+        self.inner.lock().unwrap().steps.len()
+    }
+
+    /// Snapshots the log into a standalone [`Proof`] claiming the given
+    /// target clause (empty = refutation).
+    pub fn snapshot(&self, target: &[Lit]) -> Proof {
+        let inner = self.inner.lock().unwrap();
+        Proof {
+            clauses: inner.clauses.clone(),
+            steps: inner.steps.clone(),
+            target: target.to_vec(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backward DRUP checker
+// ---------------------------------------------------------------------------
+
+/// Outcome statistics of a successful [`check`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Addition steps in the proof.
+    pub additions: usize,
+    /// Additions that were actually RUP-verified (the needed core).
+    pub verified_additions: usize,
+    /// Original clauses used somewhere in the verified derivation.
+    pub core_clauses: usize,
+    /// Deletion steps honored during replay.
+    pub deletions: usize,
+    /// Deletion steps with no matching active clause (ignored; sound for
+    /// RUP-only proofs).
+    pub ignored_deletions: usize,
+    /// Literals propagated across all RUP checks.
+    pub propagations: u64,
+}
+
+/// Why a proof was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// The clause introduced by step `step` is not RUP with respect to the
+    /// clause database at that point. `step == steps.len()` denotes the
+    /// final `target` clause itself.
+    NotRup { step: usize },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::NotRup { step } => {
+                write!(
+                    f,
+                    "proof step {step} is not a reverse-unit-propagation consequence"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Verifies that `proof.target` follows from `proof.clauses` via the logged
+/// derivation. An empty target certifies unsatisfiability of the clause
+/// set; a non-empty target certifies that its negation (a conjunction of
+/// assumption literals) is inconsistent with the clause set.
+pub fn check(proof: &Proof) -> Result<CheckStats, CheckError> {
+    Checker::new(proof).run(proof)
+}
+
+struct Rec {
+    lits: Vec<Lit>,
+    active: bool,
+    needed: bool,
+    original: bool,
+}
+
+struct Checker {
+    recs: Vec<Rec>,
+    /// Watch lists per literal code; entries are record indices and are
+    /// never removed (inactive records are skipped during propagation so
+    /// that backward re-activation finds them watched).
+    watches: Vec<Vec<u32>>,
+    /// Records of length one, propagated at the start of every RUP check.
+    units: Vec<u32>,
+    /// Records of length zero (a logged empty clause is an immediate
+    /// conflict whenever active).
+    empties: Vec<u32>,
+    assigns: Vec<Lbool>,
+    reason: Vec<Option<u32>>,
+    var_seen: Vec<bool>,
+    trail: Vec<Lit>,
+    stats: CheckStats,
+}
+
+impl Checker {
+    fn new(proof: &Proof) -> Checker {
+        let mut num_vars = 0usize;
+        {
+            let mut see = |c: &[Lit]| {
+                for l in c {
+                    num_vars = num_vars.max(l.var().index() + 1);
+                }
+            };
+            for c in &proof.clauses {
+                see(c);
+            }
+            for s in &proof.steps {
+                let (ProofStep::Add(c) | ProofStep::Delete(c)) = s;
+                see(c);
+            }
+            see(&proof.target);
+        }
+        Checker {
+            recs: Vec::with_capacity(proof.clauses.len() + proof.steps.len()),
+            watches: vec![Vec::new(); 2 * num_vars],
+            units: Vec::new(),
+            empties: Vec::new(),
+            assigns: vec![Lbool::Undef; num_vars],
+            reason: vec![None; num_vars],
+            var_seen: vec![false; num_vars],
+            trail: Vec::new(),
+            stats: CheckStats::default(),
+        }
+    }
+
+    fn add_record(&mut self, lits: &[Lit], original: bool) -> u32 {
+        let idx = self.recs.len() as u32;
+        // Drop duplicate literals; keep complementary pairs (a tautology is
+        // trivially RUP and never propagates harmfully).
+        let mut ls = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        match ls.len() {
+            0 => self.empties.push(idx),
+            1 => self.units.push(idx),
+            _ => {
+                self.watches[ls[0].code()].push(idx);
+                self.watches[ls[1].code()].push(idx);
+            }
+        }
+        self.recs.push(Rec {
+            lits: ls,
+            active: true,
+            needed: false,
+            original,
+        });
+        idx
+    }
+
+    fn run(&mut self, proof: &Proof) -> Result<CheckStats, CheckError> {
+        // Forward replay: one record per original clause and per addition;
+        // deletions deactivate the most recent matching active record.
+        for c in &proof.clauses {
+            self.add_record(c, true);
+        }
+        let mut by_key: HashMap<Vec<Lit>, Vec<u32>> = HashMap::new();
+        for i in 0..self.recs.len() {
+            by_key
+                .entry(self.recs[i].lits.clone())
+                .or_default()
+                .push(i as u32);
+        }
+        // `actions[i]` remembers what step `i` did, for the backward walk.
+        let mut actions: Vec<Option<u32>> = Vec::with_capacity(proof.steps.len());
+        let mut is_add: Vec<bool> = Vec::with_capacity(proof.steps.len());
+        for s in &proof.steps {
+            match s {
+                ProofStep::Add(c) => {
+                    self.stats.additions += 1;
+                    let idx = self.add_record(c, false);
+                    by_key
+                        .entry(self.recs[idx as usize].lits.clone())
+                        .or_default()
+                        .push(idx);
+                    actions.push(Some(idx));
+                    is_add.push(true);
+                }
+                ProofStep::Delete(c) => {
+                    let mut key = c.to_vec();
+                    key.sort_unstable();
+                    key.dedup();
+                    let hit = by_key.get_mut(&key).and_then(|v| {
+                        let pos = v.iter().rposition(|&i| self.recs[i as usize].active);
+                        pos.map(|p| v[p])
+                    });
+                    match hit {
+                        Some(idx) => {
+                            self.recs[idx as usize].active = false;
+                            self.stats.deletions += 1;
+                            actions.push(Some(idx));
+                        }
+                        None => {
+                            self.stats.ignored_deletions += 1;
+                            actions.push(None);
+                        }
+                    }
+                    is_add.push(false);
+                }
+            }
+        }
+
+        // The claimed conclusion must be RUP in the final database.
+        if !self.rup(&proof.target) {
+            return Err(CheckError::NotRup {
+                step: proof.steps.len(),
+            });
+        }
+
+        // Backward walk: un-apply each step; RUP-check needed additions
+        // against the strictly earlier database.
+        for i in (0..proof.steps.len()).rev() {
+            match (is_add[i], actions[i]) {
+                (true, Some(idx)) => {
+                    self.recs[idx as usize].active = false;
+                    if self.recs[idx as usize].needed {
+                        self.stats.verified_additions += 1;
+                        let lits = self.recs[idx as usize].lits.clone();
+                        if !self.rup(&lits) {
+                            return Err(CheckError::NotRup { step: i });
+                        }
+                    }
+                }
+                (false, Some(idx)) => self.recs[idx as usize].active = true,
+                _ => {}
+            }
+        }
+
+        self.stats.core_clauses = self.recs.iter().filter(|r| r.original && r.needed).count();
+        Ok(self.stats)
+    }
+
+    /// Is `clause` a reverse-unit-propagation consequence of the active
+    /// records? On success, marks every antecedent record as needed.
+    fn rup(&mut self, clause: &[Lit]) -> bool {
+        debug_assert!(self.trail.is_empty());
+        let mut confl: Option<u32> = None;
+
+        // An active empty clause is an immediate conflict.
+        for k in 0..self.empties.len() {
+            let idx = self.empties[k];
+            if self.recs[idx as usize].active {
+                confl = Some(idx);
+                break;
+            }
+        }
+
+        // Assume the negation of the candidate clause.
+        if confl.is_none() {
+            for &l in clause {
+                match self.value(!l) {
+                    Lbool::True => {}
+                    Lbool::False => {
+                        // The clause is a tautology: ¬C is contradictory.
+                        self.undo();
+                        return true;
+                    }
+                    Lbool::Undef => self.assign(!l, None),
+                }
+            }
+        }
+
+        // Propagate active unit records.
+        if confl.is_none() {
+            for k in 0..self.units.len() {
+                let idx = self.units[k];
+                if !self.recs[idx as usize].active {
+                    continue;
+                }
+                let l = self.recs[idx as usize].lits[0];
+                match self.value(l) {
+                    Lbool::True => {}
+                    Lbool::False => {
+                        confl = Some(idx);
+                        break;
+                    }
+                    Lbool::Undef => self.assign(l, Some(idx)),
+                }
+            }
+        }
+
+        if confl.is_none() {
+            confl = self.propagate();
+        }
+
+        match confl {
+            Some(c) => {
+                self.mark_antecedents(c);
+                self.undo();
+                true
+            }
+            None => {
+                self.undo();
+                false
+            }
+        }
+    }
+
+    fn value(&self, l: Lit) -> Lbool {
+        Self::value_in(&self.assigns, l)
+    }
+
+    fn value_in(assigns: &[Lbool], l: Lit) -> Lbool {
+        match assigns[l.var().index()] {
+            Lbool::Undef => Lbool::Undef,
+            Lbool::True => {
+                if l.is_positive() {
+                    Lbool::True
+                } else {
+                    Lbool::False
+                }
+            }
+            Lbool::False => {
+                if l.is_positive() {
+                    Lbool::False
+                } else {
+                    Lbool::True
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, l: Lit, reason: Option<u32>) {
+        self.assigns[l.var().index()] = if l.is_positive() {
+            Lbool::True
+        } else {
+            Lbool::False
+        };
+        self.reason[l.var().index()] = reason;
+        self.trail.push(l);
+    }
+
+    /// Two-watched-literal unit propagation over the active records.
+    fn propagate(&mut self) -> Option<u32> {
+        let mut qhead = 0usize;
+        while qhead < self.trail.len() {
+            let p = self.trail[qhead];
+            qhead += 1;
+            let false_lit = !p;
+            let mut wi = 0usize;
+            'watchers: while wi < self.watches[false_lit.code()].len() {
+                let idx = self.watches[false_lit.code()][wi];
+                if !self.recs[idx as usize].active {
+                    wi += 1;
+                    continue;
+                }
+                // Make the false literal the second watch.
+                let rec = &mut self.recs[idx as usize];
+                if rec.lits[0] == false_lit {
+                    rec.lits.swap(0, 1);
+                }
+                if rec.lits[1] != false_lit {
+                    // Stale entry from an earlier watch move; drop it.
+                    self.watches[false_lit.code()].swap_remove(wi);
+                    continue;
+                }
+                let first = rec.lits[0];
+                if Self::value_in(&self.assigns, first) == Lbool::True {
+                    wi += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                for k in 2..rec.lits.len() {
+                    if Self::value_in(&self.assigns, rec.lits[k]) != Lbool::False {
+                        rec.lits.swap(1, k);
+                        let new_watch = rec.lits[1];
+                        self.watches[new_watch.code()].push(idx);
+                        self.watches[false_lit.code()].swap_remove(wi);
+                        continue 'watchers;
+                    }
+                }
+                // No replacement: unit or conflict.
+                match self.value(first) {
+                    Lbool::False => return Some(idx),
+                    _ => {
+                        self.stats.propagations += 1;
+                        self.assign(first, Some(idx));
+                    }
+                }
+                wi += 1;
+            }
+        }
+        None
+    }
+
+    /// Marks every record reachable through propagation reasons from the
+    /// conflicting record as needed.
+    fn mark_antecedents(&mut self, confl: u32) {
+        let mut stack = vec![confl];
+        let mut seen_vars: Vec<usize> = Vec::new();
+        while let Some(r) = stack.pop() {
+            self.recs[r as usize].needed = true;
+            for k in 0..self.recs[r as usize].lits.len() {
+                let vi = self.recs[r as usize].lits[k].var().index();
+                if !self.var_seen[vi] {
+                    self.var_seen[vi] = true;
+                    seen_vars.push(vi);
+                    if let Some(r2) = self.reason[vi] {
+                        stack.push(r2);
+                    }
+                }
+            }
+        }
+        for vi in seen_vars {
+            self.var_seen[vi] = false;
+        }
+    }
+
+    fn undo(&mut self) {
+        for l in self.trail.drain(..) {
+            self.assigns[l.var().index()] = Lbool::Undef;
+            self.reason[l.var().index()] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(i: i32) -> Lit {
+        let v = Var::from_index((i.unsigned_abs() - 1) as usize);
+        if i > 0 {
+            v.positive()
+        } else {
+            !v.positive()
+        }
+    }
+
+    fn clause(ls: &[i32]) -> Vec<Lit> {
+        ls.iter().map(|&i| lit(i)).collect()
+    }
+
+    /// The classic R(1,2) proof: from (a∨b), (a∨¬b), (¬a∨b), (¬a∨¬b)
+    /// derive a, then ⊥.
+    fn tiny_unsat_proof() -> Proof {
+        Proof {
+            clauses: vec![
+                clause(&[1, 2]),
+                clause(&[1, -2]),
+                clause(&[-1, 2]),
+                clause(&[-1, -2]),
+            ],
+            steps: vec![ProofStep::Add(clause(&[1])), ProofStep::Add(clause(&[]))],
+            target: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_refutation_passes() {
+        let stats = check(&tiny_unsat_proof()).expect("valid proof");
+        assert_eq!(stats.additions, 2);
+        assert_eq!(stats.verified_additions, 2);
+        assert!(stats.core_clauses >= 3);
+    }
+
+    #[test]
+    fn bogus_addition_is_rejected() {
+        let mut p = tiny_unsat_proof();
+        // Replace the derived unit with an unrelated clause that does not
+        // follow by unit propagation; the final empty clause then fails.
+        p.steps[0] = ProofStep::Add(clause(&[3]));
+        let err = check(&p).unwrap_err();
+        assert!(matches!(err, CheckError::NotRup { .. }));
+    }
+
+    #[test]
+    fn deleting_a_needed_clause_is_rejected() {
+        let mut p = tiny_unsat_proof();
+        p.steps.insert(0, ProofStep::Delete(clause(&[1, 2])));
+        assert!(check(&p).is_err());
+    }
+
+    #[test]
+    fn unmatched_deletions_are_ignored() {
+        let mut p = tiny_unsat_proof();
+        p.steps.insert(0, ProofStep::Delete(clause(&[7, 8])));
+        let stats = check(&p).expect("still valid");
+        assert_eq!(stats.ignored_deletions, 1);
+    }
+
+    #[test]
+    fn duplicate_additions_are_tolerated() {
+        let mut p = tiny_unsat_proof();
+        p.steps.insert(1, ProofStep::Add(clause(&[1])));
+        let stats = check(&p).expect("duplicates are sound");
+        assert_eq!(stats.additions, 3);
+    }
+
+    #[test]
+    fn assumption_target_is_checked() {
+        // Formula: (¬a ∨ ¬b). Claimed: assumptions {a, b} fail, i.e. the
+        // clause (¬a ∨ ¬b) is a consequence — no derivation steps needed.
+        let p = Proof {
+            clauses: vec![clause(&[-1, -2])],
+            steps: vec![],
+            target: clause(&[-1, -2]),
+        };
+        let stats = check(&p).expect("target follows directly");
+        assert_eq!(stats.core_clauses, 1);
+    }
+
+    #[test]
+    fn unsupported_target_is_rejected() {
+        let p = Proof {
+            clauses: vec![clause(&[1, 2])],
+            steps: vec![],
+            target: clause(&[1]),
+        };
+        assert!(check(&p).is_err());
+    }
+
+    #[test]
+    fn satisfiable_formula_has_no_refutation() {
+        let p = Proof {
+            clauses: vec![clause(&[1, 2]), clause(&[-1, 2])],
+            steps: vec![ProofStep::Add(clause(&[2]))],
+            target: vec![],
+        };
+        // The derived unit is fine, but ⊥ does not follow.
+        let err = check(&p).unwrap_err();
+        assert_eq!(err, CheckError::NotRup { step: 1 });
+    }
+
+    #[test]
+    fn tautological_target_is_trivially_rup() {
+        let p = Proof {
+            clauses: vec![],
+            steps: vec![],
+            target: clause(&[1, -1]),
+        };
+        assert!(check(&p).is_ok());
+    }
+
+    #[test]
+    fn drat_serialization_round_trips_signs() {
+        let p = tiny_unsat_proof();
+        let drat = p.to_drat();
+        assert!(drat.contains("1 0\n"));
+        let dimacs = p.to_dimacs();
+        assert!(dimacs.starts_with("p cnf 2 4"));
+        assert!(dimacs.contains("-1 -2 0"));
+    }
+}

@@ -26,6 +26,7 @@
 //! ```
 
 mod clause;
+pub mod drat;
 mod heap;
 mod lit;
 mod luby;
@@ -33,6 +34,7 @@ mod portfolio;
 mod solver;
 
 pub use clause::{ClauseDb, ClauseRef};
+pub use drat::{CheckError, CheckStats, Proof, ProofLog, ProofStep};
 pub use heap::VarHeap;
 pub use lit::{Lbool, Lit, Var};
 pub use luby::luby;

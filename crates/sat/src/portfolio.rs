@@ -207,6 +207,13 @@ impl Portfolio {
             return self.solve_sequential(base, assumptions, stop);
         }
 
+        // Cloned workers share the base's proof sink (if any); a deletion
+        // by one worker must not be honored against the interleaved log,
+        // because the clause is still live inside its peers.
+        if let Some(proof) = base.proof() {
+            proof.set_log_deletions(false);
+        }
+
         // Counters are cumulative per solver; subtract the base's so each
         // worker reports only this solve.
         let base_counters = base.stats();

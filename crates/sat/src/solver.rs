@@ -11,6 +11,7 @@
 //! * conflict/propagation budgets for anytime use.
 
 use crate::clause::{ClauseDb, ClauseRef};
+use crate::drat::ProofLog;
 use crate::heap::VarHeap;
 use crate::lit::{Lbool, Lit, Var};
 use crate::luby::luby;
@@ -175,6 +176,10 @@ pub struct Solver {
     stop: Option<Arc<AtomicBool>>,
     /// Learnt-clause exchange endpoint (portfolio mode).
     exchange: Option<Box<dyn ClauseExchange>>,
+    /// DRAT proof sink; `None` (the default) makes logging zero-cost.
+    /// Cloning the solver shares the sink, so a portfolio of clones
+    /// produces one interleaved proof.
+    proof: Option<ProofLog>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -249,6 +254,7 @@ impl Clone for Solver {
             rand_freq: self.rand_freq,
             stop: self.stop.clone(),
             exchange: None,
+            proof: self.proof.clone(),
         }
     }
 }
@@ -294,6 +300,7 @@ impl Solver {
             rand_freq: 0.0,
             stop: None,
             exchange: None,
+            proof: None,
         }
     }
 
@@ -383,6 +390,20 @@ impl Solver {
         self.exchange = exchange;
     }
 
+    /// Installs (or clears) a DRAT proof sink. While installed, every
+    /// original clause, learnt/imported clause addition, and clause
+    /// deletion is recorded, so that an UNSAT verdict can be validated with
+    /// [`drat::check`](crate::drat::check). Logging imposes no cost when no
+    /// sink is installed.
+    pub fn set_proof(&mut self, proof: Option<ProofLog>) {
+        self.proof = proof;
+    }
+
+    /// The installed proof sink, if any.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_ref()
+    }
+
     /// Sets the VSIDS activity decay factor (clamped to `[0.5, 0.999]`);
     /// lower values make the search more greedy, a portfolio
     /// diversification axis.
@@ -457,7 +478,14 @@ impl Solver {
         let incoming = exchange.import();
         for lits in incoming {
             self.stats.shared_imported += 1;
-            if !self.add_clause(&lits) {
+            // An import is a peer's learnt clause: a *derived* proof step,
+            // not part of the original formula. With a portfolio-shared
+            // proof sink this re-adds a clause already in the log — a
+            // harmless duplicate under RUP checking.
+            if let Some(p) = &self.proof {
+                p.log_addition(&lits);
+            }
+            if !self.attach_clause(&lits) {
                 break; // root conflict: the solver is now permanently UNSAT
             }
         }
@@ -468,6 +496,16 @@ impl Solver {
     ///
     /// May be called between `solve` calls for incremental use.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        // Log the clause verbatim (pre-normalization), so a proof speaks
+        // about the formula exactly as the caller asserted it.
+        if let Some(p) = &self.proof {
+            p.log_original(lits);
+        }
+        self.attach_clause(lits)
+    }
+
+    /// [`Solver::add_clause`] minus proof logging of the original.
+    fn attach_clause(&mut self, lits: &[Lit]) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
         if !self.ok {
             return false;
@@ -496,11 +534,19 @@ impl Solver {
         match c.len() {
             0 => {
                 self.ok = false;
+                if let Some(p) = &self.proof {
+                    p.log_addition(&[]);
+                }
                 false
             }
             1 => {
                 self.unchecked_enqueue(c[0], None);
                 self.ok = self.propagate().is_none();
+                if !self.ok {
+                    if let Some(p) = &self.proof {
+                        p.log_addition(&[]);
+                    }
+                }
                 self.ok
             }
             _ => {
@@ -572,6 +618,15 @@ impl Solver {
                 }
             }
         };
+        // Terminal lemma for UNSAT under assumptions: the clause of negated
+        // failed assumptions is RUP with respect to the live database, and
+        // becomes the checkable `target` of the certificate.
+        if result == SolveResult::Unsat && !self.conflict_core.is_empty() {
+            if let Some(p) = &self.proof {
+                let lemma: Vec<Lit> = self.conflict_core.iter().map(|&l| !l).collect();
+                p.log_addition(&lemma);
+            }
+        }
         self.cancel_until(0);
         #[cfg(debug_assertions)]
         self.check_invariants();
@@ -1048,6 +1103,11 @@ impl Solver {
     }
 
     fn record_learnt(&mut self, learnt: &[Lit]) {
+        // Proof before export: a shared portfolio log stays valid only if a
+        // clause is in the log before any peer can import (and re-log) it.
+        if let Some(p) = &self.proof {
+            p.log_addition(learnt);
+        }
         if learnt.len() == 1 {
             if let Some(exchange) = self.exchange.as_mut() {
                 if exchange.export(learnt, 1) {
@@ -1109,6 +1169,9 @@ impl Solver {
         }
         self.learnts = kept;
         for cref in removed {
+            if let Some(p) = &self.proof {
+                p.log_deletion(self.db.lits(cref));
+            }
             self.detach(cref);
             self.db.delete(cref);
         }
@@ -1166,6 +1229,9 @@ impl Solver {
                 for k in 0..len {
                     if self.lit_value(self.db.lit(cref, k)) == Lbool::True {
                         if !self.is_locked(cref) {
+                            if let Some(p) = &self.proof {
+                                p.log_deletion(self.db.lits(cref));
+                            }
                             self.detach(cref);
                             self.db.delete(cref);
                             continue 'clauses;
@@ -1219,6 +1285,9 @@ impl Solver {
                 conflicts_here += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    if let Some(p) = &self.proof {
+                        p.log_addition(&[]);
+                    }
                     return Some(SolveResult::Unsat);
                 }
                 if self.stop_requested() {

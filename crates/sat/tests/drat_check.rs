@@ -1,0 +1,218 @@
+//! End-to-end certified solving: every UNSAT verdict of the CDCL core —
+//! sequential, incremental, under assumptions, and from the parallel
+//! portfolio — must come with a DRAT proof that the in-repo backward
+//! checker accepts.
+
+use ams_sat::{drat, Lit, Portfolio, PortfolioConfig, ProofLog, SolveResult, Solver};
+
+/// SplitMix64; local copy to keep ams-sat dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        ((u128::from(self.next()) * bound as u128) >> 64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+fn vars(s: &mut Solver, n: usize) -> Vec<Lit> {
+    (0..n).map(|_| s.new_var().positive()).collect()
+}
+
+/// Pigeonhole principle PHP(pigeons, holes): unsatisfiable whenever
+/// `pigeons > holes`, and requires real resolution work — a classic
+/// certification stress test.
+fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+    let p: Vec<Vec<Lit>> = (0..pigeons).map(|_| vars(s, holes)).collect();
+    for row in &p {
+        s.add_clause(row); // every pigeon sits somewhere
+    }
+    for h in 0..holes {
+        for (i, pi) in p.iter().enumerate() {
+            for pj in &p[i + 1..] {
+                s.add_clause(&[!pi[h], !pj[h]]); // no hole hosts two
+            }
+        }
+    }
+}
+
+fn certified_unsat(proof: &ProofLog, target: &[Lit]) -> drat::CheckStats {
+    let snapshot = proof.snapshot(target);
+    drat::check(&snapshot).expect("solver UNSAT verdict must be certifiable")
+}
+
+#[test]
+fn pigeonhole_refutation_is_certified() {
+    let mut s = Solver::new();
+    let proof = ProofLog::new();
+    s.set_proof(Some(proof.clone()));
+    pigeonhole(&mut s, 6, 5);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let stats = certified_unsat(&proof, &[]);
+    assert!(
+        stats.verified_additions > 0,
+        "a real derivation was checked"
+    );
+    assert!(stats.core_clauses > 0, "original clauses participate");
+}
+
+#[test]
+fn unsat_under_assumptions_yields_checkable_core_clause() {
+    // Formula: a → b, b → c. Assume a and ¬c: UNSAT with core {a, ¬c}.
+    let mut s = Solver::new();
+    let proof = ProofLog::new();
+    s.set_proof(Some(proof.clone()));
+    let v = vars(&mut s, 3);
+    s.add_clause(&[!v[0], v[1]]);
+    s.add_clause(&[!v[1], v[2]]);
+    assert_eq!(s.solve_with(&[v[0], !v[2]]), SolveResult::Unsat);
+    let core = s.failed_assumptions().to_vec();
+    assert!(!core.is_empty());
+    let target: Vec<Lit> = core.iter().map(|&l| !l).collect();
+    certified_unsat(&proof, &target);
+}
+
+#[test]
+fn incremental_rounds_accumulate_one_valid_proof() {
+    // SAT round, then clauses that flip the formula UNSAT: the proof log
+    // spans both rounds and still checks.
+    let mut s = Solver::new();
+    let proof = ProofLog::new();
+    s.set_proof(Some(proof.clone()));
+    let v = vars(&mut s, 4);
+    s.add_clause(&[v[0], v[1]]);
+    s.add_clause(&[v[2], v[3]]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    for &a in &v {
+        s.add_clause(&[!a]);
+    }
+    s.add_clause(&[v[0], v[1], v[2], v[3]]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    certified_unsat(&proof, &[]);
+}
+
+#[test]
+fn contradictory_units_are_certified() {
+    let mut s = Solver::new();
+    let proof = ProofLog::new();
+    s.set_proof(Some(proof.clone()));
+    let v = vars(&mut s, 1);
+    assert!(s.add_clause(&[v[0]]));
+    assert!(!s.add_clause(&[!v[0]]));
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    certified_unsat(&proof, &[]);
+}
+
+#[test]
+fn portfolio_shared_log_certifies_unsat() {
+    let mut base = Solver::new();
+    let proof = ProofLog::new();
+    base.set_proof(Some(proof.clone()));
+    pigeonhole(&mut base, 6, 5);
+    let portfolio = Portfolio::new(PortfolioConfig {
+        threads: 4,
+        share_lbd_max: 6,
+        seed: 7,
+        panic_inject_mask: 0,
+    });
+    let (winner, verdict) = portfolio.solve(base, &[], None);
+    assert_eq!(verdict.result, SolveResult::Unsat);
+    assert!(winner.is_some());
+    let stats = certified_unsat(&proof, &[]);
+    assert!(stats.additions > 0);
+}
+
+#[test]
+fn random_unsat_formulas_are_always_certified() {
+    // Random 3-SAT at a clause density deep in the UNSAT regime, mixed
+    // with looser satisfiable instances; every UNSAT verdict must check.
+    let mut rng = Rng(0xDA7E_2022);
+    let mut unsat_seen = 0;
+    for round in 0..40 {
+        let n = 8 + rng.below(10);
+        let dense = round % 2 == 0;
+        let m = if dense { n * 6 } else { n * 3 };
+        let mut s = Solver::new();
+        let proof = ProofLog::new();
+        s.set_proof(Some(proof.clone()));
+        let v = vars(&mut s, n);
+        for _ in 0..m {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                let lit = v[rng.below(n)];
+                c.push(if rng.bool() { lit } else { !lit });
+            }
+            s.add_clause(&c);
+        }
+        if s.solve() == SolveResult::Unsat {
+            unsat_seen += 1;
+            certified_unsat(&proof, &[]);
+        }
+    }
+    assert!(
+        unsat_seen >= 5,
+        "expected several UNSAT rounds, got {unsat_seen}"
+    );
+}
+
+#[test]
+fn proof_logging_does_not_change_verdicts() {
+    let mut rng = Rng(0x05EED);
+    for _ in 0..20 {
+        let n = 6 + rng.below(8);
+        let m = n * 4;
+        let mut clauses = Vec::new();
+        for _ in 0..m {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                let vi = rng.below(n);
+                let pos = rng.bool();
+                c.push((vi, pos));
+            }
+            clauses.push(c);
+        }
+        let run = |with_proof: bool| {
+            let mut s = Solver::new();
+            if with_proof {
+                s.set_proof(Some(ProofLog::new()));
+            }
+            let v = vars(&mut s, n);
+            for c in &clauses {
+                let lits: Vec<Lit> = c
+                    .iter()
+                    .map(|&(vi, pos)| if pos { v[vi] } else { !v[vi] })
+                    .collect();
+                s.add_clause(&lits);
+            }
+            s.solve()
+        };
+        assert_eq!(run(false), run(true));
+    }
+}
+
+#[test]
+fn drat_text_export_covers_the_derivation() {
+    let mut s = Solver::new();
+    let proof = ProofLog::new();
+    s.set_proof(Some(proof.clone()));
+    pigeonhole(&mut s, 4, 3);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let snap = proof.snapshot(&[]);
+    let dimacs = snap.to_dimacs();
+    assert!(dimacs.starts_with("p cnf "));
+    let drat_text = snap.to_drat();
+    assert!(drat_text.ends_with("0\n"));
+    // One line per step plus the terminal empty-clause line.
+    assert_eq!(drat_text.lines().count(), snap.steps.len() + 1);
+}

@@ -30,7 +30,7 @@
 //! ```
 
 mod blast;
-mod pb;
+pub mod pb;
 mod solver;
 mod term;
 

@@ -4,7 +4,8 @@ use crate::blast::Blaster;
 use crate::pb;
 use crate::term::{truncate, Sort, Term, TermKind, TermPool};
 use ams_sat::{
-    Lit, Portfolio, PortfolioConfig, PortfolioVerdict, SolveResult, Solver, StopCause, WorkerStats,
+    Lit, Portfolio, PortfolioConfig, PortfolioVerdict, Proof, ProofLog, SolveResult, Solver,
+    StopCause, WorkerStats,
 };
 use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
@@ -94,6 +95,9 @@ pub struct Smt {
     last_cause: Option<StopCause>,
     /// Aggregated portfolio counters across solve calls.
     portfolio_summary: PortfolioSummary,
+    /// DRAT proof sink mirroring the handle installed in the SAT core, so
+    /// certificates survive portfolio core replacement.
+    proof: Option<ProofLog>,
 }
 
 impl std::fmt::Debug for Smt {
@@ -196,6 +200,36 @@ impl Smt {
     /// actually dispatches to the portfolio.
     pub fn portfolio_summary(&self) -> &PortfolioSummary {
         &self.portfolio_summary
+    }
+
+    /// Enables DRAT proof capture. Every clause the bit-blaster hands to
+    /// the SAT core is recorded from here on, together with all learnt
+    /// additions/deletions (including portfolio-imported clauses), so UNSAT
+    /// verdicts become certificates checkable by
+    /// [`ams_sat::drat::check`]. Idempotent; best called before the first
+    /// assertion so the checker sees the complete CNF.
+    pub fn enable_proof(&mut self) {
+        if self.proof.is_none() {
+            let log = ProofLog::new();
+            self.sat.set_proof(Some(log.clone()));
+            self.proof = Some(log);
+        }
+    }
+
+    /// The proof sink, when [`Smt::enable_proof`] was called.
+    pub fn proof_log(&self) -> Option<&ProofLog> {
+        self.proof.as_ref()
+    }
+
+    /// After an `Unsat` outcome with proof capture enabled, snapshots the
+    /// derivation into a standalone certificate. The certificate's target
+    /// is the clause of negated failed-assumption literals — empty for an
+    /// assumption-free refutation — exactly what
+    /// [`ams_sat::drat::check`] validates against the captured CNF.
+    pub fn unsat_certificate(&self) -> Option<Proof> {
+        let proof = self.proof.as_ref()?;
+        let target: Vec<Lit> = self.sat.failed_assumptions().iter().map(|&l| !l).collect();
+        Some(proof.snapshot(&target))
     }
 
     // --- term constructors -------------------------------------------
@@ -450,7 +484,10 @@ impl Smt {
                     // by the race. The replacement core is empty, so the
                     // instance must be treated as dead by the caller — the
                     // verdict's cause (AllWorkersPanicked) says why.
-                    None => self.sat.set_deadline(self.deadline),
+                    None => {
+                        self.sat.set_deadline(self.deadline);
+                        self.sat.set_proof(self.proof.clone());
+                    }
                 }
                 self.record_portfolio(&verdict);
                 self.last_cause = verdict.cause;

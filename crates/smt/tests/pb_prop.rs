@@ -1,0 +1,124 @@
+//! Property tests for the sequential-counter pseudo-Boolean encoding:
+//! [`ams_smt::pb::assert_at_most`] must agree with naive enumeration on
+//! *every* assignment of up to 12 weighted literals. One solver per
+//! constraint; each assignment is checked via assumptions, so the
+//! 2^n sweep reuses the learnt clauses instead of re-encoding.
+
+use ams_sat::{Lit, SolveResult, Solver};
+use ams_smt::pb::assert_at_most;
+
+/// SplitMix64; local copy to keep ams-smt dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Exhaustively compares the encoding against `Σ w_i·x_i <= bound` over
+/// all 2^n assignments.
+fn check_exhaustive(weights: &[u64], bound: u64) {
+    let n = weights.len();
+    assert!(n <= 12, "2^n sweep only viable for small n");
+    let mut sat = Solver::new();
+    let lits: Vec<Lit> = (0..n).map(|_| sat.new_var().positive()).collect();
+    let items: Vec<(Lit, u64)> = lits.iter().copied().zip(weights.iter().copied()).collect();
+    assert_at_most(&mut sat, &items, bound);
+
+    for mask in 0u64..(1u64 << n) {
+        let assumptions: Vec<Lit> = (0..n)
+            .map(|i| {
+                if mask & (1 << i) != 0 {
+                    lits[i]
+                } else {
+                    !lits[i]
+                }
+            })
+            .collect();
+        let weighted_sum: u64 = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| weights[i])
+            .sum();
+        let expected = if weighted_sum <= bound {
+            SolveResult::Sat
+        } else {
+            SolveResult::Unsat
+        };
+        assert_eq!(
+            sat.solve_with(&assumptions),
+            expected,
+            "weights {weights:?}, bound {bound}, assignment {mask:#b} \
+             (weighted sum {weighted_sum})"
+        );
+    }
+}
+
+#[test]
+fn zero_bound_forces_every_weighted_literal_false() {
+    check_exhaustive(&[1, 2, 3, 4], 0);
+    // Zero-weight items must stay free even under bound 0.
+    check_exhaustive(&[0, 5, 0, 7], 0);
+}
+
+#[test]
+fn all_weights_over_bound_behaves_like_unit_negations() {
+    check_exhaustive(&[10, 11, 12, 13, 14], 9);
+}
+
+#[test]
+fn sum_exactly_at_bound_is_vacuous() {
+    // Σ = 10 = bound: every assignment must satisfy the constraint.
+    check_exhaustive(&[1, 2, 3, 4], 10);
+}
+
+#[test]
+fn unit_weights_reduce_to_cardinality() {
+    for bound in 0..=6 {
+        check_exhaustive(&[1; 6], bound);
+    }
+}
+
+#[test]
+fn single_item_edge_cases() {
+    check_exhaustive(&[5], 4);
+    check_exhaustive(&[5], 5);
+    check_exhaustive(&[0], 0);
+}
+
+#[test]
+fn random_weighted_constraints_match_enumeration() {
+    let mut rng = Rng(0x9B_5EED);
+    for round in 0..40 {
+        let n = 2 + (rng.below(9) as usize); // 2..=10 literals
+        let weights: Vec<u64> = (0..n).map(|_| rng.below(7)).collect();
+        let total: u64 = weights.iter().sum();
+        // Bias toward the interesting band around the total; hit the
+        // exact-sum and everything-over cases on dedicated rounds.
+        let bound = match round % 4 {
+            0 => rng.below(total.max(1)),
+            1 => total,
+            2 => rng.below(total.max(2) / 2 + 1),
+            _ => rng.below(total + 3),
+        };
+        check_exhaustive(&weights, bound);
+    }
+}
+
+#[test]
+fn full_width_twelve_literal_sweep() {
+    let mut rng = Rng(0xCAFE);
+    for _ in 0..3 {
+        let weights: Vec<u64> = (0..12).map(|_| 1 + rng.below(5)).collect();
+        let total: u64 = weights.iter().sum();
+        check_exhaustive(&weights, rng.below(total));
+    }
+}

@@ -29,4 +29,24 @@ cargo run -q --bin amsplace -- synthetic --threads 4 --quick \
     --deadline-ms 30000 --stats-json /tmp/amsplace-smoke.json
 grep -q '"outcome"' /tmp/amsplace-smoke.json
 
+echo "==> differential fuzz subset (SMT vs portfolio vs exhaustive reference)"
+# The fast subset of the three-way differential harness; the fifty-design
+# acceptance run is release-mode (CI release step + nightly).
+cargo test -q -p ams-place --test differential
+
+echo "==> certified infeasibility smoke (proof-checked UNSAT, exit 2)"
+# λ_th = 0 is unsatisfiable by construction; --certify must turn that into
+# a DRAT certificate the in-repo checker validates before exiting 2.
+set +e
+certify_out=$(cargo run -q --bin amsplace -- synthetic --quick \
+    --certify --lambda-th 0 --max-relax 0 2>&1)
+certify_code=$?
+set -e
+if [ "$certify_code" -ne 2 ]; then
+    echo "$certify_out"
+    echo "expected exit 2 from the certified infeasible run, got $certify_code"
+    exit 1
+fi
+echo "$certify_out" | grep -q 'certificate: UNSAT proof checked'
+
 echo "All checks passed."

@@ -12,7 +12,7 @@ use finfet_ams_place::netlist::json::Json;
 use finfet_ams_place::netlist::{benchmarks, Design};
 use finfet_ams_place::place::analysis::{self, UnsatOutcome};
 use finfet_ams_place::place::{
-    render_svg, PlaceError, PlaceOutcome, Placement, Placer, PlacerConfig,
+    drat, render_svg, PlaceError, PlaceOutcome, Placement, Placer, PlacerConfig,
 };
 use finfet_ams_place::route::{route, RouterConfig};
 use std::process::ExitCode;
@@ -37,6 +37,13 @@ options:
                       (default: AMSPLACE_DEADLINE_MS, else none)
   --max-relax <n>     relaxation rungs to try on infeasibility (default 4,
                       0 disables the recovery ladder)
+  --certify           capture a DRAT proof while solving: infeasible runs
+                      emit a machine-checked UNSAT certificate (validated
+                      in-process before exiting 2), satisfiable runs
+                      re-verify the model against the legality oracle
+  --lambda-th <n>     override the pin-density threshold λ_th (Eq. 14);
+                      0 is unsatisfiable by construction, handy together
+                      with --certify --max-relax 0
   --quick             small budgets for a fast smoke run
 
 exit codes: 0 success (incl. anytime/recovered placements), 1 usage or
@@ -64,6 +71,8 @@ struct Args {
     threads: Option<usize>,
     deadline_ms: Option<u64>,
     max_relax: Option<usize>,
+    certify: bool,
+    lambda_th: Option<u64>,
     quick: bool,
 }
 
@@ -83,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         deadline_ms: None,
         max_relax: None,
+        certify: false,
+        lambda_th: None,
         quick: false,
     };
     let mut first_positional = true;
@@ -138,6 +149,14 @@ fn parse_args() -> Result<Args, String> {
                     value("--max-relax")?
                         .parse()
                         .map_err(|e| format!("--max-relax: {e}"))?,
+                );
+            }
+            "--certify" => args.certify = true,
+            "--lambda-th" => {
+                args.lambda_th = Some(
+                    value("--lambda-th")?
+                        .parse()
+                        .map_err(|e| format!("--lambda-th: {e}"))?,
                 );
             }
             "--stats-json" => args.stats_json = Some(value("--stats-json")?),
@@ -299,6 +318,16 @@ fn stats_to_json(design: &Design, placement: &Placement) -> Json {
         ),
         ("hpwl_um", Json::Num(placement.hpwl_um(design))),
         ("area_um2", Json::Num(placement.area_um2(design))),
+        (
+            "certify",
+            s.certify.map_or(Json::Null, |c| {
+                Json::obj([
+                    ("cnf_clauses", Json::uint(c.cnf_clauses as u64)),
+                    ("proof_steps", Json::uint(c.proof_steps as u64)),
+                    ("model_violations", Json::uint(c.model_violations as u64)),
+                ])
+            }),
+        ),
     ])
 }
 
@@ -374,6 +403,11 @@ fn main() -> ExitCode {
         config.recovery.max_rungs = rungs;
         config.recovery.enabled = rungs > 0;
     }
+    if let Some(lambda) = args.lambda_th {
+        let mut density = config.pin_density.unwrap_or_default();
+        density.lambda = Some(lambda);
+        config.pin_density = Some(density);
+    }
     if args.no_ams {
         config = config.without_ams_constraints();
     }
@@ -391,6 +425,9 @@ fn main() -> ExitCode {
     if let Some(ms) = args.deadline_ms {
         builder = builder.deadline(std::time::Duration::from_millis(ms));
     }
+    if args.certify {
+        builder = builder.certify(true);
+    }
     let placement = match builder.build().and_then(|p| p.place()) {
         Ok(p) => p,
         Err(PlaceError::Lint(report)) => {
@@ -399,7 +436,10 @@ fn main() -> ExitCode {
             eprintln!("hint: `amsplace lint {path}` re-runs these checks standalone");
             return ExitCode::FAILURE;
         }
-        Err(PlaceError::Infeasible { conflict }) => {
+        Err(PlaceError::Infeasible {
+            conflict,
+            certificate,
+        }) => {
             eprintln!("error: no legal placement exists for the sized die");
             if conflict.is_empty() {
                 eprintln!("(no conflict attribution available)");
@@ -407,7 +447,29 @@ fn main() -> ExitCode {
                 let names: Vec<&str> = conflict.iter().map(|f| f.name()).collect();
                 eprintln!("conflicting constraint families: {}", names.join(" + "));
             }
-            return place_exit_code(&PlaceError::Infeasible { conflict });
+            match certificate.as_deref() {
+                Some(proof) => match drat::check(proof) {
+                    Ok(stats) => eprintln!(
+                        "certificate: UNSAT proof checked ({} CNF clauses, {} steps, \
+                         {} verified lemmas)",
+                        proof.clauses.len(),
+                        proof.steps.len(),
+                        stats.verified_additions,
+                    ),
+                    Err(e) => {
+                        eprintln!("internal error: UNSAT certificate rejected: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None if args.certify => {
+                    eprintln!("certificate: none captured (infeasibility predates solving)");
+                }
+                None => {}
+            }
+            return place_exit_code(&PlaceError::Infeasible {
+                conflict,
+                certificate: None,
+            });
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -442,6 +504,13 @@ fn main() -> ExitCode {
                 println!("  rung: {r}");
             }
         }
+    }
+    if let Some(c) = &placement.stats.certify {
+        println!(
+            "certified: {} CNF clauses, {} proof steps, model re-verified \
+             ({} violations)",
+            c.cnf_clauses, c.proof_steps, c.model_violations
+        );
     }
     if placement.stats.threads > 1 {
         let winner = placement

@@ -1,0 +1,122 @@
+//! Golden-schema test for `amsplace --stats-json`: downstream dashboards
+//! parse this document, so the field set is a contract. Adding a field
+//! means updating the goldens here *and* the consumers; removing or
+//! renaming one is a breaking change this test is meant to catch.
+
+use finfet_ams_place::netlist::json::Json;
+use std::collections::BTreeSet;
+use std::process::Command;
+
+const TOP_LEVEL_FIELDS: &[&str] = &[
+    "area_um2",
+    "certify",
+    "conflicts",
+    "design",
+    "die",
+    "hpwl_trace",
+    "hpwl_um",
+    "iterations",
+    "outcome",
+    "outcome_detail",
+    "runtime_ms",
+    "sat_clauses",
+    "sat_vars",
+    "threads",
+    "winner",
+    "workers",
+];
+
+const WORKER_FIELDS: &[&str] = &[
+    "conflicts",
+    "decisions",
+    "exported",
+    "id",
+    "imported",
+    "panic_message",
+    "panicked",
+    "restarts",
+];
+
+const CERTIFY_FIELDS: &[&str] = &["cnf_clauses", "model_violations", "proof_steps"];
+
+fn keys(doc: &Json) -> BTreeSet<String> {
+    match doc {
+        Json::Obj(map) => map.keys().cloned().collect(),
+        other => panic!("expected a JSON object, got {other:?}"),
+    }
+}
+
+fn run_amsplace(extra: &[&str]) -> Json {
+    let dir = std::env::temp_dir().join(format!("amsplace_schema_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let stats = dir.join(format!("stats_{}.json", extra.len()));
+    let status = Command::new(env!("CARGO_BIN_EXE_amsplace"))
+        .arg("synthetic")
+        .arg("--quick")
+        .args(["--stats-json", stats.to_str().expect("utf-8 temp path")])
+        .args(extra)
+        .status()
+        .expect("amsplace runs");
+    assert!(status.success(), "amsplace failed: {status:?}");
+    let text = std::fs::read_to_string(&stats).expect("stats file written");
+    std::fs::remove_file(&stats).ok();
+    Json::parse(&text).expect("stats file is valid JSON")
+}
+
+#[test]
+fn stats_json_matches_the_golden_schema() {
+    let doc = run_amsplace(&[]);
+    let expected: BTreeSet<String> = TOP_LEVEL_FIELDS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        keys(&doc),
+        expected,
+        "top-level stats-json field set changed — update goldens and consumers"
+    );
+
+    let Json::Obj(map) = &doc else { unreachable!() };
+    assert!(matches!(map["design"], Json::Str(_)));
+    assert!(matches!(map["outcome"], Json::Str(_)));
+    assert!(matches!(map["iterations"], Json::Num(_)));
+    assert!(matches!(map["hpwl_trace"], Json::Arr(_)));
+    assert_eq!(
+        keys(&map["die"]),
+        ["h", "w"].iter().map(|s| s.to_string()).collect()
+    );
+    // Certify was off, so the field must be present but null.
+    assert!(matches!(map["certify"], Json::Null));
+
+    let Json::Arr(workers) = &map["workers"] else {
+        panic!("workers must be an array");
+    };
+    let expected_worker: BTreeSet<String> = WORKER_FIELDS.iter().map(|s| s.to_string()).collect();
+    for w in workers {
+        assert_eq!(keys(w), expected_worker, "per-worker field set changed");
+    }
+}
+
+#[test]
+fn certified_runs_fill_the_certify_object() {
+    let doc = run_amsplace(&["--certify"]);
+    let Json::Obj(map) = &doc else {
+        panic!("stats must be an object")
+    };
+    let expected: BTreeSet<String> = CERTIFY_FIELDS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(keys(&map["certify"]), expected, "certify field set changed");
+    let Json::Obj(c) = &map["certify"] else {
+        unreachable!()
+    };
+    assert_eq!(c["model_violations"], Json::Num(0.0));
+}
+
+#[test]
+fn portfolio_runs_report_every_worker() {
+    let doc = run_amsplace(&["--threads", "2"]);
+    let Json::Obj(map) = &doc else {
+        panic!("stats must be an object")
+    };
+    assert_eq!(map["threads"], Json::Num(2.0));
+    let Json::Arr(workers) = &map["workers"] else {
+        panic!("workers must be an array");
+    };
+    assert_eq!(workers.len(), 2);
+}
