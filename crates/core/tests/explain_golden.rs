@@ -1,0 +1,41 @@
+//! Golden test for the conflict explainer on the λ_th = 0 BUF fixture.
+//!
+//! Captured against the pre-IR explainer (the guarded re-encode in the
+//! old `analysis/explain.rs`) before that path was deleted: setting the
+//! pin-density threshold to zero makes every pinful cell violate every
+//! window it overlaps, so the conflict must implicate the pin-density
+//! family. The IR-based explainer (solve-under-assumptions over the one
+//! shared encoding) must return the same family set.
+
+use ams_netlist::benchmarks;
+use ams_place::analysis::{explain_unsat, ConstraintFamily, UnsatOutcome};
+use ams_place::{PinDensityConfig, PlacerConfig};
+
+fn lambda_zero_config() -> PlacerConfig {
+    PlacerConfig {
+        pin_density: Some(PinDensityConfig {
+            lambda: Some(0),
+            ..PinDensityConfig::default()
+        }),
+        ..PlacerConfig::fast()
+    }
+}
+
+#[test]
+fn buf_lambda_zero_golden_family_set() {
+    let design = benchmarks::buf();
+    let outcome = explain_unsat(&design, &lambda_zero_config());
+    match outcome {
+        UnsatOutcome::Conflict(families) => {
+            // Golden family set captured from the pre-refactor guarded
+            // re-encode; the IR explainer must not drift from it. Core
+            // geometry is co-blamed because it is what pins every pinful
+            // cell inside the window-covered die.
+            assert_eq!(
+                families,
+                vec![ConstraintFamily::CoreGeometry, ConstraintFamily::PinDensity]
+            );
+        }
+        other => panic!("expected a pin-density conflict, got {other:?}"),
+    }
+}
