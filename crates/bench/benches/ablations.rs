@@ -8,7 +8,7 @@
 //! `harness = false`.
 
 use ams_netlist::benchmarks::{self, SyntheticParams};
-use ams_place::{PlacerConfig, SmtPlacer};
+use ams_place::{Placer, PlacerConfig};
 use std::time::Instant;
 
 fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
@@ -36,7 +36,7 @@ fn bench_pin_density() {
     let design = benchmarks::buf();
     bench("ablation_pin_density/with_pd", 10, || {
         let cfg = buf_quick(0, 0);
-        let p = SmtPlacer::new(&design, cfg)
+        let p = Placer::new(&design, cfg)
             .expect("encode")
             .place()
             .expect("place");
@@ -45,7 +45,7 @@ fn bench_pin_density() {
     bench("ablation_pin_density/without_pd", 10, || {
         let mut cfg = buf_quick(0, 0);
         cfg.pin_density = None;
-        let p = SmtPlacer::new(&design, cfg)
+        let p = Placer::new(&design, cfg)
             .expect("encode")
             .place()
             .expect("place");
@@ -87,7 +87,7 @@ fn bench_array_encoding() {
         let mut cfg = PlacerConfig::fast();
         cfg.optimize.k_iter = 0;
         cfg.array_slots = true;
-        let p = SmtPlacer::new(&design, cfg)
+        let p = Placer::new(&design, cfg)
             .expect("encode")
             .place()
             .expect("place");
@@ -97,7 +97,7 @@ fn bench_array_encoding() {
         let mut cfg = PlacerConfig::fast();
         cfg.optimize.k_iter = 0;
         cfg.array_slots = false;
-        let p = SmtPlacer::new(&design, cfg)
+        let p = Placer::new(&design, cfg)
             .expect("encode")
             .place()
             .expect("place");
@@ -119,7 +119,7 @@ fn bench_freeze() {
             cfg.optimize.k_iter = 2;
             cfg.optimize.conflict_budget = Some(50_000);
             cfg.optimize.freeze = freeze;
-            let p = SmtPlacer::new(&design, cfg)
+            let p = Placer::new(&design, cfg)
                 .expect("encode")
                 .place()
                 .expect("place");

@@ -3,7 +3,7 @@
 //! runs this binary directly via `harness = false`.
 
 use ams_netlist::benchmarks::{self, SyntheticParams};
-use ams_place::{PlacerConfig, SmtPlacer};
+use ams_place::{Placer, PlacerConfig};
 use std::time::Instant;
 
 fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
@@ -36,7 +36,7 @@ fn bench_scaling() {
             ..Default::default()
         });
         bench(&format!("place_first_solve/{cells}"), 10, || {
-            let p = SmtPlacer::new(&design, quick())
+            let p = Placer::new(&design, quick())
                 .expect("encode")
                 .place()
                 .expect("place");
@@ -48,12 +48,12 @@ fn bench_scaling() {
 fn bench_encode() {
     let buf = benchmarks::buf();
     bench("encode/buf_full_encoding", 10, || {
-        let p = SmtPlacer::new(&buf, PlacerConfig::default()).expect("encode");
+        let p = Placer::new(&buf, PlacerConfig::default()).expect("encode");
         assert!(p.sat_clauses() > 0);
     });
     let vco = benchmarks::vco();
     bench("encode/vco_full_encoding", 10, || {
-        let p = SmtPlacer::new(&vco, PlacerConfig::default()).expect("encode");
+        let p = Placer::new(&vco, PlacerConfig::default()).expect("encode");
         assert!(p.sat_vars() > 0);
     });
 }

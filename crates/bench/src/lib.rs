@@ -9,7 +9,7 @@
 //! → extract → analyze.
 
 use ams_netlist::Design;
-use ams_place::{baseline, Placement, PlacerConfig, SmtPlacer};
+use ams_place::{baseline, Placement, Placer, PlacerConfig};
 use ams_route::{route, RouteResult, RouterConfig};
 use ams_sim::{extract, ExtractedNet, Tech};
 use std::time::Duration;
@@ -107,7 +107,7 @@ pub mod presets {
 /// Panics if placement fails or the result flunks the legality oracle
 /// (the harness treats either as a broken setup).
 pub fn run_smt_arm(name: &'static str, design: Design, config: PlacerConfig) -> Arm {
-    let placer = SmtPlacer::new(&design, config).expect("encoding succeeds");
+    let placer = Placer::new(&design, config).expect("encoding succeeds");
     let placement = placer.place().expect("placement succeeds");
     placement
         .verify(&design)

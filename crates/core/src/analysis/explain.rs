@@ -1,57 +1,26 @@
-//! Second-stage UNSAT explanation.
+//! Second-stage UNSAT explanation over the shared constraint IR.
 //!
 //! When the linter finds nothing wrong but the solver still reports UNSAT,
 //! the conflict spans constraint *families* rather than a single broken
-//! constraint. This module re-encodes the instance with one selector
-//! Boolean per family (every assertion of the family is guarded by it, see
-//! [`ams_smt::Smt::set_guard`]) and solves under the selectors as
-//! assumptions; the SAT core's failed assumptions then name exactly the
-//! families whose combination is contradictory.
+//! constraint. This module builds the one encoding every consumer shares
+//! ([`crate::ir`]: the encoders emit into a `ConstraintStore`, one
+//! lowering pass guards each family with a selector literal) and solves
+//! under the selectors as assumptions; the SAT core's failed assumptions
+//! then name exactly the families whose combination is contradictory.
+//!
+//! A placement attempt that ends UNSAT gets the same attribution for free
+//! from its own first solve ([`crate::PlaceError::Infeasible`]); this
+//! standalone entry exists for `--explain`-style diagnosis without
+//! running the optimization loop.
 
 use crate::config::PlacerConfig;
 use crate::encode;
+use crate::ir::{conflict_families, ConstraintFamily};
 use crate::power::PowerPlan;
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
 use ams_netlist::Design;
 use ams_smt::{Smt, SmtResult, Term};
-use std::fmt;
-
-/// The constraint families of the encoding (Section IV.C), as attribution
-/// units for UNSAT explanation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
-pub enum ConstraintFamily {
-    /// Region sizing/separation, containment, and cell non-overlap
-    /// (Eq. 4–7, 11) — the critical geometry.
-    CoreGeometry,
-    /// Hierarchical symmetry (Eq. 8).
-    Symmetry,
-    /// Arrays and matching patterns (Eq. 9–10).
-    Arrays,
-    /// Power-abutment row bands (Eq. 12).
-    PowerAbutment,
-    /// Window-based pin density (Eq. 13–14).
-    PinDensity,
-}
-
-impl ConstraintFamily {
-    /// Stable lowercase name, e.g. `"core-geometry"`.
-    pub fn name(self) -> &'static str {
-        match self {
-            ConstraintFamily::CoreGeometry => "core-geometry",
-            ConstraintFamily::Symmetry => "symmetry",
-            ConstraintFamily::Arrays => "arrays",
-            ConstraintFamily::PowerAbutment => "power-abutment",
-            ConstraintFamily::PinDensity => "pin-density",
-        }
-    }
-}
-
-impl fmt::Display for ConstraintFamily {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
 
 /// Outcome of [`explain_unsat`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -65,12 +34,13 @@ pub enum UnsatOutcome {
     Conflict(Vec<ConstraintFamily>),
 }
 
-/// Re-encodes the design with per-family selectors and attributes an UNSAT
-/// verdict to the smallest family set the SAT core reports.
+/// Encodes the design once through the shared IR path, lowers it with
+/// per-family selectors, and attributes an UNSAT verdict to the smallest
+/// family set the SAT core reports.
 ///
-/// Wirelength bookkeeping is omitted — it never constrains feasibility —
-/// so this is cheaper than a placement attempt. The first-solve conflict
-/// budget of `config.optimize` applies.
+/// The wirelength family never constrains feasibility and is excluded
+/// from attribution. The first-solve conflict budget of `config.optimize`
+/// applies.
 pub fn explain_unsat(design: &Design, config: &PlacerConfig) -> UnsatOutcome {
     let plan = if config.toggles.power_abutment {
         PowerPlan::analyze(design)
@@ -79,8 +49,8 @@ pub fn explain_unsat(design: &Design, config: &PlacerConfig) -> UnsatOutcome {
     };
     let scale = ScaleInfo::compute(design, config);
 
-    // assert_regions panics on an empty Eq. 5 candidate set; that case is
-    // a pure core-geometry conflict, already reportable without solving.
+    // The region encoder panics on an empty Eq. 5 candidate set; that case
+    // is a pure core-geometry conflict, already reportable without solving.
     for (ri, rid) in design.region_ids().enumerate() {
         let (ex, ey) = scale.region_edge[ri];
         let rm = encode::region::region_margins(design, &scale, config, rid);
@@ -105,63 +75,17 @@ pub fn explain_unsat(design: &Design, config: &PlacerConfig) -> UnsatOutcome {
 
     let mut smt = Smt::new();
     let vars = VarMap::create(&mut smt, design, &scale, &plan, config);
-    let mut selectors: Vec<(Term, ConstraintFamily)> = Vec::new();
-    let mut family = |smt: &mut Smt, f: ConstraintFamily| -> Term {
-        let sel = smt.bool_var(format!("sel_{}", f.name()));
-        selectors.push((sel, f));
-        sel
-    };
-
-    let core = family(&mut smt, ConstraintFamily::CoreGeometry);
-    smt.set_guard(Some(core));
-    encode::region::assert_regions(&mut smt, design, &scale, &vars, config);
-    encode::region::assert_containment(&mut smt, design, &scale, &vars);
-    let margins = encode::region::cell_margins(design, &scale, config);
-    encode::region::assert_cell_non_overlap(&mut smt, design, &scale, &vars, config, &margins);
-
-    if config.toggles.symmetry && !design.constraints().symmetry.is_empty() {
-        let sel = family(&mut smt, ConstraintFamily::Symmetry);
-        smt.set_guard(Some(sel));
-        encode::symmetry::assert_symmetry(&mut smt, design, &scale, &vars);
-    }
-    if config.toggles.arrays && !design.constraints().arrays.is_empty() {
-        let sel = family(&mut smt, ConstraintFamily::Arrays);
-        smt.set_guard(Some(sel));
-        encode::array::assert_arrays(&mut smt, design, &scale, &vars, config);
-    }
-    if config.toggles.power_abutment && !plan.regions.is_empty() {
-        let sel = family(&mut smt, ConstraintFamily::PowerAbutment);
-        smt.set_guard(Some(sel));
-        encode::power_abut::assert_power_abutment(&mut smt, design, &scale, &vars, &plan);
-    }
-    if let Some(pd) = &config.pin_density {
-        let sel = family(&mut smt, ConstraintFamily::PinDensity);
-        smt.set_guard(Some(sel));
-        encode::pin_density::assert_pin_density(&mut smt, design, &scale, &vars, pd);
-    }
-    smt.set_guard(None);
+    let encoding = encode::encode_design(&mut smt, design, &scale, &plan, &vars, config);
+    let lowering = encoding.store.lower(&mut smt, 0);
 
     smt.set_conflict_budget(config.optimize.first_conflict_budget);
-    let assumptions: Vec<Term> = selectors.iter().map(|&(t, _)| t).collect();
+    let assumptions: Vec<Term> = lowering.selectors.iter().map(|&(_, s)| s).collect();
     match smt.solve_with(&assumptions) {
         SmtResult::Sat => UnsatOutcome::Feasible,
         SmtResult::Unknown | SmtResult::Cancelled => UnsatOutcome::Unknown,
-        SmtResult::Unsat => {
-            let failed = smt.failed_assumptions();
-            let mut families: Vec<ConstraintFamily> = selectors
-                .iter()
-                .filter(|(t, _)| failed.contains(t))
-                .map(|&(_, f)| f)
-                .collect();
-            if families.is_empty() {
-                // The core never names assumptions only if the conflict is
-                // assumption-free, which guarded assertions rule out; be
-                // defensive and blame every enabled family.
-                families = selectors.iter().map(|&(_, f)| f).collect();
-            }
-            families.sort();
-            families.dedup();
-            UnsatOutcome::Conflict(families)
-        }
+        SmtResult::Unsat => UnsatOutcome::Conflict(conflict_families(
+            &lowering.selectors,
+            smt.failed_assumptions(),
+        )),
     }
 }

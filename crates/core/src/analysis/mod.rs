@@ -10,8 +10,9 @@
 //! late solver UNSATs and encode panics into early, actionable reports.
 //!
 //! When the linter is clean but the solver still answers UNSAT, the
-//! second stage ([`explain_unsat`]) re-encodes with per-family selector
-//! Booleans and names the conflicting constraint-family combination.
+//! second stage ([`explain_unsat`]) solves the shared constraint IR
+//! encoding under per-family selector assumptions and names the
+//! conflicting constraint-family combination.
 
 mod capacity;
 mod configcheck;
@@ -19,7 +20,8 @@ mod density;
 mod explain;
 mod structure;
 
-pub use explain::{explain_unsat, ConstraintFamily, UnsatOutcome};
+pub use crate::ir::ConstraintFamily;
+pub use explain::{explain_unsat, UnsatOutcome};
 
 use crate::config::PlacerConfig;
 use crate::power::PowerPlan;

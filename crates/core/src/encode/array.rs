@@ -15,6 +15,7 @@
 
 use super::{lifted, off_const};
 use crate::config::PlacerConfig;
+use crate::ir::{ConstraintFamily, ConstraintStore, Provenance};
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
 use ams_netlist::{ArrayPattern, CellId, Design, ExtensionTarget};
@@ -23,15 +24,18 @@ use ams_smt::{Smt, Term};
 /// Asserts every array constraint.
 pub(crate) fn assert_arrays(
     smt: &mut Smt,
+    store: &mut ConstraintStore,
     design: &Design,
     scale: &ScaleInfo,
     vars: &VarMap,
     config: &PlacerConfig,
 ) {
+    store.family(ConstraintFamily::Arrays);
     for (ai, arr) in design.constraints().arrays.iter().enumerate() {
         if arr.cells.is_empty() {
             continue;
         }
+        store.at(Provenance::Array(ai));
         // Interdigitation and central symmetry are realized only by slot
         // assignment; the literal Eq. 9–10 fallback covers Dense and
         // CommonCentroid.
@@ -39,17 +43,17 @@ pub(crate) fn assert_arrays(
             arr.pattern,
             ArrayPattern::Interdigitated { .. } | ArrayPattern::CentralSymmetric { .. }
         );
-        let slotted =
-            (config.array_slots || force_slots) && assert_array_slots(smt, design, scale, vars, ai);
+        let slotted = (config.array_slots || force_slots)
+            && assert_array_slots(smt, store, design, scale, vars, ai);
         assert!(
             slotted || !force_slots,
             "array {} pattern admits no slot assignment on this die",
             arr.name
         );
         if !slotted {
-            assert_array_literal(smt, design, scale, vars, ai);
+            assert_array_literal(smt, store, design, scale, vars, ai);
         }
-        assert_array_keepout(smt, design, scale, vars, config, ai);
+        assert_array_keepout(smt, store, design, scale, vars, config, ai);
     }
 }
 
@@ -196,6 +200,7 @@ fn slot_order_for_shape(design: &Design, ai: usize, cols: u64, rows: u64) -> Opt
 /// Slot-mode encoding; returns `false` when no static partition exists.
 fn assert_array_slots(
     smt: &mut Smt,
+    store: &mut ConstraintStore,
     design: &Design,
     scale: &ScaleInfo,
     vars: &VarMap,
@@ -242,13 +247,14 @@ fn assert_array_slots(
         options.push(smt.and(&conj));
     }
     let chosen = smt.or(&options);
-    smt.assert(chosen);
+    store.assert(chosen);
     true
 }
 
 /// The literal Eq. 9–10 encoding.
 fn assert_array_literal(
     smt: &mut Smt,
+    store: &mut ConstraintStore,
     design: &Design,
     scale: &ScaleInfo,
     vars: &VarMap,
@@ -270,17 +276,17 @@ fn assert_array_literal(
         let x = vars.cell_x[c.index()];
         let y = vars.cell_y[c.index()];
         let ge_l = smt.ule(bx.xl, x);
-        smt.assert(ge_l);
+        store.assert(ge_l);
         let right = off_const(smt, x, u64::from(cw), lwx);
         let xh = smt.zext(bx.xh, lwx);
         let le_r = smt.ule(right, xh);
-        smt.assert(le_r);
+        store.assert(le_r);
         let ge_b = smt.ule(bx.yl, y);
-        smt.assert(ge_b);
+        store.assert(ge_b);
         let top = off_const(smt, y, u64::from(ch), lwy);
         let yh = smt.zext(bx.yh, lwy);
         let le_t = smt.ule(top, yh);
-        smt.assert(le_t);
+        store.assert(le_t);
 
         touch_left.push(smt.eq(bx.xl, x));
         touch_right.push(smt.eq(xh, right));
@@ -289,7 +295,7 @@ fn assert_array_literal(
     }
     for touches in [touch_left, touch_right, touch_bottom, touch_top] {
         let some = smt.or(&touches);
-        smt.assert(some);
+        store.assert(some);
     }
 
     // Density (Eq. 9) as a disjunction over feasible factorizations.
@@ -310,7 +316,7 @@ fn assert_array_literal(
         dims.push(smt.and2(w_ok, h_ok));
     }
     let shape = smt.or(&dims);
-    smt.assert(shape);
+    store.assert(shape);
 
     // Common-centroid pattern (Eq. 10).
     if let ArrayPattern::CommonCentroid { group_a, group_b } = &arr.pattern {
@@ -320,7 +326,7 @@ fn assert_array_literal(
         let sum_a = smt.sum(&xa, sw);
         let sum_b = smt.sum(&xb, sw);
         let eq_x = smt.eq(sum_a, sum_b);
-        smt.assert(eq_x);
+        store.assert(eq_x);
 
         let sh = scale.ly + crate::scale::bits_for(group_a.len().max(group_b.len()) as u32) + 1;
         let ya: Vec<Term> = group_a.iter().map(|c| vars.cell_y[c.index()]).collect();
@@ -328,13 +334,14 @@ fn assert_array_literal(
         let sum_a = smt.sum(&ya, sh);
         let sum_b = smt.sum(&yb, sh);
         let eq_y = smt.eq(sum_a, sum_b);
-        smt.assert(eq_y);
+        store.assert(eq_y);
     }
 }
 
 /// Non-members of array `ai` keep clear of its (extension-expanded) box.
 fn assert_array_keepout(
     smt: &mut Smt,
+    store: &mut ConstraintStore,
     design: &Design,
     scale: &ScaleInfo,
     vars: &VarMap,
@@ -382,7 +389,7 @@ fn assert_array_keepout(
         let above = smt.ule(box_top, yu_l);
 
         let clear = smt.or(&[left_of, right_of, below, above]);
-        smt.assert(clear);
+        store.assert(clear);
     }
 }
 

@@ -8,6 +8,7 @@
 //! density bound.
 
 use crate::config::PinDensityConfig;
+use crate::ir::{ConstraintFamily, ConstraintStore, Provenance};
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
 use ams_netlist::Design;
@@ -108,11 +109,13 @@ fn reference_window_load(design: &Design, scale: &ScaleInfo, beta_x: u32, beta_y
 /// Encodes all windows; returns the effective parameters.
 pub(crate) fn assert_pin_density(
     smt: &mut Smt,
+    store: &mut ConstraintStore,
     design: &Design,
     scale: &ScaleInfo,
     vars: &VarMap,
     cfg: &PinDensityConfig,
 ) -> PinDensityInfo {
+    store.family(ConstraintFamily::PinDensity);
     let lambda = resolve_lambda(design, scale, cfg);
     let beta_x = cfg.beta_x.min(scale.scaled_w);
     let beta_y = cfg.beta_y.min(scale.scaled_h);
@@ -129,6 +132,7 @@ pub(crate) fn assert_pin_density(
     let mut windows = 0usize;
     for &ym in &ys {
         for &xm in &xs {
+            store.at(Provenance::Window { x: xm, y: ym });
             let mut items: Vec<(Term, u64)> = Vec::with_capacity(pinful.len());
             for &c in &pinful {
                 let pins = design.cell(c).pin_count() as u64;
@@ -144,14 +148,14 @@ pub(crate) fn assert_pin_density(
                     Overlap::Cond(cond) => {
                         let b = smt.bool_var(format!("b_c{}_w{}x{}", c.index(), xm, ym));
                         let imp = smt.implies(cond, b);
-                        smt.assert(imp);
+                        store.assert(imp);
                         items.push((b, pins));
                     }
                 }
             }
             let worst: u64 = items.iter().map(|&(_, w)| w).sum();
             if worst > lambda {
-                smt.assert_at_most(&items, lambda);
+                store.assert_at_most(items, lambda);
             }
             windows += 1;
         }

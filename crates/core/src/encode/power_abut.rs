@@ -6,6 +6,7 @@
 //! different supplies.
 
 use super::{lifted, off_const, off_var};
+use crate::ir::{ConstraintFamily, ConstraintStore, Provenance};
 use crate::power::PowerPlan;
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
@@ -15,13 +16,16 @@ use ams_smt::Smt;
 /// Asserts the band structure for every mixed region of the plan.
 pub(crate) fn assert_power_abutment(
     smt: &mut Smt,
+    store: &mut ConstraintStore,
     design: &Design,
     scale: &ScaleInfo,
     vars: &VarMap,
     plan: &PowerPlan,
 ) {
+    store.family(ConstraintFamily::PowerAbutment);
     let (_, lwy) = lifted(scale);
     for (pi, rp) in plan.regions.iter().enumerate() {
+        store.at(Provenance::PowerRegion(rp.region));
         let ri = rp.region.index();
         let bounds = &vars.power_bounds[pi];
         debug_assert_eq!(bounds.len() + 1, rp.bands.len());
@@ -31,14 +35,14 @@ pub(crate) fn assert_power_abutment(
         let region_top = off_var(smt, vars.region_y[ri], vars.region_h[ri], lwy);
         for (k, &b) in bounds.iter().enumerate() {
             let ge = smt.ule(region_bottom, b);
-            smt.assert(ge);
+            store.assert(ge);
             let bl = smt.zext(b, lwy);
             let le = smt.ule(bl, region_top);
-            smt.assert(le);
+            store.assert(le);
             if k + 1 < bounds.len() {
                 let next = bounds[k + 1];
                 let ord = smt.ule(b, next);
-                smt.assert(ord);
+                store.assert(ord);
             }
         }
 
@@ -56,14 +60,14 @@ pub(crate) fn assert_power_abutment(
             if band > 0 {
                 let lower = bounds[band - 1];
                 let ge = smt.ule(lower, y);
-                smt.assert(ge);
+                store.assert(ge);
             }
             if band < bounds.len() {
                 let upper = bounds[band];
                 let top = off_const(smt, y, u64::from(h), lwy);
                 let ub = smt.zext(upper, lwy);
                 let le = smt.ule(top, ub);
-                smt.assert(le);
+                store.assert(le);
             }
         }
     }

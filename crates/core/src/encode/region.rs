@@ -3,6 +3,7 @@
 
 use super::{lifted, off_const, off_var};
 use crate::config::PlacerConfig;
+use crate::ir::{ConstraintFamily, ConstraintStore, Provenance};
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
 use ams_netlist::{CellId, Design, ExtensionTarget, RegionId};
@@ -101,21 +102,24 @@ pub(crate) fn dimension_candidates(
     out
 }
 
-/// Asserts region dimension choice (Eq. 5), region placement bounds, and
+/// Emits region dimension choice (Eq. 5), region placement bounds, and
 /// pairwise region separation (Eq. 6).
 pub(crate) fn assert_regions(
     smt: &mut Smt,
+    store: &mut ConstraintStore,
     design: &Design,
     scale: &ScaleInfo,
     vars: &VarMap,
     config: &PlacerConfig,
 ) {
+    store.family(ConstraintFamily::CoreGeometry);
     let (lwx, lwy) = lifted(scale);
     let die_w = u64::from(scale.scaled_w);
     let die_h = u64::from(scale.scaled_h);
 
     for (ri, _r) in design.regions().iter().enumerate() {
         let rid = RegionId::from_index(ri);
+        store.at(Provenance::Region(rid));
         let (ex, ey) = scale.region_edge[ri];
         let rm = region_margins(design, scale, config, rid);
         let (ml, mr_, mb, mt) = (
@@ -153,31 +157,35 @@ pub(crate) fn assert_regions(
             })
             .collect();
         let dim = smt.or(&options);
-        smt.assert(dim);
+        store.assert(dim);
 
         // Placement bounds with edge reservations: the region rectangle plus
         // its edge strip must fit in the die.
         let xmin = smt.bv_const(scale.lx, ml);
         let ge_x = smt.uge(vars.region_x[ri], xmin);
-        smt.assert(ge_x);
+        store.assert(ge_x);
         let ymin = smt.bv_const(scale.ly, mb);
         let ge_y = smt.uge(vars.region_y[ri], ymin);
-        smt.assert(ge_y);
+        store.assert(ge_y);
         let xw = off_var(smt, vars.region_x[ri], vars.region_w[ri], lwx);
         let xw_edge = off_const(smt, xw, mr_, lwx + 1);
         let die_x = smt.bv_const(lwx + 1, die_w);
         let in_x = smt.ule(xw_edge, die_x);
-        smt.assert(in_x);
+        store.assert(in_x);
         let yh = off_var(smt, vars.region_y[ri], vars.region_h[ri], lwy);
         let yh_edge = off_const(smt, yh, mt, lwy + 1);
         let die_y = smt.bv_const(lwy + 1, die_h);
         let in_y = smt.ule(yh_edge, die_y);
-        smt.assert(in_y);
+        store.assert(in_y);
     }
 
     // Eq. 6: pairwise non-overlap with edge reservations between regions.
     for i in 0..design.regions().len() {
         for j in (i + 1)..design.regions().len() {
+            store.at(Provenance::RegionPair(
+                RegionId::from_index(i),
+                RegionId::from_index(j),
+            ));
             let (exi, eyi) = scale.region_edge[i];
             let (exj, eyj) = scale.region_edge[j];
             let gap_x = u64::from(exi + exj);
@@ -204,47 +212,57 @@ pub(crate) fn assert_regions(
             let above = smt.ule(j_top, yi);
 
             let sep = smt.or(&[left_of, right_of, below, above]);
-            smt.assert(sep);
+            store.assert(sep);
         }
     }
 }
 
-/// Asserts cell-in-region containment (Eq. 7).
-pub(crate) fn assert_containment(smt: &mut Smt, design: &Design, scale: &ScaleInfo, vars: &VarMap) {
+/// Emits cell-in-region containment (Eq. 7).
+pub(crate) fn assert_containment(
+    smt: &mut Smt,
+    store: &mut ConstraintStore,
+    design: &Design,
+    scale: &ScaleInfo,
+    vars: &VarMap,
+) {
+    store.family(ConstraintFamily::CoreGeometry);
     let (lwx, lwy) = lifted(scale);
     for c in design.cell_ids() {
+        store.at(Provenance::Cell(c));
         let ri = design.cell(c).region.index();
         let (w, h) = (scale.width_of(c), scale.height_of(c));
 
         let low_x = smt.ule(vars.region_x[ri], vars.cell_x[c.index()]);
-        smt.assert(low_x);
+        store.assert(low_x);
         let cell_right = off_const(smt, vars.cell_x[c.index()], u64::from(w), lwx);
         let region_right = off_var(smt, vars.region_x[ri], vars.region_w[ri], lwx);
         let hi_x = smt.ule(cell_right, region_right);
-        smt.assert(hi_x);
+        store.assert(hi_x);
 
         let low_y = smt.ule(vars.region_y[ri], vars.cell_y[c.index()]);
-        smt.assert(low_y);
+        store.assert(low_y);
         let cell_top = off_const(smt, vars.cell_y[c.index()], u64::from(h), lwy);
         let region_top = off_var(smt, vars.region_y[ri], vars.region_h[ri], lwy);
         let hi_y = smt.ule(cell_top, region_top);
-        smt.assert(hi_y);
+        store.assert(hi_y);
     }
 }
 
-/// Asserts pairwise cell non-overlap within each region, honoring extension
+/// Emits pairwise cell non-overlap within each region, honoring extension
 /// margins (Eq. 6 with zero reservation, adjusted per Eq. 11).
 ///
 /// Pairs whose relative positions are already fixed by slot-mode array
 /// encoding are skipped.
 pub(crate) fn assert_cell_non_overlap(
     smt: &mut Smt,
+    store: &mut ConstraintStore,
     design: &Design,
     scale: &ScaleInfo,
     vars: &VarMap,
     config: &PlacerConfig,
     margins: &[Margins],
 ) {
+    store.family(ConstraintFamily::CoreGeometry);
     // Cells covered by a slot-encoded array: pairs inside the same such
     // array need no explicit disjointness.
     let mut slotted_array_of: Vec<Option<usize>> = vec![None; design.cells().len()];
@@ -270,6 +288,7 @@ pub(crate) fn assert_cell_non_overlap(
                     continue; // distinct slots of the same array
                 }
             }
+            store.at(Provenance::CellPair(a, b));
             let (wa, ha) = (scale.width_of(a), scale.height_of(a));
             let (wb, hb) = (scale.width_of(b), scale.height_of(b));
             let (ma, mb) = (margins[a.index()], margins[b.index()]);
@@ -287,7 +306,7 @@ pub(crate) fn assert_cell_non_overlap(
                 let nx = smt.ne(vars.cell_x[a.index()], vars.cell_x[b.index()]);
                 let ny = smt.ne(vars.cell_y[a.index()], vars.cell_y[b.index()]);
                 let distinct = smt.or2(nx, ny);
-                smt.assert(distinct);
+                store.assert(distinct);
                 continue;
             }
 
@@ -328,7 +347,7 @@ pub(crate) fn assert_cell_non_overlap(
             let b_below_a = smt.ule(b_top, ya);
 
             let disjoint = smt.or(&[a_left_of_b, b_left_of_a, a_below_b, b_below_a]);
-            smt.assert(disjoint);
+            store.assert(disjoint);
         }
     }
 }

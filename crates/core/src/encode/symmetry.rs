@@ -1,5 +1,6 @@
 //! Hierarchical symmetry constraints (Eq. 8).
 
+use crate::ir::{ConstraintFamily, ConstraintStore, Provenance};
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
 use ams_netlist::{Design, SymmetryAxis};
@@ -15,8 +16,16 @@ use ams_smt::Smt;
 /// Hierarchy comes for free: child groups alias the parent's axis variable
 /// (see [`VarMap::create`]), so one cell can satisfy several groups around
 /// the same joint axis simultaneously.
-pub(crate) fn assert_symmetry(smt: &mut Smt, design: &Design, scale: &ScaleInfo, vars: &VarMap) {
+pub(crate) fn assert_symmetry(
+    smt: &mut Smt,
+    store: &mut ConstraintStore,
+    design: &Design,
+    scale: &ScaleInfo,
+    vars: &VarMap,
+) {
+    store.family(ConstraintFamily::Symmetry);
     for (gi, g) in design.constraints().symmetry.iter().enumerate() {
+        store.at(Provenance::SymmetryGroup(gi));
         let axis2 = vars.sym_axis2[gi];
         for p in &g.pairs {
             let a = p.a;
@@ -31,7 +40,7 @@ pub(crate) fn assert_symmetry(smt: &mut Smt, design: &Design, scale: &ScaleInfo,
                         smt.add(x2, c)
                     };
                     let eq = smt.eq(lhs, axis2);
-                    smt.assert(eq);
+                    store.assert(eq);
                 }
                 (SymmetryAxis::Vertical, Some(b)) => {
                     let w = scale.lx + 2;
@@ -43,10 +52,10 @@ pub(crate) fn assert_symmetry(smt: &mut Smt, design: &Design, scale: &ScaleInfo,
                         smt.add(sum, c)
                     };
                     let eq = smt.eq(lhs, axis2);
-                    smt.assert(eq);
+                    store.assert(eq);
                     // Mirror partners share a row.
                     let same_row = smt.eq(vars.cell_y[a.index()], vars.cell_y[b.index()]);
-                    smt.assert(same_row);
+                    store.assert(same_row);
                 }
                 (SymmetryAxis::Horizontal, None) => {
                     let w = scale.ly + 2;
@@ -57,7 +66,7 @@ pub(crate) fn assert_symmetry(smt: &mut Smt, design: &Design, scale: &ScaleInfo,
                         smt.add(y2, c)
                     };
                     let eq = smt.eq(lhs, axis2);
-                    smt.assert(eq);
+                    store.assert(eq);
                 }
                 (SymmetryAxis::Horizontal, Some(b)) => {
                     let w = scale.ly + 2;
@@ -69,9 +78,9 @@ pub(crate) fn assert_symmetry(smt: &mut Smt, design: &Design, scale: &ScaleInfo,
                         smt.add(sum, c)
                     };
                     let eq = smt.eq(lhs, axis2);
-                    smt.assert(eq);
+                    store.assert(eq);
                     let same_col = smt.eq(vars.cell_x[a.index()], vars.cell_x[b.index()]);
-                    smt.assert(same_col);
+                    store.assert(same_col);
                 }
             }
         }
@@ -82,6 +91,6 @@ pub(crate) fn assert_symmetry(smt: &mut Smt, design: &Design, scale: &ScaleInfo,
         };
         let bound = smt.bv_const(width, 2 * extent);
         let within = smt.ule(axis2, bound);
-        smt.assert(within);
+        store.assert(within);
     }
 }

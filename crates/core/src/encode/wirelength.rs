@@ -10,6 +10,7 @@
 //! Table I reading) at extra encoding cost.
 
 use crate::config::PlacerConfig;
+use crate::ir::{ConstraintFamily, ConstraintStore, Provenance};
 use crate::scale::ScaleInfo;
 use crate::vars::VarMap;
 use ams_netlist::{CellId, Design, NetId};
@@ -19,11 +20,13 @@ use ams_smt::{Smt, Term};
 /// its bit width.
 pub(crate) fn assert_wirelength(
     smt: &mut Smt,
+    store: &mut ConstraintStore,
     design: &Design,
     scale: &ScaleInfo,
     vars: &VarMap,
     config: &PlacerConfig,
 ) -> (Term, u32) {
+    store.family(ConstraintFamily::Wirelength);
     let span_w = scale.lx.max(scale.ly);
     // Width of Φ: the worst case is every net spanning the die with its
     // full weight.
@@ -39,6 +42,7 @@ pub(crate) fn assert_wirelength(
         let Some(bx) = vars.net_box[n.index()] else {
             continue;
         };
+        store.at(Provenance::Net(n));
         let members = net_cells(design, n);
         let mut touch_xl = Vec::new();
         let mut touch_xh = Vec::new();
@@ -48,13 +52,13 @@ pub(crate) fn assert_wirelength(
             let x = vars.cell_x[c.index()];
             let y = vars.cell_y[c.index()];
             let lo_x = smt.ule(bx.xl, x);
-            smt.assert(lo_x);
+            store.assert(lo_x);
             let hi_x = smt.ule(x, bx.xh);
-            smt.assert(hi_x);
+            store.assert(hi_x);
             let lo_y = smt.ule(bx.yl, y);
-            smt.assert(lo_y);
+            store.assert(lo_y);
             let hi_y = smt.ule(y, bx.yh);
-            smt.assert(hi_y);
+            store.assert(hi_y);
             if config.exact_bbox {
                 touch_xl.push(smt.eq(bx.xl, x));
                 touch_xh.push(smt.eq(bx.xh, x));
@@ -65,7 +69,7 @@ pub(crate) fn assert_wirelength(
         if config.exact_bbox {
             for touches in [touch_xl, touch_xh, touch_yl, touch_yh] {
                 let some = smt.or(&touches);
-                smt.assert(some);
+                store.assert(some);
             }
         }
 
@@ -127,4 +131,75 @@ pub(crate) fn measure_weighted_hpwl(design: &Design, vars: &VarMap, xs: &[u64], 
         total += weight * ((xh - xl) + (yh - yl));
     }
     total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerPlan;
+    use ams_netlist::benchmarks::{self, SyntheticParams};
+    use ams_netlist::rng::SplitMix64;
+
+    /// Straight-line reference: re-derives net inclusion from the design
+    /// (degree ≥ 2, virtual nets only with the clusters toggle) and spans
+    /// from raw connection lists, sharing no code with the measured path.
+    fn straight_line_hpwl(design: &Design, config: &PlacerConfig, xs: &[u64], ys: &[u64]) -> u64 {
+        let mut total = 0u64;
+        for n in design.net_ids() {
+            if design.net_degree(n) < 2 {
+                continue;
+            }
+            if design.net(n).virtual_net && !config.toggles.clusters {
+                continue;
+            }
+            let mut cx: Vec<u64> = design
+                .net_connections(n)
+                .iter()
+                .map(|&(c, _)| xs[c.index()])
+                .collect();
+            let mut cy: Vec<u64> = design
+                .net_connections(n)
+                .iter()
+                .map(|&(c, _)| ys[c.index()])
+                .collect();
+            cx.sort_unstable();
+            cy.sort_unstable();
+            let span = (cx[cx.len() - 1] - cx[0]) + (cy[cy.len() - 1] - cy[0]);
+            total += u64::from(design.net(n).weight.max(1)) * span;
+        }
+        total
+    }
+
+    #[test]
+    fn measured_hpwl_agrees_with_straight_line_recomputation() {
+        for seed in 0..8u64 {
+            let design = benchmarks::synthetic(SyntheticParams {
+                regions: 2,
+                cells_per_region: 6,
+                nets: 14,
+                net_degree: 3,
+                symmetry_pairs: 1,
+                cluster_size: 3,
+                seed,
+            });
+            let config = PlacerConfig::fast();
+            let scale = crate::scale::ScaleInfo::compute(&design, &config);
+            let plan = PowerPlan::default();
+            let mut smt = Smt::new();
+            let vars = VarMap::create(&mut smt, &design, &scale, &plan, &config);
+
+            // Arbitrary (not necessarily legal) positions: the measurement
+            // is a pure function of coordinates, not of placement legality.
+            let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00);
+            let n = design.cells().len();
+            let xs: Vec<u64> = (0..n).map(|_| rng.below(64)).collect();
+            let ys: Vec<u64> = (0..n).map(|_| rng.below(64)).collect();
+
+            assert_eq!(
+                measure_weighted_hpwl(&design, &vars, &xs, &ys),
+                straight_line_hpwl(&design, &config, &xs, &ys),
+                "HPWL measurement diverged on seed {seed}"
+            );
+        }
+    }
 }

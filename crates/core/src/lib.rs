@@ -48,6 +48,7 @@ pub mod baseline;
 pub mod brute;
 mod config;
 mod encode;
+pub mod ir;
 mod placement;
 mod placer;
 mod post;
@@ -59,11 +60,12 @@ mod vars;
 pub use config::{
     ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig, RecoveryConfig, SolverConfig,
 };
+pub use ir::{ConstraintFamily, FamilyStats, Provenance};
 pub use placement::{
     placement_from_rects, CertifyReport, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats,
-    Placement, Relaxation, Violation, ViolationKind,
+    Placement, Relaxation, RungStats, Violation, ViolationKind,
 };
-pub use placer::{PlaceError, Placer, PlacerBuilder, SmtPlacer};
+pub use placer::{PlaceError, Placer, PlacerBuilder};
 // Re-exported so downstream consumers can validate infeasibility
 // certificates without depending on `ams_sat` directly.
 pub use ams_sat::drat;

@@ -119,6 +119,23 @@ impl fmt::Display for Relaxation {
     }
 }
 
+/// How one recovery-ladder rung was executed (see
+/// [`crate::Placer::place`]): which relaxation it applied, and whether
+/// the live solver — with its learnt clauses — survived into the rung.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RungStats {
+    /// The relaxation this rung applied.
+    pub relaxation: Relaxation,
+    /// Learnt clauses alive in the SAT core when the rung started, all of
+    /// which carry over when the rung re-lowers in place. `0` for rungs
+    /// that rebuilt the solver.
+    pub learnts_carried: u64,
+    /// Whether the rung rebuilt the placer from scratch (die widening
+    /// changes coordinate bit-widths) instead of re-lowering the blamed
+    /// families on the live solver.
+    pub rebuilt: bool,
+}
+
 /// Quality tag of a returned placement: did the run complete its schedule,
 /// degrade gracefully, or recover from infeasibility?
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -174,6 +191,16 @@ pub struct PlaceStats {
     pub sat_vars: usize,
     /// SAT clauses in the final encoding.
     pub sat_clauses: usize,
+    /// Per-family constraint-record and CNF-clause counts of the live
+    /// lowering generations (see [`crate::FamilyStats`]), in canonical
+    /// family order.
+    pub families: Vec<crate::FamilyStats>,
+    /// Wall-clock time spent lowering IR records into the solver (the
+    /// initial pass plus any recovery re-lowerings).
+    pub lowering: Duration,
+    /// One entry per recovery rung taken, in order; empty when the first
+    /// encoding was feasible.
+    pub rungs: Vec<RungStats>,
     /// Solver threads the run was configured with.
     pub threads: usize,
     /// Per-worker portfolio counters summed over all solve calls; empty

@@ -1,11 +1,12 @@
 //! The SMT placement engine (Fig. 3): encode → incremental optimization
 //! (Algorithm 1) → post-processing.
 
-use crate::analysis::{ConstraintFamily, UnsatOutcome};
 use crate::config::{PinDensityConfig, PlacerConfig};
 use crate::encode;
+use crate::ir::{conflict_families, ConstraintFamily, ConstraintStore, FamilyStats};
 use crate::placement::{
     CertifyReport, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats, Placement, Relaxation,
+    RungStats,
 };
 use crate::power::PowerPlan;
 use crate::scale::ScaleInfo;
@@ -30,10 +31,14 @@ pub enum PlaceError {
     /// The constraint system is unsatisfiable — no legal placement exists
     /// on the sized die (raise `die_slack` or utilization headroom).
     Infeasible {
-        /// Minimal-ish set of constraint families the UNSAT explainer
-        /// blames ([`crate::analysis::explain_unsat`]); empty when the
-        /// explainer could not isolate a family subset.
+        /// Minimal-ish set of constraint families the failed selector
+        /// assumptions of the final solve blame (see [`crate::ir`]);
+        /// non-empty, sorted, deduplicated.
         conflict: Vec<ConstraintFamily>,
+        /// One human-readable line per blamed family citing the design
+        /// objects (cells, regions, windows, …) whose constraints make up
+        /// the family — the IR's provenance records.
+        provenance: Vec<String>,
         /// In certify mode ([`crate::SolverConfig::certify`]), the DRAT
         /// certificate of the final infeasibility verdict; validate it
         /// with [`ams_sat::drat::check`]. `None` outside certify mode.
@@ -281,18 +286,27 @@ pub struct Placer<'a> {
     plan: PowerPlan,
     smt: Smt,
     vars: VarMap,
+    /// The emitted constraint records (see [`crate::ir`]), kept after
+    /// lowering for provenance diagnostics and recovery re-lowering.
+    store: ConstraintStore,
+    /// Active `(family, selector)` pairs — the latest generation of every
+    /// lowered family. Passed as assumptions on every solve.
+    selectors: Vec<(ConstraintFamily, Term)>,
+    /// Per-family record/clause counts of the live generations.
+    families: Vec<FamilyStats>,
+    /// Total wall-clock time spent lowering (initial pass + re-lowerings).
+    lowering: Duration,
+    /// Lowering generation counter; bumped per recovery re-lowering so
+    /// selector names stay unique.
+    generation: u32,
+    /// One entry per recovery rung taken so far.
+    rungs: Vec<RungStats>,
     phi: Term,
     phi_w: u32,
     pd_check: Option<PinDensityCheck>,
     // Kept so recovery-ladder rebuilds can reinstall the caller's flag.
     cancel: Option<Arc<AtomicBool>>,
 }
-
-/// Pre-redesign name of [`Placer`], kept so existing call sites compile.
-///
-/// Deprecated in spirit: new code should use [`Placer::builder`] (or
-/// `Placer::new`); this alias may be removed in a future major version.
-pub type SmtPlacer<'a> = Placer<'a>;
 
 impl<'a> Placer<'a> {
     /// Starts a [`PlacerBuilder`] for `design` with default configuration.
@@ -351,22 +365,12 @@ impl<'a> Placer<'a> {
         }
         let vars = VarMap::create(&mut smt, design, &scale, &plan, &config);
 
-        // Constraint formulation (Section IV.C, a–g).
-        encode::region::assert_regions(&mut smt, design, &scale, &vars, &config);
-        encode::region::assert_containment(&mut smt, design, &scale, &vars);
-        let margins = encode::region::cell_margins(design, &scale, &config);
-        encode::region::assert_cell_non_overlap(&mut smt, design, &scale, &vars, &config, &margins);
-        if config.toggles.symmetry {
-            encode::symmetry::assert_symmetry(&mut smt, design, &scale, &vars);
-        }
-        if config.toggles.arrays {
-            encode::array::assert_arrays(&mut smt, design, &scale, &vars, &config);
-        }
-        if config.toggles.power_abutment {
-            encode::power_abut::assert_power_abutment(&mut smt, design, &scale, &vars, &plan);
-        }
-        let pd_check = config.pin_density.as_ref().map(|pd| {
-            let info = encode::pin_density::assert_pin_density(&mut smt, design, &scale, &vars, pd);
+        // Constraint formulation (Section IV.C, a–g): the encoders emit
+        // typed records into the one constraint store, and a single
+        // lowering pass installs them with per-family guard selectors.
+        let encoding = encode::encode_design(&mut smt, design, &scale, &plan, &vars, &config);
+        let pd_check = encoding.pd_info.map(|info| {
+            let pd = config.pin_density.as_ref().expect("pd_info implies config");
             PinDensityCheck {
                 beta_x: info.beta_x,
                 beta_y: info.beta_y,
@@ -375,8 +379,8 @@ impl<'a> Placer<'a> {
                 stride_y: pd.stride_y,
             }
         });
-        let (phi, phi_w) =
-            encode::wirelength::assert_wirelength(&mut smt, design, &scale, &vars, &config);
+        let store = encoding.store;
+        let lowering = store.lower(&mut smt, 0);
 
         // Portfolio dispatch: every solve of the incremental loop fans out
         // across diversified workers when more than one thread is asked for.
@@ -396,8 +400,14 @@ impl<'a> Placer<'a> {
             plan,
             smt,
             vars,
-            phi,
-            phi_w,
+            store,
+            selectors: lowering.selectors,
+            families: lowering.families,
+            lowering: lowering.elapsed,
+            generation: 0,
+            rungs: Vec::new(),
+            phi: encoding.phi,
+            phi_w: encoding.phi_w,
             pd_check,
             cancel: None,
         })
@@ -421,7 +431,13 @@ impl<'a> Placer<'a> {
     /// Runs the incremental placement flow to completion, supervising the
     /// wall-clock deadline and — when the constraints are infeasible and
     /// recovery is enabled ([`crate::RecoveryConfig`]) — a bounded ladder
-    /// of targeted relaxations driven by the UNSAT explanation.
+    /// of targeted relaxations driven by the UNSAT attribution.
+    ///
+    /// Relaxation rungs that change only constraint content (raising λ_th,
+    /// softening extensions) retire and re-lower just the blamed families
+    /// on the *live* solver, so learnt clauses from earlier rungs carry
+    /// over ([`crate::RungStats::learnts_carried`]). Only die widening —
+    /// which changes coordinate bit-widths — rebuilds from scratch.
     ///
     /// # Errors
     ///
@@ -457,12 +473,14 @@ impl<'a> Placer<'a> {
                 }
                 Err(PlaceError::Infeasible {
                     conflict,
+                    provenance,
                     certificate,
                 }) => {
                     let out_of_time = deadline.is_some_and(|d| Instant::now() >= d);
                     if relaxations.len() >= max_rungs || out_of_time {
                         return Err(PlaceError::Infeasible {
                             conflict,
+                            provenance,
                             certificate,
                         });
                     }
@@ -470,17 +488,49 @@ impl<'a> Placer<'a> {
                     else {
                         return Err(PlaceError::Infeasible {
                             conflict,
+                            provenance,
                             certificate,
                         });
                     };
-                    relaxations.push(relax);
-                    // Re-encode from scratch under the relaxed config: the
-                    // incremental core has already learnt the conflict.
-                    let cancel = self.cancel.take();
-                    self = Placer::new(self.design, config)?;
-                    self.cancel = cancel.clone();
-                    self.smt.set_stop_flag(cancel);
-                    self.smt.set_deadline(deadline);
+                    relaxations.push(relax.clone());
+                    let learnts_carried = self.smt.sat_stats().learnts;
+                    let rebuilt = match relax {
+                        // Content-only rungs: retire the blamed families'
+                        // selectors and re-lower just them on the live
+                        // core — everything the solver learnt from the
+                        // other families (and earlier rungs) stays useful.
+                        Relaxation::RaisePinDensity { .. } => {
+                            self.relower(config, &[ConstraintFamily::PinDensity]);
+                            false
+                        }
+                        Relaxation::RelaxExtensions { .. } => {
+                            // Extension margins feed both region/cell
+                            // spacing and array keepouts.
+                            self.relower(
+                                config,
+                                &[ConstraintFamily::CoreGeometry, ConstraintFamily::Arrays],
+                            );
+                            false
+                        }
+                        // Die widening changes coordinate bit-widths, so
+                        // the variable map — and with it every clause — is
+                        // invalidated: rebuild from scratch.
+                        Relaxation::WidenDie { .. } => {
+                            let cancel = self.cancel.take();
+                            let rungs = std::mem::take(&mut self.rungs);
+                            self = Placer::new(self.design, config)?;
+                            self.rungs = rungs;
+                            self.cancel = cancel.clone();
+                            self.smt.set_stop_flag(cancel);
+                            self.smt.set_deadline(deadline);
+                            true
+                        }
+                    };
+                    self.rungs.push(RungStats {
+                        relaxation: relaxations.last().expect("just pushed").clone(),
+                        learnts_carried: if rebuilt { 0 } else { learnts_carried },
+                        rebuilt,
+                    });
                 }
                 Err(e) => return Err(e),
             }
@@ -503,7 +553,7 @@ impl<'a> Placer<'a> {
 
         let mut best: Option<Model> = None;
         let mut trace: Vec<u64> = Vec::new();
-        let mut assumptions: Vec<Term> = Vec::new();
+        let mut freeze: Vec<Term> = Vec::new();
         let mut sat_rounds = 0usize;
         let mut retried_unfrozen = false;
         let mut degraded: Option<DegradeReason> = None;
@@ -516,7 +566,7 @@ impl<'a> Placer<'a> {
                 degraded = Some(DegradeReason::Deadline);
                 break;
             }
-            match self.smt.solve_with(&assumptions) {
+            match self.solve_round(&freeze) {
                 SmtResult::Sat => {
                     retried_unfrozen = false;
                     // Optimization rounds run under the (tighter) per-round
@@ -548,7 +598,7 @@ impl<'a> Placer<'a> {
                     // Warm-start hints toward the current model.
                     self.apply_hints(&model);
                     // Line 9: freeze low-priority cells/regions.
-                    assumptions = if opt.freeze {
+                    freeze = if opt.freeze {
                         self.freeze_assumptions(&model, sat_rounds)
                     } else {
                         Vec::new()
@@ -558,10 +608,10 @@ impl<'a> Placer<'a> {
                     if best.is_none() {
                         return Err(self.infeasible());
                     }
-                    if !assumptions.is_empty() && opt.retry_unfrozen && !retried_unfrozen {
+                    if !freeze.is_empty() && opt.retry_unfrozen && !retried_unfrozen {
                         // The freeze may be what blocks improvement; retry
                         // this round with everything free.
-                        assumptions.clear();
+                        freeze.clear();
                         retried_unfrozen = true;
                         continue;
                     }
@@ -611,6 +661,9 @@ impl<'a> Placer<'a> {
             hpwl_trace: trace,
             sat_vars: self.smt.num_sat_vars(),
             sat_clauses: self.smt.num_sat_clauses(),
+            families: self.families.clone(),
+            lowering: self.lowering,
+            rungs: self.rungs.clone(),
             threads: self.config.solver.threads.max(1),
             workers: summary.workers.clone(),
             winner: summary.last_winner,
@@ -635,8 +688,8 @@ impl<'a> Placer<'a> {
     }
 
     /// Picks the next relaxation rung for an infeasible instance blamed on
-    /// `conflict` (empty when [`crate::analysis::explain_unsat`] could not
-    /// isolate families). Order: raise the pin-density threshold λ_th
+    /// `conflict` (the failed-selector attribution of the UNSAT solve;
+    /// empty only defensively). Order: raise the pin-density threshold λ_th
     /// (Eq. 14), then soften extension margins (Eq. 11) 1.0 → 0.5 → 0.0,
     /// then widen the die (admitting more region dimension candidates,
     /// Eq. 4–5). Purely structural conflicts — symmetry, arrays, power
@@ -704,20 +757,131 @@ impl<'a> Placer<'a> {
         None
     }
 
-    /// Attributes a first-solve UNSAT to constraint families by re-solving
-    /// with per-family guards — cost paid only on the failure path.
+    /// One solve of the incremental loop: the live family selectors plus
+    /// the round's freeze literals (Eq. 15) go in as assumptions. Shared
+    /// by the feasibility solve, every ζ-tightening round, and the
+    /// unfrozen retry — the assumption plumbing lives in exactly one
+    /// place.
+    fn solve_round(&mut self, freeze: &[Term]) -> SmtResult {
+        let mut assumptions: Vec<Term> = self.selectors.iter().map(|&(_, sel)| sel).collect();
+        assumptions.extend_from_slice(freeze);
+        self.smt.solve_with(&assumptions)
+    }
+
+    /// Retires the listed families' selectors on the live solver, re-emits
+    /// their constraints under `config`, and lowers the fresh records as a
+    /// new guard generation. Learnt clauses that depend on a retired
+    /// selector become vacuous; everything else the solver knows survives.
+    ///
+    /// Only valid for relaxations that keep the coordinate bit-widths (and
+    /// hence the [`VarMap`]) intact — λ_th raises and extension softening,
+    /// not die widening.
+    fn relower(&mut self, config: PlacerConfig, families: &[ConstraintFamily]) {
+        self.config = config;
+        self.generation += 1;
+
+        let (retired, kept): (Vec<_>, Vec<_>) = self
+            .selectors
+            .drain(..)
+            .partition(|(fam, _)| families.contains(fam));
+        self.selectors = kept;
+        for (_, sel) in retired {
+            self.smt.retire(sel);
+        }
+
+        self.store.remove_families(families);
+        let mark = self.store.len();
+        for &family in families {
+            match family {
+                ConstraintFamily::CoreGeometry => {
+                    encode::region::assert_regions(
+                        &mut self.smt,
+                        &mut self.store,
+                        self.design,
+                        &self.scale,
+                        &self.vars,
+                        &self.config,
+                    );
+                    encode::region::assert_containment(
+                        &mut self.smt,
+                        &mut self.store,
+                        self.design,
+                        &self.scale,
+                        &self.vars,
+                    );
+                    let margins =
+                        encode::region::cell_margins(self.design, &self.scale, &self.config);
+                    encode::region::assert_cell_non_overlap(
+                        &mut self.smt,
+                        &mut self.store,
+                        self.design,
+                        &self.scale,
+                        &self.vars,
+                        &self.config,
+                        &margins,
+                    );
+                }
+                ConstraintFamily::Arrays => {
+                    if self.config.toggles.arrays {
+                        encode::array::assert_arrays(
+                            &mut self.smt,
+                            &mut self.store,
+                            self.design,
+                            &self.scale,
+                            &self.vars,
+                            &self.config,
+                        );
+                    }
+                }
+                ConstraintFamily::PinDensity => {
+                    if let Some(pd) = self.config.pin_density {
+                        let info = encode::pin_density::assert_pin_density(
+                            &mut self.smt,
+                            &mut self.store,
+                            self.design,
+                            &self.scale,
+                            &self.vars,
+                            &pd,
+                        );
+                        self.pd_check = Some(PinDensityCheck {
+                            beta_x: info.beta_x,
+                            beta_y: info.beta_y,
+                            lambda: info.lambda,
+                            stride_x: pd.stride_x,
+                            stride_y: pd.stride_y,
+                        });
+                    }
+                }
+                ConstraintFamily::Symmetry
+                | ConstraintFamily::PowerAbutment
+                | ConstraintFamily::Wirelength => {
+                    unreachable!("no relaxation rung re-lowers {family}")
+                }
+            }
+        }
+
+        let lowering = self.store.lower_from(&mut self.smt, self.generation, mark);
+        self.lowering += lowering.elapsed;
+        self.families.retain(|fs| !families.contains(&fs.family));
+        self.families.extend(lowering.families);
+        self.families.sort_by_key(|fs| fs.family);
+        self.selectors.extend(lowering.selectors);
+    }
+
+    /// Shapes a first-solve UNSAT into [`PlaceError::Infeasible`]: the
+    /// failed selector assumptions of the solve that just returned name
+    /// the blamed families directly — no second encoding, no re-solve —
+    /// and the constraint store supplies their provenance lines.
     fn infeasible(&self) -> PlaceError {
-        // Snapshot the certificate first: the explainer runs fresh solves
-        // on a separate core, but the verdict being certified is *this*
-        // core's (the first solve runs without assumptions, so the target
-        // is the empty clause).
+        // Certificate target: the negated failed assumptions, which is
+        // exactly what `unsat_certificate` derives for an assumption-based
+        // verdict.
         let certificate = self.smt.unsat_certificate().map(Box::new);
-        let conflict = match crate::analysis::explain_unsat(self.design, &self.config) {
-            UnsatOutcome::Conflict(families) => families,
-            UnsatOutcome::Feasible | UnsatOutcome::Unknown => Vec::new(),
-        };
+        let conflict = conflict_families(&self.selectors, self.smt.failed_assumptions());
+        let provenance = self.store.provenance_lines(&conflict);
         PlaceError::Infeasible {
             conflict,
+            provenance,
             certificate,
         }
     }

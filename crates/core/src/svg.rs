@@ -118,7 +118,7 @@ pub fn render_svg(design: &Design, placement: &Placement) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PlacerConfig, SmtPlacer};
+    use crate::{Placer, PlacerConfig};
     use ams_netlist::benchmarks::{synthetic, SyntheticParams};
 
     #[test]
@@ -128,7 +128,7 @@ mod tests {
             nets: 6,
             ..Default::default()
         });
-        let placement = SmtPlacer::new(&design, PlacerConfig::fast())
+        let placement = Placer::new(&design, PlacerConfig::fast())
             .expect("encode")
             .place()
             .expect("place");

@@ -10,7 +10,7 @@ use ams_netlist::{
     DiagCode, SymmetryAxis, SymmetryGroup, SymmetryPair,
 };
 use ams_place::analysis::{explain_unsat, lint, lint_with, ConstraintFamily, UnsatOutcome};
-use ams_place::{PinDensityConfig, PlaceError, PlacerConfig, SmtPlacer};
+use ams_place::{PinDensityConfig, PlaceError, Placer, PlacerConfig};
 
 // --- clean designs -----------------------------------------------------
 
@@ -32,7 +32,7 @@ fn lint_clean_design_places_and_verifies() {
     let design = benchmarks::synthetic(SyntheticParams::default());
     let cfg = PlacerConfig::fast();
     assert!(!lint(&design, &cfg).has_errors());
-    let placement = SmtPlacer::new(&design, cfg)
+    let placement = Placer::new(&design, cfg)
         .expect("clean design encodes")
         .place()
         .expect("clean design places");
@@ -187,7 +187,7 @@ fn e004_symmetry_overconstrained_cell_is_genuinely_unsat() {
     );
 
     // The placer refuses via the lint gate...
-    match SmtPlacer::new(&design, cfg.clone()) {
+    match Placer::new(&design, cfg.clone()) {
         Err(PlaceError::Lint(r)) => assert!(r.has_errors()),
         Err(other) => panic!("expected lint rejection, got {other:?}"),
         Ok(_) => panic!("expected lint rejection, got an encoder"),
@@ -331,7 +331,7 @@ fn e008_region_without_dimension_candidates() {
     let report = lint(&design, &cfg);
     assert!(code_of(&report, DiagCode::RegionInfeasible), "{report}");
     // The lint gate turns the encoder panic into a structured error.
-    match SmtPlacer::new(&design, cfg) {
+    match Placer::new(&design, cfg) {
         Err(PlaceError::Lint(r)) => assert!(r.has_code(DiagCode::RegionInfeasible)),
         Err(other) => panic!("expected lint rejection, got {other:?}"),
         Ok(_) => panic!("expected lint rejection, got an encoder"),
@@ -459,7 +459,7 @@ fn warnings_do_not_block_placement() {
     assert!(code_of(&report, DiagCode::SparseDensityWindows), "{report}");
     assert!(!report.has_errors(), "warnings/hints only:\n{report}");
     // The placer proceeds despite warnings.
-    let placement = SmtPlacer::new(&design, cfg)
+    let placement = Placer::new(&design, cfg)
         .expect("warnings pass the gate")
         .place();
     assert!(placement.is_ok());

@@ -3,7 +3,7 @@
 //! the oracle honest — it is the reference the SMT encoders are judged by.
 
 use ams_netlist::benchmarks::{synthetic, SyntheticParams};
-use ams_place::{PlacerConfig, SmtPlacer, ViolationKind};
+use ams_place::{Placer, PlacerConfig, ViolationKind};
 
 fn placed() -> (ams_netlist::Design, ams_place::Placement) {
     let design = synthetic(SyntheticParams {
@@ -13,7 +13,7 @@ fn placed() -> (ams_netlist::Design, ams_place::Placement) {
         seed: 1234,
         ..Default::default()
     });
-    let placement = SmtPlacer::new(&design, PlacerConfig::fast())
+    let placement = Placer::new(&design, PlacerConfig::fast())
         .expect("encode")
         .place()
         .expect("place");
@@ -98,7 +98,7 @@ fn detects_power_interleave() {
     let d = b.add_cell("c", r, 4, 2, vdd);
     b.add_pin(d, "p", Some(n), 0, 0);
     let design = b.build().expect("valid");
-    let placement = SmtPlacer::new(&design, PlacerConfig::fast())
+    let placement = Placer::new(&design, PlacerConfig::fast())
         .expect("encode")
         .place()
         .expect("place");
@@ -156,7 +156,7 @@ fn detects_array_density_break() {
         pattern: ArrayPattern::Dense,
     });
     let design = b.build().expect("valid");
-    let placement = SmtPlacer::new(&design, PlacerConfig::fast())
+    let placement = Placer::new(&design, PlacerConfig::fast())
         .expect("encode")
         .place()
         .expect("place");

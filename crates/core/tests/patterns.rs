@@ -3,7 +3,7 @@
 //! exercised by the VCO benchmark).
 
 use ams_netlist::{ArrayConstraint, ArrayPattern, CellId, DesignBuilder};
-use ams_place::{PlacerConfig, SmtPlacer};
+use ams_place::{Placer, PlacerConfig};
 
 fn array_design(pattern: impl FnOnce(&[CellId]) -> ArrayPattern, n: usize) -> ams_netlist::Design {
     let mut b = DesignBuilder::new("patterned");
@@ -39,7 +39,7 @@ fn interdigitated_array_places_and_verifies() {
         },
         8,
     );
-    let p = SmtPlacer::new(&d, PlacerConfig::fast())
+    let p = Placer::new(&d, PlacerConfig::fast())
         .expect("encode")
         .place()
         .expect("place");
@@ -61,7 +61,7 @@ fn interdigitated_pattern_holds_even_with_slot_mode_disabled() {
     );
     let mut cfg = PlacerConfig::fast();
     cfg.array_slots = false;
-    let p = SmtPlacer::new(&d, cfg)
+    let p = Placer::new(&d, cfg)
         .expect("encode")
         .place()
         .expect("place");
@@ -77,7 +77,7 @@ fn central_symmetric_array_places_and_verifies() {
         },
         8,
     );
-    let p = SmtPlacer::new(&d, PlacerConfig::fast())
+    let p = Placer::new(&d, PlacerConfig::fast())
         .expect("encode")
         .place()
         .expect("place");
@@ -95,7 +95,7 @@ fn oracle_flags_broken_interdigitation() {
         },
         8,
     );
-    let p = SmtPlacer::new(&d, PlacerConfig::fast())
+    let p = Placer::new(&d, PlacerConfig::fast())
         .expect("encode")
         .place()
         .expect("place");

@@ -5,7 +5,7 @@
 
 use ams_netlist::benchmarks::{synthetic, SyntheticParams};
 use ams_netlist::rng::SplitMix64;
-use ams_place::{PlacerConfig, SmtPlacer};
+use ams_place::{Placer, PlacerConfig};
 
 fn random_params(rng: &mut SplitMix64) -> SyntheticParams {
     SyntheticParams {
@@ -32,7 +32,7 @@ fn placements_always_pass_the_oracle() {
         let mut cfg = PlacerConfig::fast();
         cfg.optimize.k_iter = 1;
         cfg.optimize.conflict_budget = Some(20_000);
-        match SmtPlacer::new(&design, cfg)
+        match Placer::new(&design, cfg)
             .expect("encoding never panics")
             .place()
         {
@@ -67,7 +67,7 @@ fn ams_toggles_never_unlock_an_illegal_core() {
         let mut cfg = PlacerConfig::fast().without_ams_constraints();
         cfg.optimize.k_iter = 0;
         cfg.optimize.conflict_budget = Some(20_000);
-        if let Ok(placement) = SmtPlacer::new(&design, cfg).expect("encode").place() {
+        if let Ok(placement) = Placer::new(&design, cfg).expect("encode").place() {
             assert!(placement.verify(&design).is_ok());
         }
     }

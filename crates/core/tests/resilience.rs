@@ -111,8 +111,12 @@ fn zero_lambda_design_is_recovered_by_the_ladder() {
         lambda: Some(0),
         ..PinDensityConfig::default()
     });
+    // Sequential solving pins the learnt-carryover assertion below: in
+    // portfolio mode the winning worker replaces the SAT core, and a
+    // diversified worker may prove UNSAT with an empty learnt database.
     let p = Placer::builder(&d)
         .config(cfg.clone())
+        .threads(1)
         .build()
         .expect("recoverable lint errors must not block encoding")
         .place()
@@ -130,6 +134,23 @@ fn zero_lambda_design_is_recovered_by_the_ladder() {
         }
         other => panic!("expected a recovered outcome, got {other:?}"),
     }
+    // λ_th raises re-lower the pin-density family on the live solver: the
+    // rung must not rebuild, and the clauses learnt while proving the
+    // original threshold infeasible must carry into the relaxed solve.
+    let pd_rung = p
+        .stats
+        .rungs
+        .iter()
+        .find(|r| matches!(r.relaxation, Relaxation::RaisePinDensity { .. }))
+        .expect("a λ_th rung was recorded in the stats");
+    assert!(
+        !pd_rung.rebuilt,
+        "raising λ_th must reuse the live solver, not rebuild"
+    );
+    assert!(
+        pd_rung.learnts_carried > 0,
+        "the UNSAT proof's learnt clauses must survive into the rung"
+    );
 
     // With recovery disabled the same design is rejected by the linter.
     cfg.recovery.enabled = false;

@@ -1,7 +1,7 @@
 //! # ams-route
 //!
 //! A gridded, congestion-negotiated analog detail router — the substrate
-//! standing in for the analog router (ref. [18]) the paper uses to measure
+//! standing in for the analog router (ref. \[18\]) the paper uses to measure
 //! routed wirelength (RWL) and via counts of its placements.
 //!
 //! Three alternating-direction layers (H–V–H), unit edge capacity,

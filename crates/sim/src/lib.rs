@@ -5,10 +5,10 @@
 //!
 //! * [`extract`] — per-net RC from the routed geometry (wire/via/pin),
 //!   including per-sink resistive paths through the route tree;
-//! * [`timing`] — Elmore-delay analysis of the multiplexing buffer's 16
-//!   input-to-output paths (Table IV: per-stage insertion delay and
-//!   rise/fall statistics);
-//! * [`vco`] — an α-power-law current-starved ring-oscillator model whose
+//! * timing ([`analyze_buf`]) — Elmore-delay analysis of the multiplexing
+//!   buffer's 16 input-to-output paths (Table IV: per-stage insertion delay
+//!   and rise/fall statistics);
+//! * [`VcoModel`] — an α-power-law current-starved ring-oscillator model whose
 //!   load includes the extracted phase-node parasitics (Table VI power and
 //!   frequency vs. supply; Fig. 7 frequency vs. supply per trim code).
 //!

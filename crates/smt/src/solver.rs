@@ -375,6 +375,30 @@ impl Smt {
         self.guard = guard;
     }
 
+    /// Permanently retires a guarded assertion group by asserting
+    /// `¬selector` (ignoring any active guard), so every assertion guarded
+    /// by `selector` becomes vacuous from the next solve on. Incremental
+    /// reuse stays sound: a selector occurs positively in no problem
+    /// clause, so `¬selector` can never be resolved away and every learnt
+    /// clause depending on the retired group contains `¬selector` — it is
+    /// satisfied, while learnt clauses independent of the group keep
+    /// pruning. This is what lets the placement recovery ladder re-lower a
+    /// relaxed constraint family on the live solver instead of rebuilding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selector term is not Boolean.
+    pub fn retire(&mut self, selector: Term) {
+        assert_eq!(
+            self.pool.sort(selector),
+            Sort::Bool,
+            "selectors must be Boolean"
+        );
+        let retired = self.pool.not(selector);
+        self.pending.push(retired);
+        self.asserted.push(retired);
+    }
+
     /// Asserts a Boolean term. Takes effect at the next `solve`.
     ///
     /// Under an active guard `g` (see [`Smt::set_guard`]), `g → t` is
@@ -431,6 +455,15 @@ impl Smt {
             let l = self.blaster.blast_bool(&self.pool, &mut self.sat, t);
             self.sat.add_clause(&[l]);
         }
+    }
+
+    /// Bit-blasts every pending assertion into the SAT core now instead of
+    /// at the next solve. [`Smt::num_sat_vars`] / [`Smt::num_sat_clauses`]
+    /// afterwards reflect all assertions made so far, which lets callers
+    /// attribute clause counts to assertion batches (the lowering
+    /// statistics of the placement IR).
+    pub fn flush(&mut self) {
+        self.flush_pending();
     }
 
     /// Solves the conjunction of all assertions.
@@ -794,6 +827,27 @@ mod tests {
         assert_eq!(smt.solve_with(&[sel_a, sel_b]), SmtResult::Unsat);
         let failed = smt.failed_assumptions();
         assert!(failed.contains(&sel_a) && failed.contains(&sel_b));
+    }
+
+    #[test]
+    fn retired_groups_are_vacuous_and_unassumable() {
+        let mut smt = Smt::new();
+        let x = smt.bv_var(8, "x");
+        let g = smt.bool_var("g");
+        smt.set_guard(Some(g));
+        let is5 = smt.eq_const(x, 5);
+        smt.assert(is5);
+        smt.set_guard(None);
+        assert_eq!(smt.solve_with(&[g]), SmtResult::Sat);
+        assert_eq!(smt.bv_value(x), 5);
+        // Retiring the group frees x for a contradictory replacement…
+        smt.retire(g);
+        let is6 = smt.eq_const(x, 6);
+        smt.assert(is6);
+        assert_eq!(smt.solve(), SmtResult::Sat);
+        assert_eq!(smt.bv_value(x), 6);
+        // …and the retired selector can never be re-enabled.
+        assert_eq!(smt.solve_with(&[g]), SmtResult::Unsat);
     }
 
     #[test]

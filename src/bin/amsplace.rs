@@ -271,6 +271,28 @@ fn stats_to_json(design: &Design, placement: &Placement) -> Json {
             )]),
         ),
     };
+    let families: Vec<Json> = s
+        .families
+        .iter()
+        .map(|fs| {
+            Json::obj([
+                ("family", Json::str(fs.family.name())),
+                ("constraints", Json::uint(fs.constraints as u64)),
+                ("clauses", Json::uint(fs.clauses as u64)),
+            ])
+        })
+        .collect();
+    let rungs: Vec<Json> = s
+        .rungs
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("relaxation", Json::str(r.relaxation.to_string())),
+                ("learnts_carried", Json::uint(r.learnts_carried)),
+                ("rebuilt", Json::Bool(r.rebuilt)),
+            ])
+        })
+        .collect();
     let workers: Vec<Json> = s
         .workers
         .iter()
@@ -299,6 +321,9 @@ fn stats_to_json(design: &Design, placement: &Placement) -> Json {
         ("conflicts", Json::uint(s.conflicts)),
         ("sat_vars", Json::uint(s.sat_vars as u64)),
         ("sat_clauses", Json::uint(s.sat_clauses as u64)),
+        ("families", Json::Arr(families)),
+        ("lowering_ms", Json::uint(s.lowering.as_millis() as u64)),
+        ("rungs", Json::Arr(rungs)),
         ("threads", Json::uint(s.threads as u64)),
         (
             "winner",
@@ -438,6 +463,7 @@ fn main() -> ExitCode {
         }
         Err(PlaceError::Infeasible {
             conflict,
+            provenance,
             certificate,
         }) => {
             eprintln!("error: no legal placement exists for the sized die");
@@ -446,6 +472,9 @@ fn main() -> ExitCode {
             } else {
                 let names: Vec<&str> = conflict.iter().map(|f| f.name()).collect();
                 eprintln!("conflicting constraint families: {}", names.join(" + "));
+                for line in &provenance {
+                    eprintln!("  {line}");
+                }
             }
             match certificate.as_deref() {
                 Some(proof) => match drat::check(proof) {
@@ -468,6 +497,7 @@ fn main() -> ExitCode {
             }
             return place_exit_code(&PlaceError::Infeasible {
                 conflict,
+                provenance,
                 certificate: None,
             });
         }

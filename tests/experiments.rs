@@ -4,7 +4,7 @@
 //! the `ams-bench` binaries regenerate the full tables.
 
 use finfet_ams_place::netlist::benchmarks;
-use finfet_ams_place::place::{baseline, PlacerConfig, SmtPlacer};
+use finfet_ams_place::place::{baseline, Placer, PlacerConfig};
 use finfet_ams_place::route::{route, RouterConfig};
 use finfet_ams_place::sim::{analyze_buf, extract, Tech, VcoModel};
 
@@ -42,14 +42,14 @@ fn table3_and_table4_shapes_buf() {
     // One pair of quick placements feeds both the Table III geometry checks
     // and the Table IV timing-variability checks.
     let w_design = benchmarks::buf();
-    let w = SmtPlacer::new(&w_design, quick_cfg())
+    let w = Placer::new(&w_design, quick_cfg())
         .expect("encode")
         .place()
         .expect("place w/");
     w.verify(&w_design).expect("legal w/");
 
     let wo_design = benchmarks::buf().without_constraints();
-    let wo = SmtPlacer::new(&wo_design, quick_cfg().without_ams_constraints())
+    let wo = Placer::new(&wo_design, quick_cfg().without_ams_constraints())
         .expect("encode")
         .place()
         .expect("place w/o");
@@ -102,7 +102,7 @@ fn table3_and_table4_shapes_buf() {
 #[ignore = "several minutes: full VCO arms; run with --ignored or use the table6 binary"]
 fn table6_shape_vco() {
     let w_design = benchmarks::vco();
-    let w = SmtPlacer::new(&w_design, quick_cfg())
+    let w = Placer::new(&w_design, quick_cfg())
         .expect("encode")
         .place()
         .expect("place w/");

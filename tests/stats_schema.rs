@@ -13,11 +13,14 @@ const TOP_LEVEL_FIELDS: &[&str] = &[
     "conflicts",
     "design",
     "die",
+    "families",
     "hpwl_trace",
     "hpwl_um",
     "iterations",
+    "lowering_ms",
     "outcome",
     "outcome_detail",
+    "rungs",
     "runtime_ms",
     "sat_clauses",
     "sat_vars",
@@ -38,6 +41,8 @@ const WORKER_FIELDS: &[&str] = &[
 ];
 
 const CERTIFY_FIELDS: &[&str] = &["cnf_clauses", "model_violations", "proof_steps"];
+
+const FAMILY_FIELDS: &[&str] = &["clauses", "constraints", "family"];
 
 fn keys(doc: &Json) -> BTreeSet<String> {
     match doc {
@@ -84,6 +89,24 @@ fn stats_json_matches_the_golden_schema() {
     );
     // Certify was off, so the field must be present but null.
     assert!(matches!(map["certify"], Json::Null));
+
+    // A feasible run takes no recovery rungs, but the field is a contract.
+    let Json::Arr(rungs) = &map["rungs"] else {
+        panic!("rungs must be an array");
+    };
+    assert!(rungs.is_empty(), "feasible run reported recovery rungs");
+
+    let Json::Arr(families) = &map["families"] else {
+        panic!("families must be an array");
+    };
+    assert!(
+        !families.is_empty(),
+        "per-family constraint stats must be populated"
+    );
+    let expected_family: BTreeSet<String> = FAMILY_FIELDS.iter().map(|s| s.to_string()).collect();
+    for f in families {
+        assert_eq!(keys(f), expected_family, "per-family field set changed");
+    }
 
     let Json::Arr(workers) = &map["workers"] else {
         panic!("workers must be an array");
