@@ -74,7 +74,7 @@ pub fn explain_unsat(design: &Design, config: &PlacerConfig) -> UnsatOutcome {
     }
 
     let mut smt = Smt::new();
-    let vars = VarMap::create(&mut smt, design, &scale, &plan, config);
+    let vars = VarMap::create(&mut smt, design, &scale, &plan, config, None);
     let encoding = encode::encode_design(&mut smt, design, &scale, &plan, &vars, config);
     let lowering = encoding.store.lower(&mut smt, 0);
 

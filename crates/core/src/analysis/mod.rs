@@ -18,6 +18,7 @@ mod capacity;
 mod configcheck;
 mod density;
 mod explain;
+pub mod presolve;
 mod structure;
 
 pub use crate::ir::ConstraintFamily;

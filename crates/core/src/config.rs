@@ -165,6 +165,36 @@ impl Default for SolverConfig {
     }
 }
 
+/// Static presolve behaviour (see [`crate::analysis::presolve`]): interval
+/// domain analysis, capacity/counting infeasibility proofs, and bit-width
+/// pruning of the lowered encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PresolveConfig {
+    /// Whether presolve runs at all. With `false`, the placer encodes and
+    /// solves exactly as before this analysis existed.
+    pub enabled: bool,
+    /// Feed the narrowed interval domains into variable allocation so
+    /// coordinates get fewer bits. Sound (pruning only removes values no
+    /// model can take), but automatically disabled under
+    /// [`SolverConfig::certify`] so certified runs prove the un-pruned
+    /// encoding.
+    pub domain_pruning: bool,
+    /// Measure the CNF clause delta of pruning by shadow-encoding the
+    /// instance without domains (costs one extra encode+blast, no solving).
+    /// Reported as `clauses_saved` in [`crate::PresolveStats`].
+    pub measure_savings: bool,
+}
+
+impl Default for PresolveConfig {
+    fn default() -> PresolveConfig {
+        PresolveConfig {
+            enabled: true,
+            domain_pruning: true,
+            measure_savings: false,
+        }
+    }
+}
+
 /// Infeasibility-recovery behaviour: when the first solve is UNSAT, the
 /// placer consumes the UNSAT explanation and retries with targeted
 /// relaxations (a bounded ladder) instead of failing outright.
@@ -216,6 +246,8 @@ pub struct PlacerConfig {
     pub solver: SolverConfig,
     /// Infeasibility-recovery (relaxation ladder) behaviour.
     pub recovery: RecoveryConfig,
+    /// Static presolve (domain pruning + capacity proofs) behaviour.
+    pub presolve: PresolveConfig,
     /// Scale factor on extension-constraint margins (Eq. 11), in `[0, 1]`.
     /// `1.0` (the default) honors the margins as specified; the recovery
     /// ladder lowers it to relax over-constrained designs, and `0.0`
@@ -236,6 +268,7 @@ impl Default for PlacerConfig {
             array_slots: true,
             solver: SolverConfig::default(),
             recovery: RecoveryConfig::default(),
+            presolve: PresolveConfig::default(),
             extension_scale: 1.0,
         }
     }

@@ -186,7 +186,7 @@ mod tests {
             let scale = crate::scale::ScaleInfo::compute(&design, &config);
             let plan = PowerPlan::default();
             let mut smt = Smt::new();
-            let vars = VarMap::create(&mut smt, &design, &scale, &plan, &config);
+            let vars = VarMap::create(&mut smt, &design, &scale, &plan, &config, None);
 
             // Arbitrary (not necessarily legal) positions: the measurement
             // is a pure function of coordinates, not of placement legality.

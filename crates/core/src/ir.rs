@@ -233,6 +233,12 @@ impl ConstraintStore {
         self.constraints.len()
     }
 
+    /// Read-only view of every record, for static analysis
+    /// ([`crate::analysis::presolve`]).
+    pub fn records(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
     /// Drops every record of the given families (before re-emitting a
     /// relaxed replacement generation).
     pub fn remove_families(&mut self, families: &[ConstraintFamily]) {

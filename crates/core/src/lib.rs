@@ -24,7 +24,11 @@
 //! set + configuration and reports structured `AMS-Exxx` diagnostics;
 //! provably-broken inputs fail fast with [`PlaceError::Lint`] instead of a
 //! late solver UNSAT, and [`analysis::explain_unsat`] attributes genuine
-//! UNSATs to the conflicting constraint families.
+//! UNSATs to the conflicting constraint families. The [`analysis::presolve`]
+//! analyzer goes further: abstract-interpretation interval domains narrow
+//! variable bit-widths before encoding, and capacity/counting proofs turn
+//! some infeasibilities into provenance-cited verdicts with zero solver
+//! conflicts.
 //!
 //! ## Example
 //!
@@ -57,13 +61,15 @@ mod scale;
 mod svg;
 mod vars;
 
+pub use analysis::presolve::{PresolveConflict, PresolveReport, PresolveVerdict};
 pub use config::{
-    ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig, RecoveryConfig, SolverConfig,
+    ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig, PresolveConfig,
+    RecoveryConfig, SolverConfig,
 };
 pub use ir::{ConstraintFamily, FamilyStats, Provenance};
 pub use placement::{
     placement_from_rects, CertifyReport, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats,
-    Placement, Relaxation, RungStats, Violation, ViolationKind,
+    Placement, PresolvePassStats, PresolveStats, Relaxation, RungStats, Violation, ViolationKind,
 };
 pub use placer::{PlaceError, Placer, PlacerBuilder};
 // Re-exported so downstream consumers can validate infeasibility

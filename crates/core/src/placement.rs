@@ -211,6 +211,37 @@ pub struct PlaceStats {
     /// Certification artifacts of a `certify`-mode run
     /// ([`crate::SolverConfig::certify`]); `None` otherwise.
     pub certify: Option<CertifyReport>,
+    /// Static-presolve summary ([`crate::analysis::presolve`]); `None`
+    /// when presolve was disabled.
+    pub presolve: Option<PresolveStats>,
+}
+
+/// One presolve pass as reported in [`PresolveStats::passes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PresolvePassStats {
+    /// Pass name: `"domain"` or `"capacity"`.
+    pub pass: &'static str,
+    /// `"feasible"` or `"infeasible"`.
+    pub verdict: String,
+    /// What the pass established (narrowing counts or the proof sketch).
+    pub detail: String,
+}
+
+/// Static-presolve summary carried in [`PlaceStats`] and `--stats-json`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Whether presolve ran.
+    pub ran: bool,
+    /// Overall verdict: `"feasible"` or `"infeasible"`.
+    pub verdict: String,
+    /// Bit-vector bits saved by domain pruning (0 when pruning was off or
+    /// nothing narrowed).
+    pub vars_saved_bits: u64,
+    /// CNF clauses saved versus the un-pruned encoding; measured only
+    /// under [`crate::PresolveConfig::measure_savings`], `None` otherwise.
+    pub clauses_saved: Option<u64>,
+    /// Per-pass outcomes, in execution order.
+    pub passes: Vec<PresolvePassStats>,
 }
 
 /// What a `certify`-mode placement run captured and re-checked.

@@ -1,12 +1,13 @@
 //! The SMT placement engine (Fig. 3): encode → incremental optimization
 //! (Algorithm 1) → post-processing.
 
+use crate::analysis::presolve::{self, PresolveConflict, PresolveVerdict};
 use crate::config::{PinDensityConfig, PlacerConfig};
 use crate::encode;
 use crate::ir::{conflict_families, ConstraintFamily, ConstraintStore, FamilyStats};
 use crate::placement::{
-    CertifyReport, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats, Placement, Relaxation,
-    RungStats,
+    CertifyReport, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats, Placement,
+    PresolveStats, Relaxation, RungStats,
 };
 use crate::power::PowerPlan;
 use crate::scale::ScaleInfo;
@@ -304,6 +305,15 @@ pub struct Placer<'a> {
     phi: Term,
     phi_w: u32,
     pd_check: Option<PinDensityCheck>,
+    /// Selectors retired by recovery re-lowerings, kept for the lowering
+    /// well-formedness validator ([`Placer::validate_lowering`]).
+    retired: Vec<Term>,
+    /// Presolve summary for [`PlaceStats`]; `None` when presolve is off.
+    presolve: Option<PresolveStats>,
+    /// Infeasibility proved by the domain pass. Computed at zero margins,
+    /// so it stays valid across content-only recovery rungs; consumed by
+    /// `presolve_fast_path`.
+    presolve_domain_conflict: Option<PresolveConflict>,
     // Kept so recovery-ladder rebuilds can reinstall the caller's flag.
     cancel: Option<Arc<AtomicBool>>,
 }
@@ -337,9 +347,12 @@ impl<'a> Placer<'a> {
         // the solver: the recovery ladder repairs exactly that by raising
         // λ_th, and certify mode wants the *solver's* UNSAT — with its
         // DRAT certificate — rather than the linter's uncheckable verdict.
+        // Presolve counts too: its capacity pass turns the same condition
+        // into a provenance-cited Infeasible without a CDCL run.
         let report = crate::analysis::lint(design, &config);
         if report.has_errors() {
-            let solvable = config.recovery.enabled || config.solver.certify;
+            let solvable =
+                config.recovery.enabled || config.solver.certify || config.presolve.enabled;
             let recoverable = solvable
                 && report
                     .errors()
@@ -358,12 +371,53 @@ impl<'a> Placer<'a> {
 
         // Phase 2: scaling and variable initialization.
         let scale = ScaleInfo::compute(design, &config);
+
+        // Phase 2.5: static presolve. The domain pass narrows variable
+        // domains (fed into allocation below); its verdict is kept because
+        // it is computed at zero margins and so survives every content-only
+        // recovery rung. Capacity proofs are re-checked per rung instead
+        // (`presolve_fast_path`) since λ_th changes under recovery.
+        let mut presolve_stats: Option<PresolveStats> = None;
+        let mut domain_conflict: Option<PresolveConflict> = None;
+        let mut domains = None;
+        if config.presolve.enabled {
+            let report = presolve::presolve_with(design, &config, &scale, &plan);
+            if let PresolveVerdict::Infeasible(c) = &report.verdict {
+                if c.pass == "domain" {
+                    domain_conflict = Some(c.clone());
+                }
+            }
+            presolve_stats = Some(PresolveStats {
+                ran: true,
+                verdict: if report.is_infeasible() {
+                    "infeasible".into()
+                } else {
+                    "feasible".into()
+                },
+                vars_saved_bits: 0,
+                clauses_saved: None,
+                passes: report.passes.clone(),
+            });
+            domains = report.domains;
+        }
+        // Certified runs prove the un-pruned encoding: domain pruning is
+        // sound, but the certificate should axiomatize exactly the vanilla
+        // bit-blast the differential harness and CI smoke expect.
+        let prune = if config.presolve.domain_pruning && !config.solver.certify {
+            domains.as_ref()
+        } else {
+            None
+        };
+
         let mut smt = Smt::new();
         if config.solver.certify {
             // Before any assertion, so the certificate's CNF is complete.
             smt.enable_proof();
         }
-        let vars = VarMap::create(&mut smt, design, &scale, &plan, &config);
+        let vars = VarMap::create(&mut smt, design, &scale, &plan, &config, prune);
+        if let Some(stats) = &mut presolve_stats {
+            stats.vars_saved_bits = vars.saved_bits;
+        }
 
         // Constraint formulation (Section IV.C, a–g): the encoders emit
         // typed records into the one constraint store, and a single
@@ -382,6 +436,22 @@ impl<'a> Placer<'a> {
         let store = encoding.store;
         let lowering = store.lower(&mut smt, 0);
 
+        // Optional savings measurement: encode the same instance once more
+        // without domains into a throwaway core and report the clause delta.
+        if config.presolve.measure_savings && prune.is_some() {
+            if let Some(stats) = &mut presolve_stats {
+                let mut shadow = Smt::new();
+                let svars = VarMap::create(&mut shadow, design, &scale, &plan, &config, None);
+                let senc =
+                    encode::encode_design(&mut shadow, design, &scale, &plan, &svars, &config);
+                let _ = senc.store.lower(&mut shadow, 0);
+                let delta = shadow
+                    .num_sat_clauses()
+                    .saturating_sub(smt.num_sat_clauses());
+                stats.clauses_saved = Some(delta as u64);
+            }
+        }
+
         // Portfolio dispatch: every solve of the incremental loop fans out
         // across diversified workers when more than one thread is asked for.
         if config.solver.threads > 1 {
@@ -393,7 +463,7 @@ impl<'a> Placer<'a> {
             }));
         }
 
-        Ok(Placer {
+        let placer = Placer {
             design,
             config,
             scale,
@@ -409,8 +479,13 @@ impl<'a> Placer<'a> {
             phi: encoding.phi,
             phi_w: encoding.phi_w,
             pd_check,
+            retired: Vec::new(),
+            presolve: presolve_stats,
+            presolve_domain_conflict: domain_conflict,
             cancel: None,
-        })
+        };
+        debug_assert_eq!(placer.validate_lowering(), Ok(()));
+        Ok(placer)
     }
 
     /// The scaled-design geometry of this instance.
@@ -426,6 +501,50 @@ impl<'a> Placer<'a> {
     /// Number of SAT clauses in the encoding so far.
     pub fn sat_clauses(&self) -> usize {
         self.smt.num_sat_clauses()
+    }
+
+    /// Presolve summary of this instance (`None` when presolve is off).
+    pub fn presolve_stats(&self) -> Option<&PresolveStats> {
+        self.presolve.as_ref()
+    }
+
+    /// Checks the selector-literal discipline of the live lowering: every
+    /// family with records has exactly one live selector, no selector is
+    /// shared or doubly guarded, and no retired selector is still passed
+    /// as an assumption. Runs under `debug_assertions` after every
+    /// lower/retire/re-lower; CI exercises it explicitly.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn validate_lowering(&self) -> Result<(), String> {
+        presolve::validate_lowering(&self.store, &self.selectors, &self.retired)
+    }
+
+    /// Returns the presolve infeasibility verdict for the *current*
+    /// configuration, if any, as a ready-to-return error. Domain-pass
+    /// conflicts are rung-invariant and replayed from `new()`; capacity
+    /// proofs are re-checked here because recovery rungs change λ_th and
+    /// margins. Disabled under certify, where the caller wants the
+    /// solver's DRAT-backed UNSAT instead.
+    fn presolve_fast_path(&mut self) -> Option<PlaceError> {
+        if !self.config.presolve.enabled || self.config.solver.certify {
+            return None;
+        }
+        let conflict = self.presolve_domain_conflict.clone().or_else(|| {
+            presolve::capacity_check(self.design, &self.config, &self.scale, &self.plan).err()
+        })?;
+        if let Some(stats) = &mut self.presolve {
+            stats.verdict = "infeasible".into();
+        }
+        let families = vec![conflict.family];
+        let mut provenance = vec![conflict.message()];
+        provenance.extend(self.store.provenance_lines(&families));
+        Some(PlaceError::Infeasible {
+            conflict: families,
+            provenance,
+            certificate: None,
+        })
     }
 
     /// Runs the incremental placement flow to completion, supervising the
@@ -548,6 +667,12 @@ impl<'a> Placer<'a> {
         deadline: Option<Instant>,
     ) -> Result<Placement, PlaceError> {
         let opt = self.config.optimize;
+        // Presolve fast path: an interval- or counting-proved infeasibility
+        // returns immediately — zero CDCL conflicts — as the same
+        // `Infeasible` shape the recovery ladder already consumes.
+        if let Some(err) = self.presolve_fast_path() {
+            return Err(err);
+        }
         self.seed_hints();
         self.smt.set_conflict_budget(opt.first_conflict_budget);
 
@@ -668,6 +793,7 @@ impl<'a> Placer<'a> {
             workers: summary.workers.clone(),
             winner: summary.last_winner,
             certify: None,
+            presolve: self.presolve.clone(),
         };
         let mut placement = self.finalize(model, stats);
         // Certify mode closes the SAT half of the loop: re-check the model
@@ -780,12 +906,13 @@ impl<'a> Placer<'a> {
         self.config = config;
         self.generation += 1;
 
-        let (retired, kept): (Vec<_>, Vec<_>) = self
+        let (dropped, kept): (Vec<_>, Vec<_>) = self
             .selectors
             .drain(..)
             .partition(|(fam, _)| families.contains(fam));
         self.selectors = kept;
-        for (_, sel) in retired {
+        for (_, sel) in dropped {
+            self.retired.push(sel);
             self.smt.retire(sel);
         }
 
@@ -866,6 +993,7 @@ impl<'a> Placer<'a> {
         self.families.extend(lowering.families);
         self.families.sort_by_key(|fs| fs.family);
         self.selectors.extend(lowering.selectors);
+        debug_assert_eq!(self.validate_lowering(), Ok(()));
     }
 
     /// Shapes a first-solve UNSAT into [`PlaceError::Infeasible`]: the

@@ -11,13 +11,17 @@
 //!
 //! Every SAT model must pass the oracle, every UNSAT verdict must come
 //! with a DRAT certificate the in-repo checker accepts, and the three
-//! verdicts must never disagree. `differential_mini_designs_agree` is the
+//! verdicts must never disagree. A fourth arm checks presolve soundness:
+//! the static analyzer must never declare a reference-placeable design
+//! infeasible, and domain pruning must never change the plain placer's
+//! verdict or the legality of its models. `differential_mini_designs_agree` is the
 //! always-on subset; the fifty-design acceptance run is `#[ignore]`d into
 //! the release-mode scheduled job (see `.github/workflows/nightly.yml`)
 //! and the release step of CI.
 
 use ams_netlist::benchmarks::{synthetic, SyntheticParams};
 use ams_netlist::rng::SplitMix64;
+use ams_place::analysis::presolve;
 use ams_place::brute::{reference_place, BruteLimits, ReferenceVerdict};
 use ams_place::{drat, PlaceError, Placer, PlacerConfig};
 
@@ -65,6 +69,35 @@ fn smt_verdict(
         // counts as an (uncertified) UNSAT verdict; the reference placer
         // cross-checks it below like any other disagreement.
         Err(PlaceError::Lint(_)) => Verdict::Unsat,
+        Err(e) => panic!("{label}: unexpected failure: {e}"),
+    }
+}
+
+/// Decides one instance on the plain (non-certify) path with domain
+/// pruning forced on or off, for the presolve-soundness arm: pruning may
+/// only remove values outside the feasible set, so the verdict must match
+/// the unpruned run and the certified deciders exactly.
+fn plain_verdict(
+    design: &ams_netlist::Design,
+    cfg: &PlacerConfig,
+    pruning: bool,
+    label: &str,
+) -> Verdict {
+    let mut cfg = cfg.clone();
+    cfg.presolve.enabled = true;
+    cfg.presolve.domain_pruning = pruning;
+    let placer = Placer::builder(design)
+        .config(cfg)
+        .build()
+        .unwrap_or_else(|e| panic!("{label}: config rejected: {e}"));
+    match placer.place() {
+        Ok(placement) => {
+            if let Err(violations) = placement.verify(design) {
+                panic!("{label}: illegal model: {violations:?}");
+            }
+            Verdict::Sat
+        }
+        Err(PlaceError::Infeasible { .. }) | Err(PlaceError::Lint(_)) => Verdict::Unsat,
         Err(e) => panic!("{label}: unexpected failure: {e}"),
     }
 }
@@ -140,8 +173,40 @@ fn run_rounds(target: usize, base_seed: u64) -> FuzzStats {
             }
         };
 
+        // Presolve soundness, arm one: an infeasibility verdict from the
+        // static analyzer is a *proof* — it must never fire on a design
+        // the exhaustive reference can place.
+        let report = presolve::presolve(&design, &cfg);
+        if report.is_infeasible() {
+            assert_eq!(
+                reference,
+                Verdict::Unsat,
+                "round {round} ({}): presolve declared a placeable design infeasible: {}",
+                design.name(),
+                report.conflict().map(|c| c.message()).unwrap_or_default()
+            );
+        }
+
         let seq = smt_verdict(&design, &cfg, 1, &format!("round {round} threads=1"));
         let par = smt_verdict(&design, &cfg, 4, &format!("round {round} threads=4"));
+
+        // Arm two: domain pruning must not flip the verdict of the plain
+        // (non-certify) path in either direction, and pruned models must
+        // still pass the legality oracle.
+        let pruned = plain_verdict(&design, &cfg, true, &format!("round {round} pruned"));
+        let unpruned = plain_verdict(&design, &cfg, false, &format!("round {round} unpruned"));
+        assert_eq!(
+            pruned,
+            unpruned,
+            "round {round} ({}): domain pruning changed the verdict",
+            design.name()
+        );
+        assert_eq!(
+            pruned,
+            reference,
+            "round {round} ({}): pruned placer vs exhaustive reference disagree",
+            design.name()
+        );
 
         assert_eq!(
             seq,

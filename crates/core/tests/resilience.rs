@@ -111,6 +111,11 @@ fn zero_lambda_design_is_recovered_by_the_ladder() {
         lambda: Some(0),
         ..PinDensityConfig::default()
     });
+    // Presolve would prove λ_th = 0 infeasible before any CDCL run (its
+    // own tests cover that fast path); this test pins the *solver-driven*
+    // ladder — UNSAT proof, learnt carryover, live re-lowering — so it
+    // runs with presolve off.
+    cfg.presolve.enabled = false;
     // Sequential solving pins the learnt-carryover assertion below: in
     // portfolio mode the winning worker replaces the SAT core, and a
     // diversified worker may prove UNSAT with an empty learnt database.

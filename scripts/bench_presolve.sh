@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Measures what the static presolve buys on the paper benchmarks (BUF,
+# VCO): CNF size (variables/clauses) and wall time of a --quick placement
+# with presolve on (the default) versus --no-presolve. Writes
+# BENCH_presolve.json at the repo root; CI does not run this — it is a
+# manual/nightly artifact refreshed when the encoders or the analyzer
+# change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q --bin amsplace
+
+BIN=target/release/amsplace
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for design in buf vco; do
+    for mode in presolve no_presolve; do
+        flags=()
+        if [ "$mode" = no_presolve ]; then
+            flags+=(--no-presolve)
+        fi
+        echo "==> $design ($mode)" >&2
+        "$BIN" "$design" --quick ${flags[@]+"${flags[@]}"} \
+            --stats-json "$TMP/${design}_${mode}.json" >/dev/null
+    done
+done
+
+python3 - "$TMP" <<'EOF'
+import json
+import pathlib
+import sys
+
+tmp = pathlib.Path(sys.argv[1])
+out = {"config": "--quick, threads=1", "benchmarks": {}}
+for design in ("buf", "vco"):
+    entry = {}
+    for mode in ("presolve", "no_presolve"):
+        with open(tmp / f"{design}_{mode}.json") as f:
+            d = json.load(f)
+        entry[mode] = {
+            "sat_vars": d["sat_vars"],
+            "sat_clauses": d["sat_clauses"],
+            "runtime_ms": d["runtime_ms"],
+            "hpwl_um": d["hpwl_um"],
+            "presolve": d["presolve"],
+        }
+    pre = entry["no_presolve"]
+    post = entry["presolve"]
+    entry["savings"] = {
+        "vars": pre["sat_vars"] - post["sat_vars"],
+        "clauses": pre["sat_clauses"] - post["sat_clauses"],
+        "runtime_ms": pre["runtime_ms"] - post["runtime_ms"],
+    }
+    assert entry["savings"]["vars"] > 0, f"{design}: presolve pruned no variables"
+    assert entry["savings"]["clauses"] > 0, f"{design}: presolve shed no clauses"
+    out["benchmarks"][design] = entry
+
+with open("BENCH_presolve.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps({k: v["savings"] for k, v in out["benchmarks"].items()}, indent=2))
+EOF
+echo "wrote BENCH_presolve.json"

@@ -24,6 +24,26 @@ AMSPLACE_THREADS=4 cargo test -q -p ams-place -p finfet-ams-place
 echo "==> never-panic suite (randomized designs/configs)"
 cargo test -q -p ams-place --test never_panic
 
+echo "==> lowering validator (selector-literal discipline, explicit)"
+# Also runs under debug_assertions inside the placer after every
+# lower/retire/re-lower; this step keeps it an explicit CI contract.
+cargo test -q -p ams-place --test presolve validate_lowering
+
+echo "==> presolve infeasibility fast path (zero-conflict UNSAT, exit 2)"
+# Without --certify, λ_th = 0 must be rejected by the presolve capacity
+# proof — provenance-cited, before any CDCL conflict accrues.
+set +e
+presolve_out=$(cargo run -q --bin amsplace -- synthetic --quick \
+    --lambda-th 0 --max-relax 0 2>&1)
+presolve_code=$?
+set -e
+if [ "$presolve_code" -ne 2 ]; then
+    echo "$presolve_out"
+    echo "expected exit 2 from the presolve fast path, got $presolve_code"
+    exit 1
+fi
+echo "$presolve_out" | grep -q 'presolve capacity pass'
+
 echo "==> deadline-bounded portfolio smoke run"
 # One end-to-end CLI run: portfolio solving under a wall-clock deadline,
 # machine-readable stats out. Exit code 0 covers optimal, anytime, and

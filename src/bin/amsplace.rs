@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: amsplace [OPTIONS] <design.json|buf|vco|synthetic>
-       amsplace lint [--explain] <design.json|buf|vco|synthetic>
+       amsplace lint [--explain] [--presolve] <design.json|buf|vco|synthetic>
        amsplace --demo <buf|vco|synthetic> <out.json>
 
 options:
@@ -44,6 +44,8 @@ options:
   --lambda-th <n>     override the pin-density threshold λ_th (Eq. 14);
                       0 is unsatisfiable by construction, handy together
                       with --certify --max-relax 0
+  --no-presolve       skip the static presolve analyzer (domain pruning
+                      and the zero-conflict infeasibility fast path)
   --quick             small budgets for a fast smoke run
 
 exit codes: 0 success (incl. anytime/recovered placements), 1 usage or
@@ -53,7 +55,9 @@ before any model, 5 conflict budget exhausted before any model.
 lint mode runs the AMS-Exxx pre-solve checks and exits nonzero iff any
 error-severity diagnostic fires; --explain additionally asks the solver
 which constraint families conflict when the lint is clean but the
-instance is unsatisfiable.
+instance is unsatisfiable; --presolve additionally runs the static
+presolve analyzer (interval domains + capacity proofs) and exits 2 with
+the proof's provenance when it derives infeasibility.
 ";
 
 struct Args {
@@ -61,6 +65,8 @@ struct Args {
     demo: Option<(String, String)>,
     lint: bool,
     explain: bool,
+    lint_presolve: bool,
+    no_presolve: bool,
     out: Option<String>,
     svg: Option<String>,
     stats_json: Option<String>,
@@ -82,6 +88,8 @@ fn parse_args() -> Result<Args, String> {
         demo: None,
         lint: false,
         explain: false,
+        lint_presolve: false,
+        no_presolve: false,
         out: None,
         svg: None,
         stats_json: None,
@@ -111,6 +119,8 @@ fn parse_args() -> Result<Args, String> {
                 args.demo = Some((which, out));
             }
             "--explain" => args.explain = true,
+            "--presolve" => args.lint_presolve = true,
+            "--no-presolve" => args.no_presolve = true,
             "--out" => args.out = Some(value("--out")?),
             "--svg" => args.svg = Some(value("--svg")?),
             "--route" => args.do_route = true,
@@ -171,6 +181,9 @@ fn parse_args() -> Result<Args, String> {
     if args.explain && !args.lint {
         return Err("--explain only applies to the lint subcommand".into());
     }
+    if args.lint_presolve && !args.lint {
+        return Err("--presolve only applies to the lint subcommand".into());
+    }
     Ok(args)
 }
 
@@ -187,8 +200,24 @@ fn load_design(spec: &str) -> Result<Design, String> {
     Design::from_json(&json).map_err(|e| format!("parsing {spec}: {e}"))
 }
 
-/// The `amsplace lint` subcommand. Exits successfully iff no
-/// error-severity diagnostic fires.
+/// The configuration the lint subcommand analyses against: the same
+/// design-affecting overrides the place path honors (λ_th, w/o-Cstr.),
+/// so `lint --presolve` judges the instance the solve would actually see.
+fn lint_config(args: &Args) -> PlacerConfig {
+    let mut config = PlacerConfig::default();
+    if let Some(lambda) = args.lambda_th {
+        let mut density = config.pin_density.unwrap_or_default();
+        density.lambda = Some(lambda);
+        config.pin_density = Some(density);
+    }
+    if args.no_ams {
+        config = config.without_ams_constraints();
+    }
+    config
+}
+
+/// The `amsplace lint` subcommand. Exits 2 when `--presolve` proves the
+/// instance infeasible, 1 on error-severity diagnostics, 0 otherwise.
 fn run_lint(args: &Args) -> ExitCode {
     let Some(spec) = &args.design_path else {
         eprint!("{USAGE}");
@@ -201,7 +230,12 @@ fn run_lint(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = PlacerConfig::default();
+    let design = if args.no_ams {
+        design.without_constraints()
+    } else {
+        design
+    };
+    let config = lint_config(args);
     let report = analysis::lint(&design, &config);
     if report.is_clean() {
         println!("{}: no findings", design.name());
@@ -227,7 +261,26 @@ fn run_lint(args: &Args) -> ExitCode {
             }
         }
     }
-    if report.has_errors() {
+    let mut presolve_infeasible = false;
+    if args.lint_presolve {
+        let presolve = analysis::presolve::presolve(&design, &config);
+        for p in &presolve.passes {
+            println!("presolve {} pass: {} ({})", p.pass, p.verdict, p.detail);
+        }
+        match presolve.conflict() {
+            Some(conflict) => {
+                println!("presolve: INFEASIBLE — {}", conflict.message());
+                presolve_infeasible = true;
+            }
+            None => println!(
+                "presolve: no infeasibility derived ({} variable bits prunable)",
+                presolve.vars_saved_bits
+            ),
+        }
+    }
+    if presolve_infeasible {
+        ExitCode::from(2)
+    } else if report.has_errors() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -353,7 +406,46 @@ fn stats_to_json(design: &Design, placement: &Placement) -> Json {
                 ])
             }),
         ),
+        ("presolve", presolve_to_json(s.presolve.as_ref())),
     ])
+}
+
+/// Serializes the presolve summary with a constant shape: a disabled
+/// presolve still yields every key, so the stats schema stays stable.
+fn presolve_to_json(ps: Option<&finfet_ams_place::place::PresolveStats>) -> Json {
+    match ps {
+        Some(ps) => Json::obj([
+            ("ran", Json::Bool(ps.ran)),
+            ("verdict", Json::str(&ps.verdict)),
+            ("vars_saved_bits", Json::uint(ps.vars_saved_bits)),
+            (
+                "clauses_saved",
+                ps.clauses_saved.map_or(Json::Null, Json::uint),
+            ),
+            (
+                "passes",
+                Json::Arr(
+                    ps.passes
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("pass", Json::str(p.pass)),
+                                ("verdict", Json::str(&p.verdict)),
+                                ("detail", Json::str(&p.detail)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        None => Json::obj([
+            ("ran", Json::Bool(false)),
+            ("verdict", Json::str("skipped")),
+            ("vars_saved_bits", Json::uint(0)),
+            ("clauses_saved", Json::Null),
+            ("passes", Json::Arr(Vec::new())),
+        ]),
+    }
 }
 
 fn main() -> ExitCode {
@@ -435,6 +527,9 @@ fn main() -> ExitCode {
     }
     if args.no_ams {
         config = config.without_ams_constraints();
+    }
+    if args.no_presolve {
+        config.presolve.enabled = false;
     }
 
     eprintln!(

@@ -20,6 +20,7 @@ const TOP_LEVEL_FIELDS: &[&str] = &[
     "lowering_ms",
     "outcome",
     "outcome_detail",
+    "presolve",
     "rungs",
     "runtime_ms",
     "sat_clauses",
@@ -43,6 +44,16 @@ const WORKER_FIELDS: &[&str] = &[
 const CERTIFY_FIELDS: &[&str] = &["cnf_clauses", "model_violations", "proof_steps"];
 
 const FAMILY_FIELDS: &[&str] = &["clauses", "constraints", "family"];
+
+const PRESOLVE_FIELDS: &[&str] = &[
+    "clauses_saved",
+    "passes",
+    "ran",
+    "vars_saved_bits",
+    "verdict",
+];
+
+const PRESOLVE_PASS_FIELDS: &[&str] = &["detail", "pass", "verdict"];
 
 fn keys(doc: &Json) -> BTreeSet<String> {
     match doc {
@@ -115,6 +126,47 @@ fn stats_json_matches_the_golden_schema() {
     for w in workers {
         assert_eq!(keys(w), expected_worker, "per-worker field set changed");
     }
+
+    // Presolve runs by default: the object is filled, the feasible verdict
+    // recorded, and both analyzer passes reported.
+    assert_presolve_shape(&map["presolve"]);
+    let Json::Obj(ps) = &map["presolve"] else {
+        unreachable!()
+    };
+    assert_eq!(ps["ran"], Json::Bool(true));
+    assert_eq!(ps["verdict"], Json::str("feasible"));
+    let Json::Arr(passes) = &ps["passes"] else {
+        panic!("passes must be an array");
+    };
+    assert_eq!(passes.len(), 2, "domain + capacity passes expected");
+}
+
+fn assert_presolve_shape(ps: &Json) {
+    let expected: BTreeSet<String> = PRESOLVE_FIELDS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(keys(ps), expected, "presolve field set changed");
+    let Json::Obj(map) = ps else { unreachable!() };
+    let expected_pass: BTreeSet<String> =
+        PRESOLVE_PASS_FIELDS.iter().map(|s| s.to_string()).collect();
+    let Json::Arr(passes) = &map["passes"] else {
+        panic!("presolve.passes must be an array");
+    };
+    for p in passes {
+        assert_eq!(keys(p), expected_pass, "presolve pass field set changed");
+    }
+}
+
+#[test]
+fn disabled_presolve_keeps_the_schema_stable() {
+    let doc = run_amsplace(&["--no-presolve"]);
+    let Json::Obj(map) = &doc else {
+        panic!("stats must be an object")
+    };
+    assert_presolve_shape(&map["presolve"]);
+    let Json::Obj(ps) = &map["presolve"] else {
+        unreachable!()
+    };
+    assert_eq!(ps["ran"], Json::Bool(false));
+    assert_eq!(ps["verdict"], Json::str("skipped"));
 }
 
 #[test]
