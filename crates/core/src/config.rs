@@ -151,6 +151,14 @@ pub struct SolverConfig {
     /// model (`PlaceStats::certify`). Costs proof-logging time and memory;
     /// off by default.
     pub certify: bool,
+    /// Keep the solver reusable after a solve completes: the wirelength
+    /// bounds Algorithm 1 tightens per round are installed behind a
+    /// retractable per-job selector instead of asserted permanently, so
+    /// [`crate::Placer::rebase`] can retire them and re-solve the same
+    /// instance (or a content-only variant) on the live solver with every
+    /// learnt clause intact. Off by default: one-shot runs keep the exact
+    /// historical CNF.
+    pub reusable: bool,
 }
 
 impl Default for SolverConfig {
@@ -161,6 +169,93 @@ impl Default for SolverConfig {
             seed: 0x5EED,
             deadline: None,
             certify: false,
+            reusable: false,
+        }
+    }
+}
+
+/// Caller-supplied overrides for [`SolverConfig::resolve`] — the one place
+/// the explicit > environment > config precedence for thread count and
+/// deadline is applied.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverOverrides {
+    /// Explicit thread count (e.g. `--threads` or
+    /// [`crate::PlacerBuilder::threads`]); beats everything.
+    pub threads: Option<usize>,
+    /// Explicit wall-clock deadline; beats everything.
+    pub deadline: Option<Duration>,
+    /// Whether the `AMSPLACE_THREADS` / `AMSPLACE_DEADLINE_MS` environment
+    /// variables may fill in values the caller left unset. Interactive
+    /// callers (the CLI, the builder default) say `true`; the job server
+    /// says `false` so per-job configuration can never be silently
+    /// overridden by process-global environment state.
+    pub consult_env: bool,
+}
+
+impl SolverOverrides {
+    /// Overrides that consult the environment for unset values — the
+    /// historical [`crate::PlacerBuilder`] behaviour.
+    pub fn with_env(threads: Option<usize>, deadline: Option<Duration>) -> SolverOverrides {
+        SolverOverrides {
+            threads,
+            deadline,
+            consult_env: true,
+        }
+    }
+
+    /// Overrides that ignore the environment entirely: the resolved value
+    /// is exactly `explicit.or(config)`. Used per job by `amsplace serve`.
+    pub fn explicit_only(threads: Option<usize>, deadline: Option<Duration>) -> SolverOverrides {
+        SolverOverrides {
+            threads,
+            deadline,
+            consult_env: false,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Applies the documented precedence for the execution knobs that can
+    /// come from more than one place:
+    ///
+    /// 1. an **explicit** caller value ([`SolverOverrides::threads`] /
+    ///    [`SolverOverrides::deadline`]) always wins;
+    /// 2. otherwise, when [`SolverOverrides::consult_env`] is set, a
+    ///    parseable positive `AMSPLACE_THREADS` / `AMSPLACE_DEADLINE_MS`
+    ///    environment value applies;
+    /// 3. otherwise the value already in this config stands.
+    ///
+    /// Every other field is returned unchanged. This is the *only* place
+    /// the precedence lives; [`crate::PlacerBuilder::build`] delegates
+    /// here.
+    pub fn resolve(self, overrides: SolverOverrides) -> SolverConfig {
+        self.resolve_from(overrides, |key| std::env::var(key).ok())
+    }
+
+    /// [`SolverConfig::resolve`] with an injected environment lookup, so
+    /// the precedence rules are unit-testable without mutating the
+    /// process-global environment.
+    pub fn resolve_from(
+        self,
+        overrides: SolverOverrides,
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> SolverConfig {
+        let env = |key: &str| -> Option<u64> {
+            if !overrides.consult_env {
+                return None;
+            }
+            lookup(key)?.trim().parse::<u64>().ok().filter(|&v| v > 0)
+        };
+        SolverConfig {
+            threads: overrides
+                .threads
+                .or_else(|| env("AMSPLACE_THREADS").map(|v| v as usize))
+                .unwrap_or(self.threads),
+            deadline: overrides
+                .deadline
+                .or_else(|| env("AMSPLACE_DEADLINE_MS").map(Duration::from_millis))
+                .or(self.deadline),
+            ..self
         }
     }
 }
@@ -446,6 +541,75 @@ mod tests {
         c.solver.deadline = Some(Duration::from_millis(50));
         c.extension_scale = 0.5;
         assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn resolve_explicit_beats_env_beats_config() {
+        let base = SolverConfig {
+            threads: 2,
+            deadline: Some(Duration::from_secs(9)),
+            ..SolverConfig::default()
+        };
+        let env = |key: &str| match key {
+            "AMSPLACE_THREADS" => Some("8".to_string()),
+            "AMSPLACE_DEADLINE_MS" => Some("500".to_string()),
+            _ => None,
+        };
+
+        // Explicit wins over both env and config.
+        let r = base.resolve_from(
+            SolverOverrides::with_env(Some(3), Some(Duration::from_millis(7))),
+            env,
+        );
+        assert_eq!(r.threads, 3);
+        assert_eq!(r.deadline, Some(Duration::from_millis(7)));
+
+        // No explicit value: env wins over config.
+        let r = base.resolve_from(SolverOverrides::with_env(None, None), env);
+        assert_eq!(r.threads, 8);
+        assert_eq!(r.deadline, Some(Duration::from_millis(500)));
+
+        // No explicit, no env: config stands.
+        let r = base.resolve_from(SolverOverrides::with_env(None, None), |_| None);
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.deadline, Some(Duration::from_secs(9)));
+    }
+
+    #[test]
+    fn resolve_explicit_only_never_reads_the_env() {
+        let base = SolverConfig::default();
+        let env = |_: &str| Some("8".to_string());
+        let r = base.resolve_from(SolverOverrides::explicit_only(None, None), env);
+        assert_eq!(r.threads, base.threads);
+        assert_eq!(r.deadline, None);
+        let r = base.resolve_from(SolverOverrides::explicit_only(Some(5), None), env);
+        assert_eq!(r.threads, 5);
+    }
+
+    #[test]
+    fn resolve_ignores_unparseable_and_zero_env_values() {
+        let base = SolverConfig::default();
+        for bad in ["0", "-3", "many", ""] {
+            let r = base.resolve_from(SolverOverrides::with_env(None, None), |_| {
+                Some(bad.to_string())
+            });
+            assert_eq!(r.threads, base.threads, "env value {bad:?}");
+            assert_eq!(r.deadline, None, "env value {bad:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_leaves_unrelated_fields_untouched() {
+        let base = SolverConfig {
+            share_lbd_max: 7,
+            seed: 42,
+            certify: true,
+            ..SolverConfig::default()
+        };
+        let r = base.resolve_from(SolverOverrides::with_env(Some(4), None), |_| None);
+        assert_eq!(r.share_lbd_max, 7);
+        assert_eq!(r.seed, 42);
+        assert!(r.certify);
     }
 
     #[test]

@@ -130,7 +130,7 @@ impl fmt::Display for Provenance {
 }
 
 /// The solver-facing payload of one constraint record.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub(crate) enum Payload {
     /// A Boolean term to assert.
     Term(Term),
@@ -140,7 +140,7 @@ pub(crate) enum Payload {
 
 /// One typed constraint record: which family it belongs to, which design
 /// object produced it, and what to install in the solver.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub(crate) struct Constraint {
     pub family: ConstraintFamily,
     pub provenance: Provenance,
@@ -296,6 +296,30 @@ impl ConstraintStore {
         }
     }
 
+    /// Compares this store against `other` family by family and returns
+    /// the families whose record sequences differ (count, provenance, or
+    /// payload), in canonical order.
+    ///
+    /// Record payloads reference [`Term`]s by index, so the comparison is
+    /// only meaningful when both stores were emitted by the *same
+    /// deterministic encoding sequence* over identically-constructed
+    /// solvers — the contract [`crate::Placer::rebase`] maintains by
+    /// re-encoding the incoming request against a fresh scratch solver
+    /// that mirrors the cached placer's construction order. A family the
+    /// cached placer has since re-lowered (recovery rungs re-emit records
+    /// with live-solver term ids) compares as changed, which is safe: the
+    /// caller simply re-lowers it again.
+    pub fn diff_families(&self, other: &ConstraintStore) -> Vec<ConstraintFamily> {
+        ConstraintFamily::ALL
+            .into_iter()
+            .filter(|&family| {
+                let mine = self.constraints.iter().filter(|c| c.family == family);
+                let theirs = other.constraints.iter().filter(|c| c.family == family);
+                !mine.eq(theirs)
+            })
+            .collect()
+    }
+
     /// One human-readable blame line per family: record count, distinct
     /// provenance sites, and a few example sites. Cited by
     /// [`crate::PlaceError::Infeasible`] and the CLI.
@@ -421,6 +445,40 @@ mod tests {
         assert_ne!(sel0, sel1);
         assert_eq!(smt.solve_with(&[sel1]), SmtResult::Sat);
         assert_eq!(smt.bv_value(x), 7);
+    }
+
+    #[test]
+    fn diff_families_reports_only_changed_families() {
+        // Two stores emitted by the same term-construction sequence over
+        // separate solvers: identical geometry records, one differing
+        // pin-density bound (the λ_th-only warm-cache scenario).
+        let build = |bound: u64| {
+            let mut smt = Smt::new();
+            let x = smt.bv_var(4, "x");
+            let mut store = ConstraintStore::new();
+            store.family(ConstraintFamily::CoreGeometry);
+            let lim = smt.eq_const(x, 3);
+            store.assert(lim);
+            store.family(ConstraintFamily::PinDensity);
+            store.at(Provenance::Window { x: 0, y: 0 });
+            store.assert_at_most(vec![(lim, 1)], bound);
+            store
+        };
+        let a = build(2);
+        let same = build(2);
+        let relaxed = build(5);
+        assert_eq!(a.diff_families(&same), Vec::new());
+        assert_eq!(
+            a.diff_families(&relaxed),
+            vec![ConstraintFamily::PinDensity]
+        );
+        // A missing family counts as changed on whichever side has it.
+        let mut empty = ConstraintStore::new();
+        empty.family(ConstraintFamily::CoreGeometry);
+        assert_eq!(
+            a.diff_families(&empty),
+            vec![ConstraintFamily::CoreGeometry, ConstraintFamily::PinDensity]
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod analysis;
+pub mod api;
 pub mod baseline;
 pub mod brute;
 mod config;
@@ -64,14 +65,15 @@ mod vars;
 pub use analysis::presolve::{PresolveConflict, PresolveReport, PresolveVerdict};
 pub use config::{
     ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig, PresolveConfig,
-    RecoveryConfig, SolverConfig,
+    RecoveryConfig, SolverConfig, SolverOverrides,
 };
 pub use ir::{ConstraintFamily, FamilyStats, Provenance};
 pub use placement::{
     placement_from_rects, CertifyReport, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats,
     Placement, PresolvePassStats, PresolveStats, Relaxation, RungStats, Violation, ViolationKind,
+    WarmStats,
 };
-pub use placer::{PlaceError, Placer, PlacerBuilder};
+pub use placer::{PlaceError, Placer, PlacerBuilder, WarmReuse};
 // Re-exported so downstream consumers can validate infeasibility
 // certificates without depending on `ams_sat` directly.
 pub use ams_sat::drat;

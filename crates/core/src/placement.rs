@@ -214,6 +214,26 @@ pub struct PlaceStats {
     /// Static-presolve summary ([`crate::analysis::presolve`]); `None`
     /// when presolve was disabled.
     pub presolve: Option<PresolveStats>,
+    /// Warm-reuse summary when this run re-solved on a live solver via
+    /// [`crate::Placer::rebase`] instead of encoding from scratch; `None`
+    /// for cold runs.
+    pub warm: Option<WarmStats>,
+}
+
+/// How a warm re-solve ([`crate::Placer::rebase`]) reused the live solver,
+/// carried in [`PlaceStats::warm`]. The moral twin of [`RungStats`]: the
+/// recovery ladder re-lowers families because the *solver* blamed them,
+/// the warm path because the *request delta* changed them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Families whose records differed from the cached encoding and were
+    /// retired + re-lowered on the live solver. Empty when the incoming
+    /// request lowered to a bit-identical constraint store.
+    pub relowered: Vec<crate::ConstraintFamily>,
+    /// Learnt clauses alive in the SAT core at rebase time, all of which
+    /// carry into this run (clauses depending on a retired selector become
+    /// vacuous but cost nothing).
+    pub learnts_carried: u64,
 }
 
 /// One presolve pass as reported in [`PresolveStats::passes`].

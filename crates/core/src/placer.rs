@@ -2,12 +2,12 @@
 //! (Algorithm 1) → post-processing.
 
 use crate::analysis::presolve::{self, PresolveConflict, PresolveVerdict};
-use crate::config::{PinDensityConfig, PlacerConfig};
+use crate::config::{PinDensityConfig, PlacerConfig, SolverOverrides};
 use crate::encode;
 use crate::ir::{conflict_families, ConstraintFamily, ConstraintStore, FamilyStats};
 use crate::placement::{
     CertifyReport, DegradeReason, PinDensityCheck, PlaceOutcome, PlaceStats, Placement,
-    PresolveStats, Relaxation, RungStats,
+    PresolveStats, Relaxation, RungStats, WarmStats,
 };
 use crate::power::PowerPlan;
 use crate::scale::ScaleInfo;
@@ -156,6 +156,7 @@ pub struct PlacerBuilder<'a> {
     threads: Option<usize>,
     deadline: Option<Duration>,
     cancel: Option<Arc<AtomicBool>>,
+    consult_env: bool,
 }
 
 impl<'a> PlacerBuilder<'a> {
@@ -206,6 +207,17 @@ impl<'a> PlacerBuilder<'a> {
         self
     }
 
+    /// Whether `AMSPLACE_THREADS` / `AMSPLACE_DEADLINE_MS` may fill in
+    /// values not set explicitly on this builder (`true` by default — the
+    /// historical CLI-friendly behaviour). Job servers pass `false` so a
+    /// per-job configuration can never be silently overridden by
+    /// process-global environment state; see [`crate::SolverConfig::resolve`]
+    /// for the full precedence contract.
+    pub fn env_overrides(mut self, consult_env: bool) -> PlacerBuilder<'a> {
+        self.consult_env = consult_env;
+        self
+    }
+
     /// Enables certified solving ([`crate::SolverConfig::certify`]): the
     /// SAT core logs a DRAT proof, infeasibility verdicts carry a
     /// checkable certificate, and satisfiable runs re-verify their model
@@ -225,40 +237,15 @@ impl<'a> PlacerBuilder<'a> {
     /// broken (see [`crate::analysis::lint`]).
     pub fn build(self) -> Result<Placer<'a>, PlaceError> {
         let mut config = self.config;
-        config.solver.threads = self
-            .threads
-            .or_else(env_threads)
-            .unwrap_or(config.solver.threads);
-        config.solver.deadline = self
-            .deadline
-            .or_else(env_deadline)
-            .or(config.solver.deadline);
+        config.solver = config.solver.resolve(SolverOverrides {
+            threads: self.threads,
+            deadline: self.deadline,
+            consult_env: self.consult_env,
+        });
         let mut placer = Placer::new(self.design, config)?;
-        placer.cancel = self.cancel.clone();
-        placer.smt.set_stop_flag(self.cancel);
+        placer.set_cancel_flag(self.cancel);
         Ok(placer)
     }
-}
-
-/// `AMSPLACE_THREADS` as a positive integer, if present and parseable.
-fn env_threads() -> Option<usize> {
-    std::env::var("AMSPLACE_THREADS")
-        .ok()?
-        .trim()
-        .parse::<usize>()
-        .ok()
-        .filter(|&n| n > 0)
-}
-
-/// `AMSPLACE_DEADLINE_MS` as a positive millisecond count, if present.
-fn env_deadline() -> Option<Duration> {
-    std::env::var("AMSPLACE_DEADLINE_MS")
-        .ok()?
-        .trim()
-        .parse::<u64>()
-        .ok()
-        .filter(|&ms| ms > 0)
-        .map(Duration::from_millis)
 }
 
 /// The SMT-based AMS placement engine.
@@ -316,6 +303,174 @@ pub struct Placer<'a> {
     presolve_domain_conflict: Option<PresolveConflict>,
     // Kept so recovery-ladder rebuilds can reinstall the caller's flag.
     cancel: Option<Arc<AtomicBool>>,
+    /// Live selector guarding the wirelength-tightening bounds of the
+    /// current job ([`crate::SolverConfig::reusable`] mode only); retired
+    /// by [`Placer::rebase`] so a warm re-solve starts unbounded.
+    objective: Option<Term>,
+    /// Generation counter for objective selectors, so their names stay
+    /// unique across warm re-solves.
+    objective_gen: u32,
+    /// SAT conflicts already counted by previous jobs on this (warm)
+    /// solver; subtracted so [`PlaceStats::conflicts`] stays per-job.
+    conflicts_base: u64,
+    /// Warm-reuse summary recorded by [`Placer::rebase`], attached to the
+    /// next [`Placer::place`] result's stats.
+    warm_pending: Option<WarmStats>,
+}
+
+/// Everything deterministically derived from `(design, config)` before
+/// lowering: the lint gate, power plan, scaled geometry, presolve verdicts,
+/// solver + variable allocation, and the emitted (un-lowered) constraint
+/// store. [`Placer::new`] lowers it into a ready placer;
+/// [`Placer::rebase`] encodes a scratch copy to diff an incoming request
+/// against a warm placer's live store, relying on this single code path to
+/// keep term construction order — and hence [`Term`] identity — aligned
+/// between the two.
+struct EncodedDesign {
+    scale: ScaleInfo,
+    plan: PowerPlan,
+    smt: Smt,
+    vars: VarMap,
+    store: ConstraintStore,
+    phi: Term,
+    phi_w: u32,
+    pd_check: Option<PinDensityCheck>,
+    presolve_stats: Option<PresolveStats>,
+    domain_conflict: Option<PresolveConflict>,
+    /// Whether domain pruning actually narrowed the variable allocation
+    /// (presolve ran, produced domains, and certify did not veto them).
+    pruned: bool,
+}
+
+/// How [`Placer::rebase`] absorbed a new configuration into a live solver.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WarmReuse {
+    /// The new configuration lowers to a bit-identical constraint store;
+    /// nothing was re-lowered and every learnt clause stays in force.
+    Identical,
+    /// Only the listed families' records differed; their selectors were
+    /// retired and replacements lowered on the live solver, carrying
+    /// `learnts_carried` learnt clauses across.
+    Relowered {
+        /// Families retired + re-lowered, in canonical order.
+        families: Vec<ConstraintFamily>,
+        /// Learnt clauses alive at rebase time.
+        learnts_carried: u64,
+    },
+    /// The delta is structural (die sizing, constraint toggles, variable
+    /// widths, …): the live solver cannot absorb it — build a fresh
+    /// [`Placer`] instead. The placer is left unchanged.
+    Structural,
+}
+
+/// Encodes a design under a configuration into a fresh solver: the shared
+/// front half of [`Placer::new`] and the scratch encoding of
+/// [`Placer::rebase`].
+fn encode_fresh(design: &Design, config: &PlacerConfig) -> Result<EncodedDesign, PlaceError> {
+    // Phase 0: pre-solve constraint lint. Every error-severity finding
+    // is a proof of unsatisfiability (or a broken reference that would
+    // panic the encoders), so encoding would be wasted work. Two
+    // exceptions let pin-density infeasibility (AMS-E011) through to
+    // the solver: the recovery ladder repairs exactly that by raising
+    // λ_th, and certify mode wants the *solver's* UNSAT — with its
+    // DRAT certificate — rather than the linter's uncheckable verdict.
+    // Presolve counts too: its capacity pass turns the same condition
+    // into a provenance-cited Infeasible without a CDCL run.
+    let report = crate::analysis::lint(design, config);
+    if report.has_errors() {
+        let solvable = config.recovery.enabled || config.solver.certify || config.presolve.enabled;
+        let recoverable = solvable
+            && report
+                .errors()
+                .all(|d| d.code == DiagCode::PinDensityInfeasible);
+        if !recoverable {
+            return Err(PlaceError::Lint(report));
+        }
+    }
+
+    // Phase 1: power analysis (Fig. 3).
+    let plan = if config.toggles.power_abutment {
+        PowerPlan::analyze(design)
+    } else {
+        PowerPlan::default()
+    };
+
+    // Phase 2: scaling and variable initialization.
+    let scale = ScaleInfo::compute(design, config);
+
+    // Phase 2.5: static presolve. The domain pass narrows variable
+    // domains (fed into allocation below); its verdict is kept because
+    // it is computed at zero margins and so survives every content-only
+    // recovery rung. Capacity proofs are re-checked per rung instead
+    // (`presolve_fast_path`) since λ_th changes under recovery.
+    let mut presolve_stats: Option<PresolveStats> = None;
+    let mut domain_conflict: Option<PresolveConflict> = None;
+    let mut domains = None;
+    if config.presolve.enabled {
+        let report = presolve::presolve_with(design, config, &scale, &plan);
+        if let PresolveVerdict::Infeasible(c) = &report.verdict {
+            if c.pass == "domain" {
+                domain_conflict = Some(c.clone());
+            }
+        }
+        presolve_stats = Some(PresolveStats {
+            ran: true,
+            verdict: if report.is_infeasible() {
+                "infeasible".into()
+            } else {
+                "feasible".into()
+            },
+            vars_saved_bits: 0,
+            clauses_saved: None,
+            passes: report.passes.clone(),
+        });
+        domains = report.domains;
+    }
+    // Certified runs prove the un-pruned encoding: domain pruning is
+    // sound, but the certificate should axiomatize exactly the vanilla
+    // bit-blast the differential harness and CI smoke expect.
+    let prune = if config.presolve.domain_pruning && !config.solver.certify {
+        domains.as_ref()
+    } else {
+        None
+    };
+
+    let mut smt = Smt::new();
+    if config.solver.certify {
+        // Before any assertion, so the certificate's CNF is complete.
+        smt.enable_proof();
+    }
+    let vars = VarMap::create(&mut smt, design, &scale, &plan, config, prune);
+    if let Some(stats) = &mut presolve_stats {
+        stats.vars_saved_bits = vars.saved_bits;
+    }
+
+    // Constraint formulation (Section IV.C, a–g): the encoders emit
+    // typed records into the one constraint store.
+    let encoding = encode::encode_design(&mut smt, design, &scale, &plan, &vars, config);
+    let pd_check = encoding.pd_info.map(|info| {
+        let pd = config.pin_density.as_ref().expect("pd_info implies config");
+        PinDensityCheck {
+            beta_x: info.beta_x,
+            beta_y: info.beta_y,
+            lambda: info.lambda,
+            stride_x: pd.stride_x,
+            stride_y: pd.stride_y,
+        }
+    });
+    Ok(EncodedDesign {
+        scale,
+        plan,
+        smt,
+        vars,
+        store: encoding.store,
+        phi: encoding.phi,
+        phi_w: encoding.phi_w,
+        pd_check,
+        presolve_stats,
+        domain_conflict,
+        pruned: prune.is_some(),
+    })
 }
 
 impl<'a> Placer<'a> {
@@ -327,6 +482,7 @@ impl<'a> Placer<'a> {
             threads: None,
             deadline: None,
             cancel: None,
+            consult_env: true,
         }
     }
 
@@ -339,106 +495,27 @@ impl<'a> Placer<'a> {
     /// broken or unsatisfiable (see [`crate::analysis::lint`]).
     pub fn new(design: &'a Design, config: PlacerConfig) -> Result<Placer<'a>, PlaceError> {
         config.validate().map_err(PlaceError::Config)?;
+        let EncodedDesign {
+            scale,
+            plan,
+            mut smt,
+            vars,
+            store,
+            phi,
+            phi_w,
+            pd_check,
+            mut presolve_stats,
+            domain_conflict,
+            pruned,
+        } = encode_fresh(design, &config)?;
 
-        // Phase 0: pre-solve constraint lint. Every error-severity finding
-        // is a proof of unsatisfiability (or a broken reference that would
-        // panic the encoders), so encoding would be wasted work. Two
-        // exceptions let pin-density infeasibility (AMS-E011) through to
-        // the solver: the recovery ladder repairs exactly that by raising
-        // λ_th, and certify mode wants the *solver's* UNSAT — with its
-        // DRAT certificate — rather than the linter's uncheckable verdict.
-        // Presolve counts too: its capacity pass turns the same condition
-        // into a provenance-cited Infeasible without a CDCL run.
-        let report = crate::analysis::lint(design, &config);
-        if report.has_errors() {
-            let solvable =
-                config.recovery.enabled || config.solver.certify || config.presolve.enabled;
-            let recoverable = solvable
-                && report
-                    .errors()
-                    .all(|d| d.code == DiagCode::PinDensityInfeasible);
-            if !recoverable {
-                return Err(PlaceError::Lint(report));
-            }
-        }
-
-        // Phase 1: power analysis (Fig. 3).
-        let plan = if config.toggles.power_abutment {
-            PowerPlan::analyze(design)
-        } else {
-            PowerPlan::default()
-        };
-
-        // Phase 2: scaling and variable initialization.
-        let scale = ScaleInfo::compute(design, &config);
-
-        // Phase 2.5: static presolve. The domain pass narrows variable
-        // domains (fed into allocation below); its verdict is kept because
-        // it is computed at zero margins and so survives every content-only
-        // recovery rung. Capacity proofs are re-checked per rung instead
-        // (`presolve_fast_path`) since λ_th changes under recovery.
-        let mut presolve_stats: Option<PresolveStats> = None;
-        let mut domain_conflict: Option<PresolveConflict> = None;
-        let mut domains = None;
-        if config.presolve.enabled {
-            let report = presolve::presolve_with(design, &config, &scale, &plan);
-            if let PresolveVerdict::Infeasible(c) = &report.verdict {
-                if c.pass == "domain" {
-                    domain_conflict = Some(c.clone());
-                }
-            }
-            presolve_stats = Some(PresolveStats {
-                ran: true,
-                verdict: if report.is_infeasible() {
-                    "infeasible".into()
-                } else {
-                    "feasible".into()
-                },
-                vars_saved_bits: 0,
-                clauses_saved: None,
-                passes: report.passes.clone(),
-            });
-            domains = report.domains;
-        }
-        // Certified runs prove the un-pruned encoding: domain pruning is
-        // sound, but the certificate should axiomatize exactly the vanilla
-        // bit-blast the differential harness and CI smoke expect.
-        let prune = if config.presolve.domain_pruning && !config.solver.certify {
-            domains.as_ref()
-        } else {
-            None
-        };
-
-        let mut smt = Smt::new();
-        if config.solver.certify {
-            // Before any assertion, so the certificate's CNF is complete.
-            smt.enable_proof();
-        }
-        let vars = VarMap::create(&mut smt, design, &scale, &plan, &config, prune);
-        if let Some(stats) = &mut presolve_stats {
-            stats.vars_saved_bits = vars.saved_bits;
-        }
-
-        // Constraint formulation (Section IV.C, a–g): the encoders emit
-        // typed records into the one constraint store, and a single
-        // lowering pass installs them with per-family guard selectors.
-        let encoding = encode::encode_design(&mut smt, design, &scale, &plan, &vars, &config);
-        let pd_check = encoding.pd_info.map(|info| {
-            let pd = config.pin_density.as_ref().expect("pd_info implies config");
-            PinDensityCheck {
-                beta_x: info.beta_x,
-                beta_y: info.beta_y,
-                lambda: info.lambda,
-                stride_x: pd.stride_x,
-                stride_y: pd.stride_y,
-            }
-        });
-        let store = encoding.store;
+        // A single lowering pass installs the emitted records with
+        // per-family guard selectors.
         let lowering = store.lower(&mut smt, 0);
 
         // Optional savings measurement: encode the same instance once more
         // without domains into a throwaway core and report the clause delta.
-        if config.presolve.measure_savings && prune.is_some() {
+        if config.presolve.measure_savings && pruned {
             if let Some(stats) = &mut presolve_stats {
                 let mut shadow = Smt::new();
                 let svars = VarMap::create(&mut shadow, design, &scale, &plan, &config, None);
@@ -476,16 +553,127 @@ impl<'a> Placer<'a> {
             lowering: lowering.elapsed,
             generation: 0,
             rungs: Vec::new(),
-            phi: encoding.phi,
-            phi_w: encoding.phi_w,
+            phi,
+            phi_w,
             pd_check,
             retired: Vec::new(),
             presolve: presolve_stats,
             presolve_domain_conflict: domain_conflict,
             cancel: None,
+            objective: None,
+            objective_gen: 0,
+            conflicts_base: 0,
+            warm_pending: None,
         };
         debug_assert_eq!(placer.validate_lowering(), Ok(()));
         Ok(placer)
+    }
+
+    /// Installs (or clears) the cooperative cancel flag on this placer and
+    /// its solver. Equivalent to [`PlacerBuilder::cancel_flag`]; exposed as
+    /// a method so a warm, cached placer can adopt the *next* job's flag.
+    pub fn set_cancel_flag(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.cancel = flag.clone();
+        self.smt.set_stop_flag(flag);
+    }
+
+    /// Absorbs a new configuration for the *same* design onto this live
+    /// solver, so the next [`Placer::place_mut`] re-solves warm instead of
+    /// from scratch. Requires [`crate::SolverConfig::reusable`] on both the
+    /// current and the incoming configuration.
+    ///
+    /// The incoming configuration is encoded into a scratch solver by the
+    /// same deterministic path that built this one, and the two constraint
+    /// stores are diffed family-by-family (`ConstraintStore::diff_families`;
+    /// identical construction order makes [`Term`] identities comparable).
+    /// Three outcomes:
+    ///
+    /// - no family differs → [`WarmReuse::Identical`]: only solver knobs
+    ///   changed; nothing is re-lowered.
+    /// - only content-relowerable families differ (pin density, core
+    ///   geometry margins, arrays) → their selectors are retired and the
+    ///   new records lowered on the live solver, the recovery ladder's
+    ///   mechanism driven by a request delta instead of an UNSAT —
+    ///   [`WarmReuse::Relowered`] with the learnt-clause carryover count.
+    /// - anything else differs (die sizing, bit-widths, symmetry/power
+    ///   structure, presolve pruning, certify mode) →
+    ///   [`WarmReuse::Structural`], placer untouched: build a fresh one.
+    ///
+    /// Either way the previous job's objective-tightening bounds are
+    /// retracted (their selector is retired), the per-job conflict
+    /// baseline resets, and the rung history clears.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::Config`] / [`PlaceError::Lint`] exactly when a cold
+    /// [`Placer::new`] under `config` would fail the same way.
+    pub fn rebase(&mut self, config: PlacerConfig) -> Result<WarmReuse, PlaceError> {
+        config.validate().map_err(PlaceError::Config)?;
+        if !self.config.solver.reusable || !config.solver.reusable {
+            return Ok(WarmReuse::Structural);
+        }
+        // Certified runs need a proof log that axiomatizes the complete
+        // CNF from its first clause; a warm core cannot provide that.
+        if self.config.solver.certify || config.solver.certify {
+            return Ok(WarmReuse::Structural);
+        }
+
+        let scratch = encode_fresh(self.design, &config)?;
+        // Different scaled geometry means different coordinate bit-widths:
+        // the variable map, and with it every clause, is invalidated.
+        if scratch.scale != self.scale {
+            return Ok(WarmReuse::Structural);
+        }
+        let changed = self.store.diff_families(&scratch.store);
+        let relowerable = [
+            ConstraintFamily::PinDensity,
+            ConstraintFamily::CoreGeometry,
+            ConstraintFamily::Arrays,
+        ];
+        if changed.iter().any(|fam| !relowerable.contains(fam)) {
+            return Ok(WarmReuse::Structural);
+        }
+
+        // Committed: retract the previous job's wirelength bounds so the
+        // warm solve starts unbounded, and reset per-job accounting.
+        if let Some(sel) = self.objective.take() {
+            self.smt.retire(sel);
+        }
+        let stats = self.smt.sat_stats();
+        self.conflicts_base = stats.conflicts;
+        self.rungs.clear();
+
+        let reuse = if changed.is_empty() {
+            self.config = config;
+            WarmReuse::Identical
+        } else {
+            self.relower(config, &changed);
+            WarmReuse::Relowered {
+                families: changed.clone(),
+                learnts_carried: stats.learnts,
+            }
+        };
+        // Solver knobs may differ even when the constraints do not.
+        self.smt.set_portfolio(if self.config.solver.threads > 1 {
+            Some(PortfolioConfig {
+                threads: self.config.solver.threads,
+                share_lbd_max: self.config.solver.share_lbd_max,
+                seed: self.config.solver.seed,
+                ..PortfolioConfig::default()
+            })
+        } else {
+            None
+        });
+        // Presolve verdicts are configuration-dependent; adopt the scratch
+        // encode's so `presolve_fast_path` reasons about the new request.
+        self.presolve = scratch.presolve_stats;
+        self.presolve_domain_conflict = scratch.domain_conflict;
+        self.warm_pending = Some(WarmStats {
+            relowered: changed,
+            learnts_carried: stats.learnts,
+        });
+        debug_assert_eq!(self.validate_lowering(), Ok(()));
+        Ok(reuse)
     }
 
     /// The scaled-design geometry of this instance.
@@ -570,6 +758,23 @@ impl<'a> Placer<'a> {
     /// [`PlaceError::Internal`] if the solver infrastructure itself failed
     /// (e.g. every portfolio worker panicked) before a model existed.
     pub fn place(mut self) -> Result<Placement, PlaceError> {
+        self.place_mut()
+    }
+
+    /// [`Placer::place`] by mutable reference: runs one job to completion
+    /// and leaves the placer alive for reuse. With
+    /// [`crate::SolverConfig::reusable`] set, a later [`Placer::rebase`]
+    /// can absorb a modified request onto this solver so the next
+    /// `place_mut` starts from everything learnt here.
+    pub fn place_mut(&mut self) -> Result<Placement, PlaceError> {
+        let result = self.run_job();
+        // The warm-reuse marker describes how *this* job started; the next
+        // one (after another `rebase`) reports its own.
+        self.warm_pending = None;
+        result
+    }
+
+    fn run_job(&mut self) -> Result<Placement, PlaceError> {
         let t0 = Instant::now();
         let deadline = self.config.solver.deadline.map(|d| t0 + d);
         self.smt.set_deadline(deadline);
@@ -637,10 +842,11 @@ impl<'a> Placer<'a> {
                         Relaxation::WidenDie { .. } => {
                             let cancel = self.cancel.take();
                             let rungs = std::mem::take(&mut self.rungs);
-                            self = Placer::new(self.design, config)?;
+                            let warm = self.warm_pending.take();
+                            *self = Placer::new(self.design, config)?;
                             self.rungs = rungs;
-                            self.cancel = cancel.clone();
-                            self.smt.set_stop_flag(cancel);
+                            self.warm_pending = warm;
+                            self.set_cancel_flag(cancel);
                             self.smt.set_deadline(deadline);
                             true
                         }
@@ -673,7 +879,12 @@ impl<'a> Placer<'a> {
         if let Some(err) = self.presolve_fast_path() {
             return Err(err);
         }
-        self.seed_hints();
+        // A warm re-solve keeps the previous job's saved phases — they
+        // encode a full legal model, a far better start than the greedy
+        // packing seed.
+        if self.warm_pending.is_none() {
+            self.seed_hints();
+        }
         self.smt.set_conflict_budget(opt.first_conflict_budget);
 
         let mut best: Option<Model> = None;
@@ -719,7 +930,20 @@ impl<'a> Placer<'a> {
                     }
                     let c = self.smt.bv_const(self.phi_w, bound);
                     let lt = self.smt.ult(self.phi, c);
-                    self.smt.assert(lt);
+                    // In reusable mode the bound goes in behind this job's
+                    // objective selector (assumed by `solve_round`), so
+                    // `rebase` can retract every tightening at once and a
+                    // warm re-solve starts unbounded. One-shot solves
+                    // assert it permanently — bit-identical CNF to before
+                    // the selector existed.
+                    if self.config.solver.reusable {
+                        let guard = self.objective_selector();
+                        self.smt.set_guard(Some(guard));
+                        self.smt.assert(lt);
+                        self.smt.set_guard(None);
+                    } else {
+                        self.smt.assert(lt);
+                    }
                     // Warm-start hints toward the current model.
                     self.apply_hints(&model);
                     // Line 9: freeze low-priority cells/regions.
@@ -782,7 +1006,13 @@ impl<'a> Placer<'a> {
             },
             iterations: sat_rounds,
             runtime: t0.elapsed(),
-            conflicts: self.smt.sat_stats().conflicts,
+            // Per-job: a warm solver's counter keeps running across jobs,
+            // so subtract what previous jobs already spent.
+            conflicts: self
+                .smt
+                .sat_stats()
+                .conflicts
+                .saturating_sub(self.conflicts_base),
             hpwl_trace: trace,
             sat_vars: self.smt.num_sat_vars(),
             sat_clauses: self.smt.num_sat_clauses(),
@@ -794,6 +1024,7 @@ impl<'a> Placer<'a> {
             winner: summary.last_winner,
             certify: None,
             presolve: self.presolve.clone(),
+            warm: self.warm_pending.clone(),
         };
         let mut placement = self.finalize(model, stats);
         // Certify mode closes the SAT half of the loop: re-check the model
@@ -890,8 +1121,24 @@ impl<'a> Placer<'a> {
     /// place.
     fn solve_round(&mut self, freeze: &[Term]) -> SmtResult {
         let mut assumptions: Vec<Term> = self.selectors.iter().map(|&(_, sel)| sel).collect();
+        // Reusable mode: enable this job's objective-tightening bounds.
+        assumptions.extend(self.objective);
         assumptions.extend_from_slice(freeze);
         self.smt.solve_with(&assumptions)
+    }
+
+    /// The live objective guard selector, created on first use per job
+    /// (reusable mode only).
+    fn objective_selector(&mut self) -> Term {
+        match self.objective {
+            Some(sel) => sel,
+            None => {
+                self.objective_gen += 1;
+                let sel = self.smt.bool_var(format!("obj_g{}", self.objective_gen));
+                self.objective = Some(sel);
+                sel
+            }
+        }
     }
 
     /// Retires the listed families' selectors on the live solver, re-emits
@@ -977,6 +1224,10 @@ impl<'a> Placer<'a> {
                             stride_x: pd.stride_x,
                             stride_y: pd.stride_y,
                         });
+                    } else {
+                        // A rebase can turn pin density off entirely; the
+                        // stale check must not leak into the placement.
+                        self.pd_check = None;
                     }
                 }
                 ConstraintFamily::Symmetry
@@ -1236,5 +1487,49 @@ impl<'a> Placer<'a> {
             pin_density: self.pd_check,
             stats,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::benchmarks;
+
+    /// White-box check of the per-job conflict accounting: the live SAT
+    /// core's conflict counter runs monotonically across jobs, so after a
+    /// rebase the baseline must equal the running total and the next
+    /// job's report must be the delta past it.
+    #[test]
+    fn rebase_resets_the_per_job_conflict_baseline() {
+        let d = benchmarks::synthetic(benchmarks::SyntheticParams {
+            regions: 2,
+            cells_per_region: 5,
+            nets: 8,
+            net_degree: 3,
+            symmetry_pairs: 1,
+            ..Default::default()
+        });
+        let mut config = PlacerConfig::fast();
+        config.solver.reusable = true;
+        config.optimize.k_iter = 1;
+        config.optimize.conflict_budget = Some(10_000);
+        config.optimize.first_conflict_budget = Some(100_000);
+        let mut placer = Placer::new(&d, config.clone()).expect("encode");
+
+        let first = placer.place_mut().expect("cold solve");
+        let total_after_first = placer.smt.sat_stats().conflicts;
+        assert_eq!(placer.conflicts_base, 0);
+        assert_eq!(first.stats.conflicts, total_after_first);
+
+        assert_eq!(placer.rebase(config).expect("rebase"), WarmReuse::Identical);
+        assert_eq!(placer.conflicts_base, total_after_first);
+
+        let second = placer.place_mut().expect("warm solve");
+        let total_after_second = placer.smt.sat_stats().conflicts;
+        assert_eq!(
+            second.stats.conflicts,
+            total_after_second - total_after_first,
+            "warm job must report only its own conflicts"
+        );
     }
 }

@@ -1,0 +1,84 @@
+//! A tiny blocking HTTP client for the placement service — used by the
+//! `amsplace submit`/`shutdown` subcommands, the integration tests, and
+//! the throughput bench. One request per connection, mirroring the
+//! server's `Connection: close` policy.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ams_netlist::json::Json;
+
+/// A decoded reply: the HTTP status code and the JSON body.
+#[derive(Debug)]
+pub struct Reply {
+    pub status: u16,
+    pub body: Json,
+}
+
+/// `GET path` against the server at `addr`.
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<Reply> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with an optional JSON body.
+pub fn post(addr: impl ToSocketAddrs, path: &str, body: Option<&Json>) -> io::Result<Reply> {
+    request(addr, "POST", path, body)
+}
+
+fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> io::Result<Reply> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    let payload = body.map(Json::pretty).unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_reply(&raw)
+}
+
+fn parse_reply(raw: &str) -> io::Result<Reply> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("no header/body separator in reply"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let body = if body.trim().is_empty() {
+        Json::Null
+    } else {
+        Json::parse(body).map_err(|e| bad(&format!("reply body is not JSON: {e}")))?
+    };
+    Ok(Reply { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_framed_reply() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\n\r\n{}";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 429);
+        assert_eq!(reply.body, Json::obj([]));
+    }
+}

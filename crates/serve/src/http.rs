@@ -1,0 +1,143 @@
+//! A deliberately minimal HTTP/1.1 subset over [`std::net::TcpStream`]:
+//! one request per connection (`Connection: close`), bodies delimited by
+//! `Content-Length`, everything JSON. Just enough wire protocol for the
+//! placement service and its loopback clients — not a general web server.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use ams_netlist::json::Json;
+
+/// Upper bound on a request body (a large inline design is ~100 KiB;
+/// this leaves two orders of magnitude of headroom).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Upper bound on the request line plus headers.
+const MAX_HEAD: usize = 64 * 1024;
+
+/// A parsed request: method, path, and the raw body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body parsed as JSON, or an explanation of why it isn't.
+    pub fn json(&self) -> Result<Json, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_string())?;
+        if text.trim().is_empty() {
+            return Ok(Json::Null);
+        }
+        Json::parse(text).map_err(|e| format!("body is not valid JSON: {e}"))
+    }
+}
+
+/// Reads one request from the stream. Returns `Err` on malformed framing
+/// (the connection is then dropped without a response — the peer is not
+/// speaking HTTP).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Err(bad("malformed request line")),
+    };
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD {
+            return Err(bad("headers too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes a JSON response with the given status code and closes out the
+/// exchange (`Connection: close`).
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> io::Result<()> {
+    let text = body.pretty();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        text.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(text.as_bytes())?;
+    stream.flush()
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn round_trips_a_request_and_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/echo");
+            let doc = req.json().unwrap();
+            write_response(&mut stream, 200, &doc).unwrap();
+        });
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let body = r#"{"hello": 1}"#;
+        let head = format!(
+            "POST /v1/echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains(r#""hello": 1"#), "{reply}");
+        server.join().unwrap();
+    }
+}

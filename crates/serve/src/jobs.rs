@@ -1,0 +1,442 @@
+//! The job engine: a bounded FIFO queue drained by a worker pool, an
+//! exact-result cache, and a warm-solver pool.
+//!
+//! ## The two cache levels
+//!
+//! 1. **Exact cache** — keyed by `(design_hash, options_hash)` over the
+//!    canonical request JSON. A hit returns the stored
+//!    [`PlaceResponse`] verbatim (marked `cached: true`) without
+//!    touching a solver, so identical requests are bit-identical and
+//!    free. Only deadline-free `Done` results are stored: a
+//!    deadline-degraded anytime placement depends on wall clock and must
+//!    not be replayed as authoritative.
+//! 2. **Warm-solver pool** — keyed by `design_hash` alone. Each entry
+//!    owns a live [`Placer`] built with `SolverConfig::reusable`. A new
+//!    job for the same design goes through [`Placer::rebase`]: the
+//!    incoming configuration is scratch-encoded, its
+//!    [`ConstraintStore`](ams_place::ir) is diffed against the live one,
+//!    and when only content-relowerable families differ (λ_th moves, a
+//!    window reshapes) just those families' selector groups are retired
+//!    and re-lowered — the SAT core keeps its learnt clauses and saved
+//!    phases. Structural deltas fall back to a cold build.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ams_netlist::json::Json;
+use ams_netlist::Design;
+use ams_place::api::{
+    self, ApiError, ErrorKind, JobStatus, PlaceRequest, PlaceResponse, SCHEMA_VERSION,
+};
+use ams_place::{PlaceError, Placer, WarmReuse};
+
+/// A live reusable solver pinned to one design.
+///
+/// [`Placer`] borrows its design, but pool entries must own theirs — so
+/// the design lives in a stable heap allocation (`Box`) and the placer
+/// borrows it through a pointer the compiler treats as `'static`. The
+/// arrangement is sound because the box is never mutated or dropped
+/// while the placer lives: field order puts `placer` first, so it drops
+/// before `design`, and no method hands out the box.
+struct WarmSolver {
+    placer: Option<Placer<'static>>,
+    #[allow(dead_code)] // owned for the placer's sake, never read
+    design: Box<Design>,
+}
+
+impl WarmSolver {
+    fn new(design: Design, config: ams_place::PlacerConfig) -> Result<WarmSolver, PlaceError> {
+        let design = Box::new(design);
+        // SAFETY: the reference points into a Box whose allocation
+        // outlives the placer (drop order: `placer` field first) and is
+        // never moved out of or mutated while the placer holds it.
+        let pinned: &'static Design = unsafe { &*std::ptr::addr_of!(*design) };
+        let placer = Placer::new(pinned, config)?;
+        Ok(WarmSolver {
+            placer: Some(placer),
+            design,
+        })
+    }
+
+    fn placer(&mut self) -> &mut Placer<'static> {
+        self.placer.as_mut().expect("placer present until drop")
+    }
+}
+
+/// One submitted job as the registry tracks it.
+struct JobRecord {
+    design: String,
+    status: JobStatus,
+    cancel: Arc<AtomicBool>,
+    /// Present while the job waits in the queue; the worker takes it.
+    request: Option<Box<PlaceRequest>>,
+    /// Present once the job is terminal.
+    response: Option<PlaceResponse>,
+}
+
+/// Registry + queue behind one lock (workers and handlers touch both
+/// together, a single mutex keeps the ordering trivial).
+struct State {
+    jobs: HashMap<u64, JobRecord>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+}
+
+/// Monotonic service counters, exposed by `GET /v1/stats` and consumed
+/// by the throughput bench.
+#[derive(Default)]
+pub struct Counters {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub exact_hits: AtomicU64,
+    pub warm_identical: AtomicU64,
+    pub warm_relowered: AtomicU64,
+    pub cold_builds: AtomicU64,
+}
+
+/// Everything the accept loop, handlers, and workers share.
+pub struct Engine {
+    state: Mutex<State>,
+    work: Condvar,
+    exact: Mutex<HashMap<(u64, u64), PlaceResponse>>,
+    warm: Mutex<HashMap<u64, WarmSolver>>,
+    pub counters: Counters,
+    pub running: AtomicBool,
+    queue_cap: usize,
+    exact_cap: usize,
+    warm_cap: usize,
+}
+
+/// What `POST /v1/jobs` hands back.
+pub enum Submitted {
+    /// Accepted: the job id to poll.
+    Queued(u64),
+    /// The bounded queue is full — retry later (HTTP 429).
+    Saturated,
+}
+
+impl Engine {
+    pub fn new(queue_cap: usize, exact_cap: usize, warm_cap: usize) -> Engine {
+        Engine {
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                next_id: 1,
+            }),
+            work: Condvar::new(),
+            exact: Mutex::new(HashMap::new()),
+            warm: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            running: AtomicBool::new(true),
+            queue_cap,
+            exact_cap,
+            warm_cap,
+        }
+    }
+
+    /// Enqueues a request; rejects when the queue is at capacity.
+    pub fn submit(&self, request: PlaceRequest) -> Submitted {
+        let mut st = self.state.lock().expect("engine lock");
+        if st.queue.len() >= self.queue_cap {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Submitted::Saturated;
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            JobRecord {
+                design: request.design.name().to_string(),
+                status: JobStatus::Queued,
+                cancel: Arc::new(AtomicBool::new(false)),
+                request: Some(Box::new(request)),
+                response: None,
+            },
+        );
+        st.queue.push_back(id);
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.work.notify_one();
+        Submitted::Queued(id)
+    }
+
+    /// The poll document for `GET /v1/jobs/<id>`; `None` for unknown ids.
+    pub fn job_view(&self, id: u64) -> Option<Json> {
+        let st = self.state.lock().expect("engine lock");
+        let rec = st.jobs.get(&id)?;
+        Some(Json::obj([
+            ("schema_version", Json::uint(SCHEMA_VERSION)),
+            ("job_id", Json::uint(id)),
+            ("design", Json::str(&rec.design)),
+            ("status", Json::str(rec.status.name())),
+            (
+                "response",
+                rec.response
+                    .as_ref()
+                    .map(PlaceResponse::to_json)
+                    .unwrap_or(Json::Null),
+            ),
+        ]))
+    }
+
+    /// Cancels a job: a queued job terminates immediately, a running job
+    /// has its stop flag raised (the solver exits at its next conflict
+    /// boundary). Returns the status after the cancel, or `None` for
+    /// unknown ids.
+    pub fn cancel(&self, id: u64) -> Option<JobStatus> {
+        let mut st = self.state.lock().expect("engine lock");
+        let rec = st.jobs.get_mut(&id)?;
+        match rec.status {
+            JobStatus::Queued => {
+                rec.status = JobStatus::Cancelled;
+                rec.request = None;
+                let design = rec.design.clone();
+                rec.response = Some(cancelled_while_queued(&design));
+            }
+            JobStatus::Running => rec.cancel.store(true, Ordering::Relaxed),
+            _ => {}
+        }
+        Some(rec.status)
+    }
+
+    /// The `GET /v1/stats` document.
+    pub fn stats(&self) -> Json {
+        let st = self.state.lock().expect("engine lock");
+        let queue_depth = st.queue.len() as u64;
+        drop(st);
+        let warm_pool = self.warm.lock().expect("warm lock").len() as u64;
+        let c = &self.counters;
+        let n = |a: &AtomicU64| Json::uint(a.load(Ordering::Relaxed));
+        Json::obj([
+            ("schema_version", Json::uint(SCHEMA_VERSION)),
+            ("submitted", n(&c.submitted)),
+            ("completed", n(&c.completed)),
+            ("rejected", n(&c.rejected)),
+            ("exact_hits", n(&c.exact_hits)),
+            ("warm_identical", n(&c.warm_identical)),
+            ("warm_relowered", n(&c.warm_relowered)),
+            ("cold_builds", n(&c.cold_builds)),
+            ("queue_depth", Json::uint(queue_depth)),
+            ("warm_pool", Json::uint(warm_pool)),
+        ])
+    }
+
+    /// Wakes every worker so they observe `running == false` and exit.
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::Relaxed);
+        self.work.notify_all();
+    }
+
+    /// One worker thread: drain the queue until the engine stops.
+    pub fn worker_loop(&self) {
+        loop {
+            let (id, request, cancel) = {
+                let mut st = self.state.lock().expect("engine lock");
+                loop {
+                    if !self.running.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Some(id) = st.queue.pop_front() {
+                        let rec = st.jobs.get_mut(&id).expect("queued job is registered");
+                        if rec.status != JobStatus::Queued {
+                            continue; // cancelled while waiting
+                        }
+                        rec.status = JobStatus::Running;
+                        let request = rec.request.take().expect("queued job holds its request");
+                        break (id, request, rec.cancel.clone());
+                    }
+                    st = self.work.wait(st).expect("engine lock");
+                }
+            };
+
+            let response = self.run_one(&request, &cancel);
+            let status = response.status;
+            let mut st = self.state.lock().expect("engine lock");
+            if let Some(rec) = st.jobs.get_mut(&id) {
+                rec.status = status;
+                rec.response = Some(response);
+            }
+            drop(st);
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Executes one placement job through the cache hierarchy.
+    fn run_one(&self, request: &PlaceRequest, cancel: &Arc<AtomicBool>) -> PlaceResponse {
+        let design = request.effective_design();
+        let dh = api::design_hash(&design);
+        let oh = api::options_hash(&request.options);
+
+        if let Some(hit) = self.exact.lock().expect("exact lock").get(&(dh, oh)) {
+            self.counters.exact_hits.fetch_add(1, Ordering::Relaxed);
+            let mut response = hit.clone();
+            response.cached = true;
+            return response;
+        }
+
+        let mut config = request.options.to_config();
+        config.solver.reusable = true;
+        // Per-job knobs are explicit-only: the server's environment must
+        // not leak into jobs, or identical requests would stop being
+        // reproducible across deployments.
+        config.solver = config.solver.resolve(request.options.overrides());
+
+        let mut solver = match self.checkout_solver(dh, &design, config) {
+            Ok(solver) => solver,
+            Err(e) => return PlaceResponse::failure(design.name(), &e),
+        };
+
+        solver.placer().set_cancel_flag(Some(cancel.clone()));
+        let result = solver.placer().place_mut();
+        solver.placer().set_cancel_flag(None);
+
+        let response = match &result {
+            Ok(placement) => PlaceResponse::success(&design, placement),
+            Err(e) => PlaceResponse::failure(design.name(), e),
+        };
+
+        // Return the solver to the pool — it stays consistent even after
+        // a cancelled or degraded job (assumption-based solving never
+        // poisons the clause database).
+        let mut warm = self.warm.lock().expect("warm lock");
+        if warm.len() < self.warm_cap || warm.contains_key(&dh) {
+            warm.insert(dh, solver);
+        }
+        drop(warm);
+
+        if response.status == JobStatus::Done && request.options.deadline_ms.is_none() {
+            let mut exact = self.exact.lock().expect("exact lock");
+            if exact.len() < self.exact_cap {
+                exact.insert((dh, oh), response.clone());
+            }
+        }
+        response
+    }
+
+    /// Fetches (and rebases) the pooled solver for this design, or
+    /// builds a cold one. The entry is removed from the pool while the
+    /// job runs; a concurrent job on the same design builds its own
+    /// solver and the last one back wins the pool slot.
+    fn checkout_solver(
+        &self,
+        dh: u64,
+        design: &Design,
+        config: ams_place::PlacerConfig,
+    ) -> Result<WarmSolver, PlaceError> {
+        let pooled = self.warm.lock().expect("warm lock").remove(&dh);
+        if let Some(mut solver) = pooled {
+            match solver.placer().rebase(config.clone()) {
+                Ok(WarmReuse::Identical) => {
+                    self.counters.warm_identical.fetch_add(1, Ordering::Relaxed);
+                    return Ok(solver);
+                }
+                Ok(WarmReuse::Relowered { .. }) => {
+                    self.counters.warm_relowered.fetch_add(1, Ordering::Relaxed);
+                    return Ok(solver);
+                }
+                Ok(WarmReuse::Structural) => {} // fall through to a cold build
+                Err(e) => return Err(e),
+            }
+        }
+        self.counters.cold_builds.fetch_add(1, Ordering::Relaxed);
+        WarmSolver::new(design.clone(), config)
+    }
+}
+
+/// The terminal response for a job cancelled before a worker picked it
+/// up: no solver ever ran, so there is no [`PlaceError`] to convert.
+fn cancelled_while_queued(design: &str) -> PlaceResponse {
+    PlaceResponse {
+        schema_version: SCHEMA_VERSION,
+        design: design.to_string(),
+        status: JobStatus::Cancelled,
+        cached: false,
+        error: Some(ApiError {
+            kind: ErrorKind::Cancelled,
+            message: "cancelled while queued".to_string(),
+            provenance: Vec::new(),
+        }),
+        stats: None,
+        cells: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_place::api::JobOptions;
+
+    fn quick_request() -> PlaceRequest {
+        PlaceRequest {
+            design: ams_netlist::benchmarks::buf(),
+            options: JobOptions {
+                quick: true,
+                ..JobOptions::default()
+            },
+        }
+    }
+
+    #[test]
+    fn saturated_queue_rejects_and_counts() {
+        let engine = Engine::new(1, 8, 2);
+        assert!(matches!(
+            engine.submit(quick_request()),
+            Submitted::Queued(_)
+        ));
+        assert!(matches!(
+            engine.submit(quick_request()),
+            Submitted::Saturated
+        ));
+        assert_eq!(engine.counters.rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn queued_cancel_terminates_without_a_worker() {
+        let engine = Engine::new(4, 8, 2);
+        let Submitted::Queued(id) = engine.submit(quick_request()) else {
+            panic!("queue has room");
+        };
+        assert_eq!(engine.cancel(id), Some(JobStatus::Cancelled));
+        let view = engine.job_view(id).unwrap();
+        assert_eq!(
+            view.field("status").and_then(Json::as_str),
+            Some("cancelled")
+        );
+        let response = view.field("response").unwrap();
+        assert_eq!(
+            response
+                .field("error")
+                .and_then(|e| e.field("kind"))
+                .and_then(Json::as_str),
+            Some("cancelled")
+        );
+        assert_eq!(engine.cancel(9999), None);
+    }
+
+    #[test]
+    fn warm_solver_survives_moves() {
+        // The self-referential pair must stay valid when the struct is
+        // moved (hash-map insert, Vec growth, return by value).
+        let design = ams_netlist::benchmarks::synthetic(ams_netlist::benchmarks::SyntheticParams {
+            regions: 2,
+            cells_per_region: 5,
+            nets: 8,
+            net_degree: 3,
+            symmetry_pairs: 1,
+            ..Default::default()
+        });
+        let mut config = ams_place::PlacerConfig::fast();
+        config.solver.reusable = true;
+        config.optimize.k_iter = 1;
+        config.optimize.conflict_budget = Some(10_000);
+        config.optimize.first_conflict_budget = Some(100_000);
+        let solver = WarmSolver::new(design.clone(), config).expect("encode");
+        let mut map = HashMap::new();
+        map.insert(7u64, solver);
+        let mut moved = map.remove(&7).unwrap();
+        let placement = moved.placer().place_mut().expect("solve");
+        placement.verify(&design).expect("legal placement");
+    }
+}

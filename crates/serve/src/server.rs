@@ -1,0 +1,238 @@
+//! The HTTP front-end: a [`TcpListener`] accept loop dispatching
+//! one-request connections onto the shared [`Engine`].
+//!
+//! ## Endpoints (all JSON, schema version [`SCHEMA_VERSION`])
+//!
+//! | Method & path          | Purpose                                        |
+//! |------------------------|------------------------------------------------|
+//! | `POST /v1/jobs`        | Submit a [`PlaceRequest`]; `202 {job_id}` or `429` when the queue is full |
+//! | `GET  /v1/jobs/<id>`   | Poll: status plus the embedded response once terminal |
+//! | `POST /v1/jobs/<id>/cancel` | Cancel: queued jobs terminate at once, running jobs stop at the next conflict boundary |
+//! | `GET  /v1/healthz`     | Liveness probe                                 |
+//! | `GET  /v1/stats`       | Queue depth, cache hit counters, warm-pool size |
+//! | `POST /v1/shutdown`    | Drain nothing, stop accepting, join the workers |
+//!
+//! [`PlaceRequest`]: ams_place::api::PlaceRequest
+//! [`SCHEMA_VERSION`]: ams_place::api::SCHEMA_VERSION
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ams_netlist::json::Json;
+use ams_place::api::{PlaceRequest, SCHEMA_VERSION};
+
+use crate::http::{read_request, write_response, Request};
+use crate::jobs::{Engine, Submitted};
+
+/// Server tuning. [`ServeConfig::default`] binds an ephemeral loopback
+/// port with two solver workers — the shape the tests and the CLI
+/// default use.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7171`. Port `0` picks one.
+    pub bind: String,
+    /// Solver worker threads (each runs one job at a time).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions past it get HTTP 429.
+    pub queue_cap: usize,
+    /// Exact-result cache entries (keyed design × options hash).
+    pub exact_cache_cap: usize,
+    /// Warm solver pool entries (keyed design hash).
+    pub warm_pool_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            bind: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            exact_cache_cap: 64,
+            warm_pool_cap: 4,
+        }
+    }
+}
+
+/// A running placement service. Dropping the handle does **not** stop
+/// it; call [`Server::shutdown`] (or POST `/v1/shutdown`) then
+/// [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, verbatim.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(Engine::new(
+            config.queue_cap,
+            config.exact_cache_cap,
+            config.warm_pool_cap,
+        ));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::Builder::new()
+                    .name(format!("amsplace-worker-{i}"))
+                    .spawn(move || engine.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("amsplace-accept".to_string())
+                .spawn(move || accept_loop(&listener, &engine, addr))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            addr,
+            engine,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine — test hooks and in-process submission.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stops accepting and wakes the workers, as if `/v1/shutdown` had
+    /// been posted.
+    pub fn shutdown(&self) {
+        self.engine.stop();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Joins the accept loop and every worker. Call after
+    /// [`Server::shutdown`] (or after a client posted `/v1/shutdown`).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, addr: SocketAddr) {
+    for stream in listener.incoming() {
+        if !engine.running.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let engine = Arc::clone(engine);
+        let _ = std::thread::Builder::new()
+            .name("amsplace-conn".to_string())
+            .spawn(move || {
+                if let Ok(request) = read_request(&mut stream) {
+                    let (status, body) = route(&engine, &request);
+                    let _ = write_response(&mut stream, status, &body);
+                    if request.method == "POST" && request.path == "/v1/shutdown" {
+                        // Response is on the wire; now unblock our own
+                        // accept loop so the server can be joined.
+                        let _ = TcpStream::connect(addr);
+                    }
+                }
+            });
+    }
+}
+
+/// Maps one request to `(status, body)`. Pure except for the engine.
+fn route(engine: &Engine, request: &Request) -> (u16, Json) {
+    let path: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), path.as_slice()) {
+        ("GET", ["v1", "healthz"]) => (
+            200,
+            Json::obj([
+                ("schema_version", Json::uint(SCHEMA_VERSION)),
+                ("ok", Json::Bool(true)),
+            ]),
+        ),
+        ("GET", ["v1", "stats"]) => (200, engine.stats()),
+        ("POST", ["v1", "jobs"]) => submit(engine, request),
+        ("GET", ["v1", "jobs", id]) => match parse_id(id).and_then(|id| engine.job_view(id)) {
+            Some(view) => (200, view),
+            None => (404, error_body("no such job")),
+        },
+        ("POST", ["v1", "jobs", id, "cancel"]) => {
+            match parse_id(id).and_then(|id| engine.cancel(id)) {
+                Some(status) => (
+                    200,
+                    Json::obj([
+                        ("schema_version", Json::uint(SCHEMA_VERSION)),
+                        ("status", Json::str(status.name())),
+                    ]),
+                ),
+                None => (404, error_body("no such job")),
+            }
+        }
+        ("POST", ["v1", "shutdown"]) => {
+            engine.stop();
+            (
+                200,
+                Json::obj([
+                    ("schema_version", Json::uint(SCHEMA_VERSION)),
+                    ("stopping", Json::Bool(true)),
+                ]),
+            )
+        }
+        (_, ["v1", ..]) => (405, error_body("method not allowed")),
+        _ => (404, error_body("unknown endpoint")),
+    }
+}
+
+fn submit(engine: &Engine, request: &Request) -> (u16, Json) {
+    let doc = match request.json() {
+        Ok(doc) => doc,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let place_request = match PlaceRequest::from_json(&doc) {
+        Ok(r) => r,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    match engine.submit(place_request) {
+        Submitted::Queued(id) => (
+            202,
+            Json::obj([
+                ("schema_version", Json::uint(SCHEMA_VERSION)),
+                ("job_id", Json::uint(id)),
+                ("status", Json::str("queued")),
+            ]),
+        ),
+        Submitted::Saturated => (429, error_body("job queue is full, retry later")),
+    }
+}
+
+fn parse_id(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}
+
+fn error_body(message: &str) -> Json {
+    Json::obj([
+        ("schema_version", Json::uint(SCHEMA_VERSION)),
+        ("error", Json::str(message)),
+    ])
+}

@@ -1,0 +1,187 @@
+//! Throughput bench for the placement service: drives a loopback server
+//! through three phases — cold solves, exact-cache replays, and a λ_th
+//! sweep that rides the warm-solver pool — and prints a JSON report
+//! (jobs/minute per phase plus the server's cache counters) to stdout.
+//!
+//! `scripts/bench_serve.sh` runs this in release mode and commits the
+//! report as `BENCH_serve.json`.
+
+use std::time::{Duration, Instant};
+
+use finfet_ams_place::netlist::json::Json;
+use finfet_ams_place::netlist::{benchmarks, Design};
+use finfet_ams_place::place::api::{JobOptions, JobStatus, PlaceRequest};
+use finfet_ams_place::place::{Placer, PlacerConfig};
+use finfet_ams_place::serve::{client, ServeConfig, Server};
+
+/// The auto-calibrated pin-density threshold for a design, read off a
+/// quick local solve — the sweep anchors at a λ that is feasible by
+/// construction and actually binds windows.
+fn auto_lambda(design: &Design) -> u64 {
+    let mut config = PlacerConfig::fast();
+    config.optimize.k_iter = 1;
+    let placement = Placer::new(design, config)
+        .expect("encode")
+        .place()
+        .expect("calibration solve");
+    placement.pin_density.expect("pin density on").lambda
+}
+
+fn submit(server: &Server, request: &PlaceRequest) -> u64 {
+    let reply = client::post(server.addr(), "/v1/jobs", Some(&request.to_json()))
+        .expect("submit over loopback");
+    assert_eq!(reply.status, 202, "{}", reply.body.pretty());
+    reply
+        .body
+        .field("job_id")
+        .and_then(Json::as_u64)
+        .expect("job id")
+}
+
+fn wait_done(server: &Server, id: u64) {
+    loop {
+        let view = client::get(server.addr(), &format!("/v1/jobs/{id}"))
+            .expect("poll")
+            .body;
+        let status = view
+            .field("status")
+            .and_then(Json::as_str)
+            .and_then(JobStatus::parse)
+            .expect("status");
+        if status.is_terminal() {
+            assert_eq!(status, JobStatus::Done, "{}", view.pretty());
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Runs a batch to completion and reports `(jobs, elapsed_ms)`.
+fn run_batch(server: &Server, requests: &[PlaceRequest]) -> (u64, u128) {
+    let t0 = Instant::now();
+    let ids: Vec<u64> = requests.iter().map(|r| submit(server, r)).collect();
+    for id in ids {
+        wait_done(server, id);
+    }
+    (requests.len() as u64, t0.elapsed().as_millis())
+}
+
+fn phase_report(jobs: u64, ms: u128) -> Json {
+    let per_minute = if ms == 0 {
+        0.0
+    } else {
+        jobs as f64 * 60_000.0 / ms as f64
+    };
+    Json::obj([
+        ("jobs", Json::uint(jobs)),
+        ("wall_ms", Json::uint(ms as u64)),
+        ("jobs_per_minute", Json::Num(per_minute)),
+    ])
+}
+
+fn main() {
+    let designs: Vec<Design> = vec![benchmarks::buf(), benchmarks::vco()];
+    // The λ sweep rides BUF only: a quick VCO solve runs over a minute on
+    // one core, and three more of them would push the bench past any
+    // reasonable wall-clock budget without changing what it measures.
+    let sweep_base = auto_lambda(&designs[0]);
+
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback server");
+
+    let quick = |design: &Design| PlaceRequest {
+        design: design.clone(),
+        options: JobOptions {
+            quick: true,
+            ..JobOptions::default()
+        },
+    };
+
+    // Phase 1 — cold: first sight of each design, full encode + solve.
+    let cold: Vec<PlaceRequest> = designs.iter().map(quick).collect();
+    let (cold_jobs, cold_ms) = run_batch(&server, &cold);
+
+    // Phase 2 — exact replays: the same requests again, several times.
+    const REPEATS: usize = 5;
+    let replays: Vec<PlaceRequest> = (0..REPEATS)
+        .flat_map(|_| designs.iter().map(quick))
+        .collect();
+    let (replay_jobs, replay_ms) = run_batch(&server, &replays);
+
+    // Phase 3 — λ_th sweep on BUF: moving only the pin-density threshold,
+    // so each job after the first rebases the pooled warm solver instead
+    // of re-encoding from scratch. Submitted one at a time: two in-flight
+    // jobs on the same design would race for the pooled solver and fall
+    // back to cold builds.
+    let sweep: Vec<PlaceRequest> = (0..3u64)
+        .map(|step| PlaceRequest {
+            design: designs[0].clone(),
+            options: JobOptions {
+                quick: true,
+                lambda_th: Some(sweep_base + 2 * step),
+                ..JobOptions::default()
+            },
+        })
+        .collect();
+    let t0 = Instant::now();
+    for request in &sweep {
+        let id = submit(&server, request);
+        wait_done(&server, id);
+    }
+    let (sweep_jobs, sweep_ms) = (sweep.len() as u64, t0.elapsed().as_millis());
+
+    let stats = client::get(server.addr(), "/v1/stats").expect("stats").body;
+    let counter = |name: &str| stats.field(name).and_then(Json::as_u64).unwrap_or(0);
+    let submitted = counter("submitted");
+    let exact_hits = counter("exact_hits");
+    let warm_hits = counter("warm_identical") + counter("warm_relowered");
+    let cold_builds = counter("cold_builds");
+    let solves = submitted - exact_hits;
+
+    let report = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("workers", Json::uint(2)),
+                ("options", Json::str("--quick, explicit per-job knobs")),
+                (
+                    "designs",
+                    Json::Arr(vec![Json::str("buf"), Json::str("vco")]),
+                ),
+            ]),
+        ),
+        (
+            "phases",
+            Json::obj([
+                ("cold", phase_report(cold_jobs, cold_ms)),
+                ("exact_replay", phase_report(replay_jobs, replay_ms)),
+                ("lambda_sweep", phase_report(sweep_jobs, sweep_ms)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("submitted", Json::uint(submitted)),
+                ("exact_hits", Json::uint(exact_hits)),
+                ("warm_hits", Json::uint(warm_hits)),
+                ("cold_builds", Json::uint(cold_builds)),
+                (
+                    "exact_hit_rate",
+                    Json::Num(exact_hits as f64 / submitted as f64),
+                ),
+                (
+                    "warm_vs_cold_rate",
+                    Json::Num(warm_hits as f64 / solves as f64),
+                ),
+            ]),
+        ),
+        ("server_stats", stats),
+    ]);
+    println!("{}", report.pretty());
+
+    server.shutdown();
+    server.join();
+}

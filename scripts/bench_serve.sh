@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Measures service throughput on the paper benchmarks (BUF, VCO) via the
+# examples/serve_bench harness: jobs/minute for cold solves, exact-cache
+# replays, and a λ_th sweep that rides the warm-solver pool, plus the
+# server's cache counters. Writes BENCH_serve.json at the repo root; CI
+# does not run this — it is a manual/nightly artifact refreshed when the
+# service, the cache, or the solver change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q --example serve_bench
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "==> serve bench (cold / exact replay / lambda sweep)" >&2
+target/release/examples/serve_bench >"$TMP/serve_bench.json"
+
+python3 - "$TMP/serve_bench.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+phases = report["phases"]
+cache = report["cache"]
+for name in ("cold", "exact_replay", "lambda_sweep"):
+    assert phases[name]["jobs"] > 0, f"{name}: no jobs ran"
+    assert phases[name]["jobs_per_minute"] > 0, f"{name}: no throughput"
+assert cache["exact_hits"] > 0, "replay phase produced no exact-cache hits"
+assert cache["warm_hits"] > 0, "lambda sweep produced no warm-solver reuse"
+assert (
+    phases["exact_replay"]["jobs_per_minute"] > phases["cold"]["jobs_per_minute"]
+), "exact-cache replays must outpace cold solves"
+
+with open("BENCH_serve.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+summary = {
+    "jobs_per_minute": {k: round(v["jobs_per_minute"], 2) for k, v in phases.items()},
+    "exact_hit_rate": round(cache["exact_hit_rate"], 3),
+    "warm_vs_cold_rate": round(cache["warm_vs_cold_rate"], 3),
+}
+print(json.dumps(summary, indent=2))
+EOF
+echo "wrote BENCH_serve.json"

@@ -52,6 +52,34 @@ cargo run -q --bin amsplace -- synthetic --threads 4 --quick \
     --deadline-ms 30000 --stats-json /tmp/amsplace-smoke.json
 grep -q '"outcome"' /tmp/amsplace-smoke.json
 
+echo "==> placement-service smoke (serve, submit over loopback, shutdown)"
+# One end-to-end service loop: start the server on an ephemeral loopback
+# port, submit a job through the typed client path, assert the response
+# carries the API schema, and shut the server down cleanly.
+cargo build -q --bin amsplace
+serve_log=$(mktemp)
+target/debug/amsplace serve --bind 127.0.0.1:0 --workers 2 >"$serve_log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr=$(sed -n 's|^amsplace serving on http://\([0-9.:]*\).*|\1|p' "$serve_log")
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "server never announced its address"
+    cat "$serve_log"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+target/debug/amsplace submit synthetic --quick --addr "$serve_addr" \
+    --stats-json /tmp/amsplace-serve-smoke.json >/dev/null
+grep -q '"schema_version"' /tmp/amsplace-serve-smoke.json
+grep -q '"outcome"' /tmp/amsplace-serve-smoke.json
+target/debug/amsplace shutdown --addr "$serve_addr" >/dev/null
+wait "$serve_pid"
+rm -f "$serve_log"
+
 echo "==> differential fuzz subset (SMT vs portfolio vs exhaustive reference)"
 # The fast subset of the three-way differential harness; the fifty-design
 # acceptance run is release-mode (CI release step + nightly).

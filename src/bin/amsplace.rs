@@ -6,20 +6,25 @@
 //! amsplace demo.json --no-ams --route    # w/o-constraints arm + routing
 //! amsplace lint demo.json                # pre-solve constraint linter
 //! amsplace lint vco --explain            # + UNSAT explanation if stuck
+//! amsplace serve --bind 127.0.0.1:7171   # placement-as-a-service
+//! amsplace submit buf --addr 127.0.0.1:7171   # job against a server
 //! ```
 
 use finfet_ams_place::netlist::json::Json;
 use finfet_ams_place::netlist::{benchmarks, Design};
 use finfet_ams_place::place::analysis::{self, UnsatOutcome};
-use finfet_ams_place::place::{
-    drat, render_svg, PlaceError, PlaceOutcome, Placement, Placer, PlacerConfig,
-};
+use finfet_ams_place::place::api::{self, ErrorKind, JobOptions, PlaceRequest, PlaceResponse};
+use finfet_ams_place::place::{drat, render_svg, PlaceError, PlaceOutcome, Placer, PlacerConfig};
 use finfet_ams_place::route::{route, RouterConfig};
+use finfet_ams_place::serve::{client, ServeConfig, Server};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: amsplace [OPTIONS] <design.json|buf|vco|synthetic>
        amsplace lint [--explain] [--presolve] <design.json|buf|vco|synthetic>
+       amsplace serve [--bind <addr>] [--workers <n>] [--queue-cap <n>]
+       amsplace submit [OPTIONS] --addr <addr> <design.json|buf|vco|synthetic>
+       amsplace shutdown --addr <addr>
        amsplace --demo <buf|vco|synthetic> <out.json>
 
 options:
@@ -48,9 +53,20 @@ options:
                       and the zero-conflict infeasibility fast path)
   --quick             small budgets for a fast smoke run
 
+serve options:
+  --bind <addr>       listen address (default 127.0.0.1:7171; port 0 picks)
+  --workers <n>       solver worker threads (default 2)
+  --queue-cap <n>     bounded job queue size; beyond it submissions get
+                      HTTP 429 (default 64)
+
+submit/shutdown options:
+  --addr <addr>       the server to talk to (default 127.0.0.1:7171)
+  --no-wait           print the job id without polling for the result
+
 exit codes: 0 success (incl. anytime/recovered placements), 1 usage or
 I/O or internal failure, 2 infeasible, 3 cancelled, 4 deadline expired
-before any model, 5 conflict budget exhausted before any model.
+before any model, 5 conflict budget exhausted before any model. submit
+maps the server-side result through the same table.
 
 lint mode runs the AMS-Exxx pre-solve checks and exits nonzero iff any
 error-severity diagnostic fires; --explain additionally asks the solver
@@ -60,10 +76,19 @@ presolve analyzer (interval domains + capacity proofs) and exits 2 with
 the proof's provenance when it derives infeasibility.
 ";
 
+#[derive(PartialEq)]
+enum Command {
+    Place,
+    Lint,
+    Serve,
+    Submit,
+    Shutdown,
+}
+
 struct Args {
+    command: Command,
     design_path: Option<String>,
     demo: Option<(String, String)>,
-    lint: bool,
     explain: bool,
     lint_presolve: bool,
     no_presolve: bool,
@@ -80,13 +105,19 @@ struct Args {
     certify: bool,
     lambda_th: Option<u64>,
     quick: bool,
+    addr: String,
+    bind: String,
+    workers: usize,
+    queue_cap: usize,
+    no_wait: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = JobOptions::default();
     let mut args = Args {
+        command: Command::Place,
         design_path: None,
         demo: None,
-        lint: false,
         explain: false,
         lint_presolve: false,
         no_presolve: false,
@@ -95,14 +126,19 @@ fn parse_args() -> Result<Args, String> {
         stats_json: None,
         do_route: false,
         no_ams: false,
-        iters: 2,
-        budget: 100_000,
+        iters: defaults.iters,
+        budget: defaults.budget,
         threads: None,
         deadline_ms: None,
         max_relax: None,
         certify: false,
         lambda_th: None,
         quick: false,
+        addr: "127.0.0.1:7171".to_string(),
+        bind: "127.0.0.1:7171".to_string(),
+        workers: 2,
+        queue_cap: 64,
+        no_wait: false,
     };
     let mut first_positional = true;
     let mut it = std::env::args().skip(1);
@@ -110,7 +146,19 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "lint" if first_positional => {
-                args.lint = true;
+                args.command = Command::Lint;
+                first_positional = false;
+            }
+            "serve" if first_positional => {
+                args.command = Command::Serve;
+                first_positional = false;
+            }
+            "submit" if first_positional => {
+                args.command = Command::Submit;
+                first_positional = false;
+            }
+            "shutdown" if first_positional => {
+                args.command = Command::Shutdown;
                 first_positional = false;
             }
             "--demo" => {
@@ -170,6 +218,23 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--stats-json" => args.stats_json = Some(value("--stats-json")?),
+            "--addr" => args.addr = value("--addr")?,
+            "--bind" => args.bind = value("--bind")?,
+            "--workers" => {
+                let n: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                args.workers = n;
+            }
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--no-wait" => args.no_wait = true,
             "-h" | "--help" => return Err(String::new()),
             other if !other.starts_with('-') => {
                 args.design_path = Some(other.to_string());
@@ -178,13 +243,31 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    if args.explain && !args.lint {
+    if args.explain && args.command != Command::Lint {
         return Err("--explain only applies to the lint subcommand".into());
     }
-    if args.lint_presolve && !args.lint {
+    if args.lint_presolve && args.command != Command::Lint {
         return Err("--presolve only applies to the lint subcommand".into());
     }
     Ok(args)
+}
+
+/// The per-job solver knobs these CLI flags describe — shared verbatim
+/// with the server wire format, so `amsplace submit` and a local run
+/// configure the identical instance.
+fn job_options(args: &Args) -> JobOptions {
+    JobOptions {
+        quick: args.quick,
+        iters: args.iters,
+        budget: args.budget,
+        threads: args.threads,
+        deadline_ms: args.deadline_ms,
+        max_relax: args.max_relax,
+        lambda_th: args.lambda_th,
+        no_ams: args.no_ams,
+        certify: args.certify,
+        presolve: !args.no_presolve,
+    }
 }
 
 /// Loads a design by benchmark name (`buf`, `vco`, `synthetic`) or from a
@@ -287,164 +370,153 @@ fn run_lint(args: &Args) -> ExitCode {
     }
 }
 
-/// Maps a placement failure to its documented process exit code.
+/// Maps a placement failure to its documented process exit code —
+/// the shared table in [`ErrorKind::exit_code`].
 fn place_exit_code(e: &PlaceError) -> ExitCode {
-    match e {
-        PlaceError::Infeasible { .. } => ExitCode::from(2),
-        PlaceError::Cancelled => ExitCode::from(3),
-        PlaceError::DeadlineExpired => ExitCode::from(4),
-        PlaceError::BudgetExhausted => ExitCode::from(5),
-        PlaceError::Config(_) | PlaceError::Lint(_) | PlaceError::Internal(_) => ExitCode::FAILURE,
+    ExitCode::from(ErrorKind::of(e).exit_code())
+}
+
+/// The `amsplace serve` subcommand: bind, print the address, and block
+/// until a client posts `/v1/shutdown`.
+fn run_serve(args: &Args) -> ExitCode {
+    let config = ServeConfig {
+        bind: args.bind.clone(),
+        workers: args.workers,
+        queue_cap: args.queue_cap,
+        ..ServeConfig::default()
+    };
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", args.bind);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "amsplace serving on http://{} ({} workers, queue {})",
+        server.addr(),
+        args.workers,
+        args.queue_cap
+    );
+    println!(
+        "POST /v1/shutdown (or `amsplace shutdown --addr {}`) to stop",
+        server.addr()
+    );
+    // Under CI the banner is how the smoke step learns the picked port;
+    // flush so it lands before the (redirected, block-buffered) join.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    server.join();
+    println!("amsplace server stopped");
+    ExitCode::SUCCESS
+}
+
+/// The `amsplace submit` subcommand: send the design + flags as a
+/// [`PlaceRequest`], then (unless `--no-wait`) poll until the job is
+/// terminal and exit with the job's own code.
+fn run_submit(args: &Args) -> ExitCode {
+    let Some(spec) = &args.design_path else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let design = match load_design(spec) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = PlaceRequest {
+        design,
+        options: job_options(args),
+    };
+    let accepted = match client::post(&args.addr, "/v1/jobs", Some(&request.to_json())) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("error: submitting to {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    if accepted.status != 202 {
+        eprintln!(
+            "error: server rejected the job (HTTP {}): {}",
+            accepted.status,
+            accepted
+                .body
+                .field("error")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+        );
+        return ExitCode::FAILURE;
+    }
+    let Some(job_id) = accepted.body.field("job_id").and_then(Json::as_u64) else {
+        eprintln!("error: malformed accept reply: {}", accepted.body.pretty());
+        return ExitCode::FAILURE;
+    };
+    println!("job {job_id} queued on {}", args.addr);
+    if args.no_wait {
+        return ExitCode::SUCCESS;
+    }
+
+    let path = format!("/v1/jobs/{job_id}");
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let view = match client::get(&args.addr, &path) {
+            Ok(reply) if reply.status == 200 => reply.body,
+            Ok(reply) => {
+                eprintln!("error: polling job {job_id}: HTTP {}", reply.status);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: polling job {job_id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let terminal = view
+            .field("status")
+            .and_then(Json::as_str)
+            .and_then(api::JobStatus::parse)
+            .is_some_and(api::JobStatus::is_terminal);
+        if !terminal {
+            continue;
+        }
+        let Some(doc) = view.field("response").filter(|r| !r.is_null()) else {
+            eprintln!("error: terminal job {job_id} carries no response");
+            return ExitCode::FAILURE;
+        };
+        let response = match PlaceResponse::from_json(doc) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("error: malformed response for job {job_id}: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(stats_path) = &args.stats_json {
+            let stats = response.stats.clone().unwrap_or(Json::Null);
+            if let Err(e) = std::fs::write(stats_path, stats.pretty()) {
+                eprintln!("error: writing {stats_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("{}", doc.pretty());
+        return ExitCode::from(response.exit_code());
     }
 }
 
-/// Serializes run statistics (outcome, solver counters, per-worker
-/// portfolio health) for `--stats-json`.
-fn stats_to_json(design: &Design, placement: &Placement) -> Json {
-    let s = &placement.stats;
-    let (kind, detail) = match &s.outcome {
-        PlaceOutcome::Optimal => (Json::str("optimal"), Json::Null),
-        PlaceOutcome::Anytime { rounds, reason } => (
-            Json::str("anytime"),
-            Json::obj([
-                ("rounds", Json::uint(*rounds as u64)),
-                ("reason", Json::str(reason.to_string())),
-            ]),
-        ),
-        PlaceOutcome::Recovered { relaxations } => (
-            Json::str("recovered"),
-            Json::obj([(
-                "relaxations",
-                Json::Arr(
-                    relaxations
-                        .iter()
-                        .map(|r| Json::str(r.to_string()))
-                        .collect(),
-                ),
-            )]),
-        ),
-    };
-    let families: Vec<Json> = s
-        .families
-        .iter()
-        .map(|fs| {
-            Json::obj([
-                ("family", Json::str(fs.family.name())),
-                ("constraints", Json::uint(fs.constraints as u64)),
-                ("clauses", Json::uint(fs.clauses as u64)),
-            ])
-        })
-        .collect();
-    let rungs: Vec<Json> = s
-        .rungs
-        .iter()
-        .map(|r| {
-            Json::obj([
-                ("relaxation", Json::str(r.relaxation.to_string())),
-                ("learnts_carried", Json::uint(r.learnts_carried)),
-                ("rebuilt", Json::Bool(r.rebuilt)),
-            ])
-        })
-        .collect();
-    let workers: Vec<Json> = s
-        .workers
-        .iter()
-        .map(|w| {
-            Json::obj([
-                ("id", Json::uint(w.id as u64)),
-                ("conflicts", Json::uint(w.conflicts)),
-                ("decisions", Json::uint(w.decisions)),
-                ("restarts", Json::uint(w.restarts)),
-                ("exported", Json::uint(w.exported)),
-                ("imported", Json::uint(w.imported)),
-                ("panicked", Json::Bool(w.panicked)),
-                (
-                    "panic_message",
-                    w.panic_message.as_ref().map_or(Json::Null, Json::str),
-                ),
-            ])
-        })
-        .collect();
-    Json::obj([
-        ("design", Json::str(design.name())),
-        ("outcome", kind),
-        ("outcome_detail", detail),
-        ("iterations", Json::uint(s.iterations as u64)),
-        ("runtime_ms", Json::uint(s.runtime.as_millis() as u64)),
-        ("conflicts", Json::uint(s.conflicts)),
-        ("sat_vars", Json::uint(s.sat_vars as u64)),
-        ("sat_clauses", Json::uint(s.sat_clauses as u64)),
-        ("families", Json::Arr(families)),
-        ("lowering_ms", Json::uint(s.lowering.as_millis() as u64)),
-        ("rungs", Json::Arr(rungs)),
-        ("threads", Json::uint(s.threads as u64)),
-        (
-            "winner",
-            s.winner.map_or(Json::Null, |w| Json::uint(w as u64)),
-        ),
-        ("workers", Json::Arr(workers)),
-        (
-            "hpwl_trace",
-            Json::Arr(s.hpwl_trace.iter().map(|&v| Json::uint(v)).collect()),
-        ),
-        (
-            "die",
-            Json::obj([
-                ("w", Json::uint(u64::from(placement.die.w))),
-                ("h", Json::uint(u64::from(placement.die.h))),
-            ]),
-        ),
-        ("hpwl_um", Json::Num(placement.hpwl_um(design))),
-        ("area_um2", Json::Num(placement.area_um2(design))),
-        (
-            "certify",
-            s.certify.map_or(Json::Null, |c| {
-                Json::obj([
-                    ("cnf_clauses", Json::uint(c.cnf_clauses as u64)),
-                    ("proof_steps", Json::uint(c.proof_steps as u64)),
-                    ("model_violations", Json::uint(c.model_violations as u64)),
-                ])
-            }),
-        ),
-        ("presolve", presolve_to_json(s.presolve.as_ref())),
-    ])
-}
-
-/// Serializes the presolve summary with a constant shape: a disabled
-/// presolve still yields every key, so the stats schema stays stable.
-fn presolve_to_json(ps: Option<&finfet_ams_place::place::PresolveStats>) -> Json {
-    match ps {
-        Some(ps) => Json::obj([
-            ("ran", Json::Bool(ps.ran)),
-            ("verdict", Json::str(&ps.verdict)),
-            ("vars_saved_bits", Json::uint(ps.vars_saved_bits)),
-            (
-                "clauses_saved",
-                ps.clauses_saved.map_or(Json::Null, Json::uint),
-            ),
-            (
-                "passes",
-                Json::Arr(
-                    ps.passes
-                        .iter()
-                        .map(|p| {
-                            Json::obj([
-                                ("pass", Json::str(p.pass)),
-                                ("verdict", Json::str(&p.verdict)),
-                                ("detail", Json::str(&p.detail)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ]),
-        None => Json::obj([
-            ("ran", Json::Bool(false)),
-            ("verdict", Json::str("skipped")),
-            ("vars_saved_bits", Json::uint(0)),
-            ("clauses_saved", Json::Null),
-            ("passes", Json::Arr(Vec::new())),
-        ]),
+/// The `amsplace shutdown` subcommand.
+fn run_shutdown(args: &Args) -> ExitCode {
+    match client::post(&args.addr, "/v1/shutdown", None) {
+        Ok(reply) if reply.status == 200 => {
+            println!("server at {} stopping", args.addr);
+            ExitCode::SUCCESS
+        }
+        Ok(reply) => {
+            eprintln!("error: shutdown got HTTP {}", reply.status);
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: contacting {}: {e}", args.addr);
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -460,8 +532,12 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.lint {
-        return run_lint(&args);
+    match args.command {
+        Command::Lint => return run_lint(&args),
+        Command::Serve => return run_serve(&args),
+        Command::Submit => return run_submit(&args),
+        Command::Shutdown => return run_shutdown(&args),
+        Command::Place => {}
     }
 
     if let Some((which, out)) = &args.demo {
@@ -505,32 +581,8 @@ fn main() -> ExitCode {
         design
     };
 
-    let mut config = if args.quick {
-        PlacerConfig::fast()
-    } else {
-        PlacerConfig::default()
-    };
-    config.optimize.k_iter = args.iters;
-    config.optimize.conflict_budget = Some(args.budget);
-    if args.quick {
-        config.optimize.k_iter = config.optimize.k_iter.min(1);
-        config.optimize.conflict_budget = Some(20_000);
-    }
-    if let Some(rungs) = args.max_relax {
-        config.recovery.max_rungs = rungs;
-        config.recovery.enabled = rungs > 0;
-    }
-    if let Some(lambda) = args.lambda_th {
-        let mut density = config.pin_density.unwrap_or_default();
-        density.lambda = Some(lambda);
-        config.pin_density = Some(density);
-    }
-    if args.no_ams {
-        config = config.without_ams_constraints();
-    }
-    if args.no_presolve {
-        config.presolve.enabled = false;
-    }
+    let options = job_options(&args);
+    let config = options.to_config();
 
     eprintln!(
         "placing {} ({} cells, {} nets)...",
@@ -544,9 +596,6 @@ fn main() -> ExitCode {
     }
     if let Some(ms) = args.deadline_ms {
         builder = builder.deadline(std::time::Duration::from_millis(ms));
-    }
-    if args.certify {
-        builder = builder.certify(true);
     }
     let placement = match builder.build().and_then(|p| p.place()) {
         Ok(p) => p,
@@ -660,7 +709,7 @@ fn main() -> ExitCode {
         }
     }
     if let Some(stats_path) = &args.stats_json {
-        let doc = stats_to_json(&design, &placement);
+        let doc = api::stats_to_json(&design, &placement);
         if let Err(e) = std::fs::write(stats_path, doc.pretty()) {
             eprintln!("error: writing {stats_path}: {e}");
             return ExitCode::FAILURE;
@@ -685,20 +734,6 @@ fn main() -> ExitCode {
         println!("layout rendered to {svg_path}");
     }
     if let Some(out) = &args.out {
-        let rects: Vec<_> = design
-            .cells()
-            .iter()
-            .zip(&placement.cells)
-            .map(|(c, r)| {
-                Json::obj([
-                    ("cell", Json::str(&c.name)),
-                    ("x", Json::uint(u64::from(r.x))),
-                    ("y", Json::uint(u64::from(r.y))),
-                    ("w", Json::uint(u64::from(r.w))),
-                    ("h", Json::uint(u64::from(r.h))),
-                ])
-            })
-            .collect();
         let doc = Json::obj([
             ("design", Json::str(design.name())),
             (
@@ -708,7 +743,7 @@ fn main() -> ExitCode {
                     ("h", Json::uint(u64::from(placement.die.h))),
                 ]),
             ),
-            ("cells", Json::Arr(rects)),
+            ("cells", api::cells_to_json(&design, &placement)),
         ]);
         if let Err(e) = std::fs::write(out, doc.pretty()) {
             eprintln!("error: writing {out}: {e}");

@@ -10,6 +10,7 @@
 //! * [`netlist`] — region-based AMS circuit model and benchmark generators
 //! * [`place`] — the SMT placement framework (the paper's contribution)
 //! * [`route`] — gridded analog router (routed wirelength / via metrics)
+//! * [`serve`] — placement-as-a-service: HTTP job queue + warm-solver cache
 //! * [`sim`] — post-layout RC extraction, Elmore timing, and VCO models
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use ams_netlist as netlist;
 pub use ams_place as place;
 pub use ams_route as route;
 pub use ams_sat as sat;
+pub use ams_serve as serve;
 pub use ams_sim as sim;
 pub use ams_smt as smt;
 

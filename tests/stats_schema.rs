@@ -25,7 +25,9 @@ const TOP_LEVEL_FIELDS: &[&str] = &[
     "runtime_ms",
     "sat_clauses",
     "sat_vars",
+    "schema_version",
     "threads",
+    "warm",
     "winner",
     "workers",
 ];
@@ -90,6 +92,14 @@ fn stats_json_matches_the_golden_schema() {
     );
 
     let Json::Obj(map) = &doc else { unreachable!() };
+    assert_eq!(
+        map["schema_version"],
+        Json::uint(finfet_ams_place::place::api::SCHEMA_VERSION),
+        "schema_version must match the API surface"
+    );
+    // A cold CLI run never reports warm-solver reuse; the field is a
+    // contract for the service, present-but-null locally.
+    assert!(matches!(map["warm"], Json::Null));
     assert!(matches!(map["design"], Json::Str(_)));
     assert!(matches!(map["outcome"], Json::Str(_)));
     assert!(matches!(map["iterations"], Json::Num(_)));
