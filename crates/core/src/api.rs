@@ -23,7 +23,11 @@ use std::time::Duration;
 /// Version of every JSON document this module emits. Bump on any
 /// breaking change to the field sets (the `stats_schema` goldens pin
 /// them).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: 1 = PR 7 service surface; 2 = crash-safe serving
+/// (request `idempotency_key`, the `interrupted` job status and error
+/// kind, `degraded` in the service health documents).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Lifecycle state of a placement job.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,6 +42,9 @@ pub enum JobStatus {
     Failed,
     /// Cancelled before completion.
     Cancelled,
+    /// The serving process died mid-solve and the resume policy chose
+    /// not to re-run the job. Terminal; resubmitting re-solves.
+    Interrupted,
 }
 
 impl JobStatus {
@@ -49,6 +56,7 @@ impl JobStatus {
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
             JobStatus::Cancelled => "cancelled",
+            JobStatus::Interrupted => "interrupted",
         }
     }
 
@@ -60,6 +68,7 @@ impl JobStatus {
             "done" => JobStatus::Done,
             "failed" => JobStatus::Failed,
             "cancelled" => JobStatus::Cancelled,
+            "interrupted" => JobStatus::Interrupted,
             _ => return None,
         })
     }
@@ -68,7 +77,7 @@ impl JobStatus {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled | JobStatus::Interrupted
         )
     }
 }
@@ -88,6 +97,9 @@ pub enum ErrorKind {
     DeadlineExpired,
     /// Cancelled by the caller.
     Cancelled,
+    /// The serving process died while the job was running and the
+    /// resume policy marked it rather than re-running it.
+    Interrupted,
     /// Internal failure (solver infrastructure, I/O, …).
     Internal,
 }
@@ -102,6 +114,7 @@ impl ErrorKind {
             ErrorKind::BudgetExhausted => "budget_exhausted",
             ErrorKind::DeadlineExpired => "deadline_expired",
             ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Interrupted => "interrupted",
             ErrorKind::Internal => "internal",
         }
     }
@@ -115,6 +128,7 @@ impl ErrorKind {
             "budget_exhausted" => ErrorKind::BudgetExhausted,
             "deadline_expired" => ErrorKind::DeadlineExpired,
             "cancelled" => ErrorKind::Cancelled,
+            "interrupted" => ErrorKind::Interrupted,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -129,7 +143,7 @@ impl ErrorKind {
             ErrorKind::Cancelled => 3,
             ErrorKind::DeadlineExpired => 4,
             ErrorKind::BudgetExhausted => 5,
-            ErrorKind::Config | ErrorKind::Lint | ErrorKind::Internal => 1,
+            ErrorKind::Config | ErrorKind::Lint | ErrorKind::Interrupted | ErrorKind::Internal => 1,
         }
     }
 
@@ -378,6 +392,12 @@ pub struct PlaceRequest {
     pub design: Design,
     /// Per-job solver knobs.
     pub options: JobOptions,
+    /// Client-supplied deduplication key. Two submissions carrying the
+    /// same key within the server's dedup window resolve to the *same*
+    /// job — a client that retries a submit after a dropped reply never
+    /// double-solves. The key does not participate in the result-cache
+    /// hashes: it names a submission, not a problem instance.
+    pub idempotency_key: Option<String>,
 }
 
 impl PlaceRequest {
@@ -398,6 +418,10 @@ impl PlaceRequest {
             ("schema_version", Json::uint(SCHEMA_VERSION)),
             ("design", design),
             ("options", self.options.to_json()),
+            (
+                "idempotency_key",
+                self.idempotency_key.as_ref().map_or(Json::Null, Json::str),
+            ),
         ])
     }
 
@@ -433,7 +457,16 @@ impl PlaceRequest {
             None | Some(Json::Null) => JobOptions::default(),
             Some(opts) => JobOptions::from_json(opts)?,
         };
-        Ok(PlaceRequest { design, options })
+        let idempotency_key = match doc.field("idempotency_key") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(key)) if !key.is_empty() => Some(key.clone()),
+            Some(_) => return Err("idempotency_key must be a non-empty string".into()),
+        };
+        Ok(PlaceRequest {
+            design,
+            options,
+            idempotency_key,
+        })
     }
 }
 
@@ -804,15 +837,24 @@ mod tests {
                 quick: true,
                 ..JobOptions::default()
             },
+            idempotency_key: Some("submit-42".into()),
         };
         let back = PlaceRequest::from_json(&req.to_json()).expect("roundtrip");
         assert_eq!(back.design.to_json(), req.design.to_json());
         assert_eq!(back.options, req.options);
+        assert_eq!(back.idempotency_key.as_deref(), Some("submit-42"));
 
         let named = Json::obj([("design", Json::str("buf"))]);
         let parsed = PlaceRequest::from_json(&named).expect("benchmark name");
         assert_eq!(parsed.design.to_json(), benchmarks::buf().to_json());
         assert_eq!(parsed.options, JobOptions::default());
+        assert_eq!(parsed.idempotency_key, None);
+
+        let blank_key = Json::obj([
+            ("design", Json::str("buf")),
+            ("idempotency_key", Json::str("")),
+        ]);
+        assert!(PlaceRequest::from_json(&blank_key).is_err());
 
         let wrong_version = Json::obj([
             ("design", Json::str("buf")),
@@ -829,8 +871,23 @@ mod tests {
         assert_eq!(ErrorKind::BudgetExhausted.exit_code(), 5);
         assert_eq!(ErrorKind::Config.exit_code(), 1);
         assert_eq!(ErrorKind::Lint.exit_code(), 1);
+        assert_eq!(ErrorKind::Interrupted.exit_code(), 1);
         assert_eq!(ErrorKind::Internal.exit_code(), 1);
         assert_eq!(ErrorKind::of(&PlaceError::Cancelled), ErrorKind::Cancelled);
+    }
+
+    #[test]
+    fn interrupted_is_a_terminal_wire_status() {
+        assert_eq!(
+            JobStatus::parse("interrupted"),
+            Some(JobStatus::Interrupted)
+        );
+        assert_eq!(JobStatus::Interrupted.name(), "interrupted");
+        assert!(JobStatus::Interrupted.is_terminal());
+        assert_eq!(
+            ErrorKind::parse("interrupted"),
+            Some(ErrorKind::Interrupted)
+        );
     }
 
     #[test]

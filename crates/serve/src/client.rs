@@ -2,40 +2,148 @@
 //! `amsplace submit`/`shutdown` subcommands, the integration tests, and
 //! the throughput bench. One request per connection, mirroring the
 //! server's `Connection: close` policy.
+//!
+//! The retrying entry points ([`get_with_retry`], [`post_with_retry`])
+//! implement the client half of the service's overload contract: on a
+//! connect/transport error, a 429 (queue full), or a 503 (degraded,
+//! shedding cold work) they back off — capped exponential with
+//! deterministic jitter, honoring a server `Retry-After` header — and
+//! try again, so a retry storm converges instead of hammering. Pair the
+//! retries with a request `idempotency_key` and a resubmitted job is
+//! deduplicated server-side rather than solved twice.
 
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use ams_netlist::json::Json;
 
-/// A decoded reply: the HTTP status code and the JSON body.
+/// A decoded reply: the HTTP status code, the JSON body, and the
+/// server's `Retry-After` hint (seconds) when it sent one.
 #[derive(Debug)]
 pub struct Reply {
     pub status: u16,
     pub body: Json,
+    pub retry_after: Option<u64>,
+}
+
+/// How the retrying entry points pace themselves.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (so `1` means "never retry").
+    pub max_attempts: u32,
+    /// First backoff; later ones double up to [`RetryPolicy::cap`].
+    pub base: Duration,
+    /// Ceiling on any single backoff, including a server `Retry-After`.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter (so tests are reproducible;
+    /// vary per client to spread a storm).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — the behavior of the plain
+    /// [`get`]/[`post`] calls.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The pause before retry number `attempt` (0-based): capped
+    /// exponential growth from `base`, scaled by 50–100% jitter so
+    /// simultaneous clients decorrelate. A server-supplied `Retry-After`
+    /// overrides the exponential schedule (still capped).
+    pub fn backoff(&self, attempt: u32, retry_after: Option<u64>) -> Duration {
+        if let Some(seconds) = retry_after {
+            return Duration::from_secs(seconds).min(self.cap);
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        // xorshift* on (seed, attempt) — deterministic, dependency-free.
+        let mut x = self.seed ^ (u64::from(attempt) + 1).wrapping_mul(0x9e3779b97f4a7c15);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let scale_pct = 50 + (x % 51); // 50..=100
+        exp.mul_f64(scale_pct as f64 / 100.0)
+    }
 }
 
 /// `GET path` against the server at `addr`.
 pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<Reply> {
-    request(addr, "GET", path, None)
+    request(resolve(addr)?, "GET", path, None)
 }
 
 /// `POST path` with an optional JSON body.
 pub fn post(addr: impl ToSocketAddrs, path: &str, body: Option<&Json>) -> io::Result<Reply> {
-    request(addr, "POST", path, body)
+    request(resolve(addr)?, "POST", path, body)
 }
 
-fn request(
+/// [`get`] with retry on transport errors, 429, and 503.
+pub fn get_with_retry(
     addr: impl ToSocketAddrs,
-    method: &str,
+    path: &str,
+    policy: &RetryPolicy,
+) -> io::Result<Reply> {
+    let addr = resolve(addr)?;
+    with_retry(policy, || request(addr, "GET", path, None))
+}
+
+/// [`post`] with retry on transport errors, 429, and 503. Retried
+/// submissions should carry an `idempotency_key` so the server dedups
+/// instead of double-solving.
+pub fn post_with_retry(
+    addr: impl ToSocketAddrs,
     path: &str,
     body: Option<&Json>,
+    policy: &RetryPolicy,
 ) -> io::Result<Reply> {
-    let addr = addr
-        .to_socket_addrs()?
+    let addr = resolve(addr)?;
+    with_retry(policy, || request(addr, "POST", path, body))
+}
+
+fn with_retry(
+    policy: &RetryPolicy,
+    mut send: impl FnMut() -> io::Result<Reply>,
+) -> io::Result<Reply> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = send();
+        let retriable = match &outcome {
+            Ok(reply) => reply.status == 429 || reply.status == 503,
+            Err(_) => true,
+        };
+        if !retriable || attempt + 1 >= policy.max_attempts.max(1) {
+            return outcome;
+        }
+        let retry_after = outcome.as_ref().ok().and_then(|r| r.retry_after);
+        std::thread::sleep(policy.backoff(attempt, retry_after));
+        attempt += 1;
+    }
+}
+
+fn resolve(addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&Json>) -> io::Result<Reply> {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
     let payload = body.map(Json::pretty).unwrap_or_default();
     let head = format!(
@@ -51,23 +159,50 @@ fn request(
     parse_reply(&raw)
 }
 
+/// Decodes a raw HTTP/1.1 reply. Strict about the status line: it must
+/// read `HTTP/<ver> <3-digit code> …` — an empty or garbled line is a
+/// protocol error, never silently treated as a success-shaped reply.
 fn parse_reply(raw: &str) -> io::Result<Reply> {
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let (head, body) = raw
         .split_once("\r\n\r\n")
-        .ok_or_else(|| bad("no header/body separator in reply"))?;
-    let status_line = head.lines().next().unwrap_or_default();
-    let status = status_line
+        .ok_or_else(|| bad("no header/body separator in reply".to_string()))?;
+    let status_line = head
+        .lines()
+        .next()
+        .filter(|line| !line.trim().is_empty())
+        .ok_or_else(|| bad("empty status line in reply".to_string()))?;
+    if !status_line.starts_with("HTTP/") {
+        return Err(bad(format!("not an HTTP status line: {status_line:?}")));
+    }
+    let code = status_line
         .split_whitespace()
         .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("malformed status line"))?;
+        .ok_or_else(|| bad(format!("status line has no code: {status_line:?}")))?;
+    if code.len() != 3 || !code.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad(format!("malformed status code {code:?}")));
+    }
+    let status: u16 = code.parse().expect("three ascii digits");
+
+    let retry_after = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    });
+
     let body = if body.trim().is_empty() {
         Json::Null
     } else {
-        Json::parse(body).map_err(|e| bad(&format!("reply body is not JSON: {e}")))?
+        Json::parse(body).map_err(|e| bad(format!("reply body is not JSON: {e}")))?
     };
-    Ok(Reply { status, body })
+    Ok(Reply {
+        status,
+        body,
+        retry_after,
+    })
 }
 
 #[cfg(test)]
@@ -76,9 +211,119 @@ mod tests {
 
     #[test]
     fn parses_a_framed_reply() {
-        let raw = "HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\n\r\n{}";
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 2\r\nContent-Length: 2\r\n\r\n{}";
         let reply = parse_reply(raw).unwrap();
         assert_eq!(reply.status, 429);
+        assert_eq!(reply.retry_after, Some(2));
         assert_eq!(reply.body, Json::obj([]));
+
+        let plain = parse_reply("HTTP/1.1 200 OK\r\n\r\n{}").unwrap();
+        assert_eq!(plain.retry_after, None);
+    }
+
+    /// The bug this guards against: `lines().next().unwrap_or_default()`
+    /// let an empty head parse as a success-shaped reply.
+    #[test]
+    fn malformed_replies_are_protocol_errors_not_successes() {
+        for raw in [
+            "\r\n\r\n{}",                  // empty status line
+            "hello world\r\n\r\n{}",       // not HTTP at all
+            "HTTP/1.1\r\n\r\n{}",          // no status code
+            "HTTP/1.1 xyz Bad\r\n\r\n{}",  // non-numeric code
+            "HTTP/1.1 12 Bad\r\n\r\n{}",   // not three digits
+            "HTTP/1.1 9999 Bad\r\n\r\n{}", // not three digits
+            "HTTP/1.1 200 OK{}",           // no separator
+        ] {
+            let err = parse_reply(raw).expect_err(raw);
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_with_jitter() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+            seed: 7,
+        };
+        let mut previous_ceiling = Duration::ZERO;
+        for attempt in 0..8 {
+            let pause = policy.backoff(attempt, None);
+            let ceiling = policy.base.saturating_mul(1 << attempt).min(policy.cap);
+            assert!(
+                pause <= ceiling,
+                "attempt {attempt}: {pause:?} > {ceiling:?}"
+            );
+            assert!(
+                pause >= ceiling.mul_f64(0.5),
+                "attempt {attempt}: {pause:?} under half of {ceiling:?}"
+            );
+            assert!(ceiling >= previous_ceiling);
+            previous_ceiling = ceiling;
+        }
+        // Deterministic for a fixed seed…
+        assert_eq!(policy.backoff(3, None), policy.backoff(3, None));
+        // …and Retry-After overrides the schedule, still capped.
+        assert_eq!(policy.backoff(0, Some(1)), Duration::from_secs(1));
+        assert_eq!(policy.backoff(0, Some(3600)), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn with_retry_stops_on_success_and_respects_max_attempts() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 1,
+        };
+        let mut calls = 0;
+        let reply = with_retry(&policy, || {
+            calls += 1;
+            if calls < 3 {
+                Ok(Reply {
+                    status: 429,
+                    body: Json::Null,
+                    retry_after: None,
+                })
+            } else {
+                Ok(Reply {
+                    status: 202,
+                    body: Json::Null,
+                    retry_after: None,
+                })
+            }
+        })
+        .unwrap();
+        assert_eq!(reply.status, 202);
+        assert_eq!(calls, 3);
+
+        let mut calls = 0;
+        let reply = with_retry(&policy, || {
+            calls += 1;
+            Ok(Reply {
+                status: 503,
+                body: Json::Null,
+                retry_after: None,
+            })
+        })
+        .unwrap();
+        assert_eq!(
+            reply.status, 503,
+            "exhausted retries surface the last reply"
+        );
+        assert_eq!(calls, 3);
+
+        // Non-retriable statuses return immediately.
+        let mut calls = 0;
+        let _ = with_retry(&policy, || {
+            calls += 1;
+            Ok(Reply {
+                status: 400,
+                body: Json::Null,
+                retry_after: None,
+            })
+        });
+        assert_eq!(calls, 1);
     }
 }

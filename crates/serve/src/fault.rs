@@ -1,0 +1,189 @@
+//! Fault injection for the chaos suite. Hidden from docs and inert
+//! unless explicitly armed — production configuration never constructs
+//! a non-empty plan.
+//!
+//! A plan is parsed from a comma-separated spec, e.g.
+//! `kill:start:1,conn-drop:2`:
+//!
+//! | directive        | effect                                                        |
+//! |------------------|---------------------------------------------------------------|
+//! | `kill:submit:N`  | abort the process right after the Nth submit journal barrier  |
+//! | `kill:start:N`   | …after the Nth start barrier                                  |
+//! | `kill:finish:N`  | …after the Nth finish barrier                                 |
+//! | `conn-drop:N`    | drop every Nth accepted connection without reading it         |
+//! | `conn-delay:MS`  | sleep MS ms before serving each accepted connection           |
+//!
+//! Kills fire *after* the matching record is durably on disk (the fsync
+//! returned), which is exactly the contract the recovery path promises:
+//! anything journaled survives, anything not journaled was never
+//! acknowledged. `abort()` skips destructors and flushes — the closest
+//! std-only stand-in for `SIGKILL`.
+//!
+//! The CLI arms the plan from the `AMSPLACE_FAULT` environment
+//! variable; in-process tests construct one directly and hand it to
+//! `ServeConfig`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A journal durability barrier — the instants a crash is interesting.
+#[doc(hidden)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Barrier {
+    /// A `Submitted` record hit disk.
+    Submit,
+    /// A `Started` record hit disk.
+    Start,
+    /// A `Finished` record hit disk.
+    Finish,
+}
+
+/// An armed fault plan. [`FaultPlan::default`] injects nothing.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    kill_at: Option<(Barrier, u64)>,
+    barrier_hits: AtomicU64,
+    conn_drop_every: Option<u64>,
+    conn_delay: Option<Duration>,
+    conns: AtomicU64,
+}
+
+/// What the accept loop should do with a freshly accepted connection.
+#[doc(hidden)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConnFate {
+    /// Serve it normally.
+    Serve,
+    /// Close it without reading a byte (peer sees a reset/EOF).
+    Drop,
+    /// Sleep first, then serve.
+    DelayThenServe(Duration),
+}
+
+impl FaultPlan {
+    /// Parses a plan from the spec grammar above; unknown or malformed
+    /// directives are ignored (chaos tooling must never take the server
+    /// down by typo).
+    pub fn parse(spec: &str) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        for directive in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let parts: Vec<&str> = directive.split(':').collect();
+            match parts.as_slice() {
+                ["kill", barrier, n] => {
+                    let barrier = match *barrier {
+                        "submit" => Barrier::Submit,
+                        "start" => Barrier::Start,
+                        "finish" => Barrier::Finish,
+                        _ => continue,
+                    };
+                    if let Ok(n) = n.parse::<u64>() {
+                        if n > 0 {
+                            plan.kill_at = Some((barrier, n));
+                        }
+                    }
+                }
+                ["conn-drop", n] => {
+                    if let Ok(n) = n.parse::<u64>() {
+                        if n > 0 {
+                            plan.conn_drop_every = Some(n);
+                        }
+                    }
+                }
+                ["conn-delay", ms] => {
+                    if let Ok(ms) = ms.parse::<u64>() {
+                        plan.conn_delay = Some(Duration::from_millis(ms));
+                    }
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+
+    /// The plan the `AMSPLACE_FAULT` environment variable describes;
+    /// empty when unset.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("AMSPLACE_FAULT") {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => FaultPlan::default(),
+        }
+    }
+
+    /// Whether any directive is armed.
+    pub fn is_armed(&self) -> bool {
+        self.kill_at.is_some() || self.conn_drop_every.is_some() || self.conn_delay.is_some()
+    }
+
+    /// Called right after a journal record of this kind is durably on
+    /// disk. Aborts the process when the armed kill count is reached.
+    pub fn at_barrier(&self, barrier: Barrier) {
+        let Some((kind, n)) = self.kill_at else {
+            return;
+        };
+        if kind != barrier {
+            return;
+        }
+        let hit = self.barrier_hits.fetch_add(1, Ordering::Relaxed) + 1;
+        if hit == n {
+            eprintln!("fault injection: aborting at {barrier:?} barrier #{hit}");
+            std::process::abort();
+        }
+    }
+
+    /// Called once per accepted connection.
+    pub fn connection_fate(&self) -> ConnFate {
+        let n = self.conns.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(every) = self.conn_drop_every {
+            if n.is_multiple_of(every) {
+                return ConnFate::Drop;
+            }
+        }
+        match self.conn_delay {
+            Some(delay) => ConnFate::DelayThenServe(delay),
+            None => ConnFate::Serve,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_directives_and_ignores_garbage() {
+        let plan = FaultPlan::parse("kill:start:2, conn-drop:3 ,conn-delay:40,wat:7,kill:bogus:1");
+        assert_eq!(plan.kill_at, Some((Barrier::Start, 2)));
+        assert_eq!(plan.conn_drop_every, Some(3));
+        assert_eq!(plan.conn_delay, Some(Duration::from_millis(40)));
+        assert!(plan.is_armed());
+        assert!(!FaultPlan::parse("").is_armed());
+        assert!(!FaultPlan::parse("kill:start:0,conn-drop:0").is_armed());
+    }
+
+    #[test]
+    fn connection_fates_cycle_deterministically() {
+        let plan = FaultPlan::parse("conn-drop:2");
+        assert_eq!(plan.connection_fate(), ConnFate::Serve);
+        assert_eq!(plan.connection_fate(), ConnFate::Drop);
+        assert_eq!(plan.connection_fate(), ConnFate::Serve);
+        assert_eq!(plan.connection_fate(), ConnFate::Drop);
+
+        let delay = FaultPlan::parse("conn-delay:10");
+        assert_eq!(
+            delay.connection_fate(),
+            ConnFate::DelayThenServe(Duration::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn mismatched_barriers_never_fire() {
+        // If this aborted, the test process would die — reaching the end
+        // is the assertion.
+        let plan = FaultPlan::parse("kill:finish:1");
+        plan.at_barrier(Barrier::Submit);
+        plan.at_barrier(Barrier::Start);
+        let unarmed = FaultPlan::default();
+        unarmed.at_barrier(Barrier::Finish);
+    }
+}

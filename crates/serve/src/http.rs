@@ -2,17 +2,100 @@
 //! one request per connection (`Connection: close`), bodies delimited by
 //! `Content-Length`, everything JSON. Just enough wire protocol for the
 //! placement service and its loopback clients — not a general web server.
+//!
+//! The read side is hardened against hostile or broken peers: a
+//! [`Limits`] caps the body size and bounds how long a connection may
+//! dribble bytes, so a slow-loris or an oversized payload costs one
+//! thread a bounded amount of time and memory, never a wedge. Each
+//! failure mode maps to its own [`ReadError`] so the server can answer
+//! with the right status (408/411/413/431) instead of silently dropping.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use ams_netlist::json::Json;
 
-/// Upper bound on a request body (a large inline design is ~100 KiB;
-/// this leaves two orders of magnitude of headroom).
+/// Default upper bound on a request body (a large inline design is
+/// ~100 KiB; this leaves two orders of magnitude of headroom).
 pub const MAX_BODY: usize = 16 * 1024 * 1024;
 /// Upper bound on the request line plus headers.
 const MAX_HEAD: usize = 64 * 1024;
+/// Default per-connection read deadline.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-connection protections the accept loop applies while reading.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Reject bodies larger than this with [`ReadError::BodyTooLarge`].
+    pub max_body: usize,
+    /// Socket read deadline; a peer that stalls longer gets
+    /// [`ReadError::TimedOut`]. `None` waits forever (tests only).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_body: MAX_BODY,
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
+        }
+    }
+}
+
+/// Why a request could not be read. Variants with a
+/// [`status`](ReadError::status) deserve an HTTP error response; the
+/// rest mean the peer is not speaking HTTP and the connection is simply
+/// dropped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Not HTTP (bad request line / framing): drop without a response.
+    Malformed(&'static str),
+    /// The peer stalled past the read deadline → 408.
+    TimedOut,
+    /// Request line + headers exceeded the 64 KiB head cap → 431.
+    HeadersTooLarge,
+    /// A body-bearing method without `Content-Length` → 411 (this
+    /// protocol subset has no chunked encoding).
+    LengthRequired,
+    /// Declared or actual body over [`Limits::max_body`] → 413.
+    BodyTooLarge,
+    /// Transport failure mid-read: drop.
+    Io(io::Error),
+}
+
+impl ReadError {
+    /// The HTTP status this failure deserves, or `None` when the peer
+    /// gets no response at all.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ReadError::TimedOut => Some(408),
+            ReadError::LengthRequired => Some(411),
+            ReadError::BodyTooLarge => Some(413),
+            ReadError::HeadersTooLarge => Some(431),
+            ReadError::Malformed(_) | ReadError::Io(_) => None,
+        }
+    }
+
+    /// Human-readable explanation for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            ReadError::Malformed(msg) => (*msg).to_string(),
+            ReadError::TimedOut => "request read timed out".to_string(),
+            ReadError::HeadersTooLarge => "headers too large".to_string(),
+            ReadError::LengthRequired => "Content-Length required".to_string(),
+            ReadError::BodyTooLarge => "request body too large".to_string(),
+            ReadError::Io(e) => format!("read failed: {e}"),
+        }
+    }
+}
+
+fn classify_io(e: io::Error) -> ReadError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::TimedOut,
+        _ => ReadError::Io(e),
+    }
+}
 
 /// A parsed request: method, path, and the raw body.
 #[derive(Debug)]
@@ -33,27 +116,35 @@ impl Request {
     }
 }
 
-/// Reads one request from the stream. Returns `Err` on malformed framing
-/// (the connection is then dropped without a response — the peer is not
-/// speaking HTTP).
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+/// Reads one request from the stream under `limits`. The stream's read
+/// timeout is armed for the whole exchange, so a peer that sends one
+/// byte per minute hits [`ReadError::TimedOut`] instead of pinning the
+/// thread.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
+    stream
+        .set_read_timeout(limits.read_timeout)
+        .map_err(ReadError::Io)?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    reader.read_line(&mut line).map_err(classify_io)?;
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
-        _ => return Err(bad("malformed request line")),
+        _ => return Err(ReadError::Malformed("malformed request line")),
     };
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut head_bytes = line.len();
     loop {
         let mut header = String::new();
-        reader.read_line(&mut header)?;
+        reader.read_line(&mut header).map_err(classify_io)?;
+        if header.is_empty() {
+            // EOF before the blank line: torn request.
+            return Err(ReadError::Malformed("truncated headers"));
+        }
         head_bytes += header.len();
         if head_bytes > MAX_HEAD {
-            return Err(bad("headers too large"));
+            return Err(ReadError::HeadersTooLarge);
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -61,31 +152,56 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed = value
                     .trim()
                     .parse()
-                    .map_err(|_| bad("bad content-length"))?;
+                    .map_err(|_| ReadError::Malformed("bad content-length"))?;
+                content_length = Some(parsed);
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(bad("body too large"));
+
+    let content_length = match content_length {
+        Some(n) => n,
+        // A body-bearing method must declare its length up front —
+        // otherwise "read to EOF" would let any peer stream unbounded
+        // bytes into memory.
+        None if method == "POST" || method == "PUT" || method == "PATCH" => {
+            return Err(ReadError::LengthRequired)
+        }
+        None => 0,
+    };
+    if content_length > limits.max_body {
+        return Err(ReadError::BodyTooLarge);
     }
 
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    reader.read_exact(&mut body).map_err(classify_io)?;
     Ok(Request { method, path, body })
 }
 
 /// Writes a JSON response with the given status code and closes out the
 /// exchange (`Connection: close`).
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> io::Result<()> {
+    write_response_with(stream, status, &[], body)
+}
+
+/// [`write_response`] plus extra headers (e.g. `Retry-After`).
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &Json,
+) -> io::Result<()> {
     let text = body.pretty();
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        reason(status),
+    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "Content-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         text.len(),
-    );
+    ));
     stream.write_all(head.as_bytes())?;
     stream.write_all(text.as_bytes())?;
     stream.flush()
@@ -98,15 +214,15 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
-}
-
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
 #[cfg(test)]
@@ -114,17 +230,28 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
 
-    #[test]
-    fn round_trips_a_request_and_response() {
+    fn serve_one(
+        limits: Limits,
+        handler: impl FnOnce(Result<Request, ReadError>, &mut TcpStream) + Send + 'static,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = std::thread::spawn(move || {
+        let handle = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
-            let req = read_request(&mut stream).unwrap();
+            let result = read_request(&mut stream, &limits);
+            handler(result, &mut stream);
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn round_trips_a_request_and_response() {
+        let (addr, server) = serve_one(Limits::default(), |result, stream| {
+            let req = result.unwrap();
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/v1/echo");
             let doc = req.json().unwrap();
-            write_response(&mut stream, 200, &doc).unwrap();
+            write_response(stream, 200, &doc).unwrap();
         });
 
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -138,6 +265,88 @@ mod tests {
         stream.read_to_string(&mut reply).unwrap();
         assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
         assert!(reply.contains(r#""hello": 1"#), "{reply}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn missing_length_posts_get_411() {
+        let (addr, server) = serve_one(Limits::default(), |result, _| {
+            let err = result.expect_err("no content-length");
+            assert_eq!(err.status(), Some(411));
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        server.join().unwrap();
+        // A GET without a length is fine — there is no body to bound.
+        let (addr, server) = serve_one(Limits::default(), |result, _| {
+            assert!(result.unwrap().body.is_empty());
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_bodies_get_413_without_allocation() {
+        let limits = Limits {
+            max_body: 1024,
+            ..Limits::default()
+        };
+        let (addr, server) = serve_one(limits, |result, _| {
+            let err = result.expect_err("over the body cap");
+            assert_eq!(err.status(), Some(413));
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Declares 1 GiB but never needs to send it: the declared length
+        // alone is rejected before any body allocation.
+        stream
+            .write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\n")
+            .unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn slow_loris_times_out_as_408() {
+        let limits = Limits {
+            read_timeout: Some(Duration::from_millis(100)),
+            ..Limits::default()
+        };
+        let (addr, server) = serve_one(limits, |result, _| {
+            let err = result.expect_err("peer stalled");
+            assert_eq!(err.status(), Some(408), "{err:?}");
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Send half a request line and stall past the deadline.
+        stream.write_all(b"POST /v1/jo").unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        server.join().unwrap();
+        drop(stream);
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let (addr, server) = serve_one(Limits::default(), |result, stream| {
+            let _ = result.unwrap();
+            write_response_with(
+                stream,
+                429,
+                &[("Retry-After", "1".to_string())],
+                &Json::obj([]),
+            )
+            .unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 429 "), "{reply}");
+        assert!(reply.contains("Retry-After: 1\r\n"), "{reply}");
         server.join().unwrap();
     }
 }

@@ -1,5 +1,6 @@
 //! The job engine: a bounded FIFO queue drained by a worker pool, an
-//! exact-result cache, and a warm-solver pool.
+//! exact-result cache, a warm-solver pool — and, when journaling is on,
+//! a durable write-ahead log that makes all of it crash-safe.
 //!
 //! ## The two cache levels
 //!
@@ -19,6 +20,26 @@
 //!    window reshapes) just those families' selector groups are retired
 //!    and re-lowered — the SAT core keeps its learnt clauses and saved
 //!    phases. Structural deltas fall back to a cold build.
+//!
+//! ## Durability & overload
+//!
+//! With a journal attached, every submission, worker pickup, and
+//! terminal result is fsync'd to the WAL *before* the in-memory state
+//! changes (`journal → state`, always under the state lock so the WAL
+//! order matches the id order). [`Engine::recover`] replays a prior
+//! process's WAL: done jobs repopulate the exact cache and keep
+//! answering polls, queued jobs re-enter the queue, and mid-solve jobs
+//! are re-run or marked `interrupted` per [`ResumePolicy`].
+//!
+//! Admission control degrades before it fails: past the shed
+//! high-water mark only *cheap* submissions (exact-cache hits and
+//! warm-pool designs) are admitted and cold solves get
+//! [`Submitted::Shed`] (HTTP 503 + `Retry-After`); at full queue
+//! capacity everything gets [`Submitted::Saturated`] (429). The
+//! `degraded` flag in `/v1/stats` and `/v1/healthz` mirrors the
+//! high-water condition. A client-supplied idempotency key dedups
+//! retried submissions inside a bounded window so a retry storm never
+//! double-solves.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -30,6 +51,9 @@ use ams_place::api::{
     self, ApiError, ErrorKind, JobStatus, PlaceRequest, PlaceResponse, SCHEMA_VERSION,
 };
 use ams_place::{PlaceError, Placer, WarmReuse};
+
+use crate::fault::{Barrier, FaultPlan};
+use crate::journal::{Journal, Record, ReplayJob, ReplayState};
 
 /// A live reusable solver pinned to one design.
 ///
@@ -71,6 +95,10 @@ struct JobRecord {
     cancel: Arc<AtomicBool>,
     /// Present while the job waits in the queue; the worker takes it.
     request: Option<Box<PlaceRequest>>,
+    /// The request's wire form, retained while the job can still appear
+    /// in a compaction snapshot (queued, running, or terminal-and-
+    /// cache-rehydratable). `None` once it can never be needed again.
+    request_wire: Option<Json>,
     /// Present once the job is terminal.
     response: Option<PlaceResponse>,
 }
@@ -81,6 +109,24 @@ struct State {
     jobs: HashMap<u64, JobRecord>,
     queue: VecDeque<u64>,
     next_id: u64,
+    /// Idempotency window: key → job id, FIFO-evicted at the cap.
+    idem: HashMap<String, u64>,
+    idem_order: VecDeque<String>,
+}
+
+impl State {
+    fn remember_key(&mut self, key: &str, id: u64, window: usize) {
+        if window == 0 || self.idem.contains_key(key) {
+            return;
+        }
+        while self.idem_order.len() >= window {
+            if let Some(evicted) = self.idem_order.pop_front() {
+                self.idem.remove(&evicted);
+            }
+        }
+        self.idem.insert(key.to_string(), id);
+        self.idem_order.push_back(key.to_string());
+    }
 }
 
 /// Monotonic service counters, exposed by `GET /v1/stats` and consumed
@@ -90,10 +136,75 @@ pub struct Counters {
     pub submitted: AtomicU64,
     pub completed: AtomicU64,
     pub rejected: AtomicU64,
+    /// Cold submissions refused while degraded (503).
+    pub shed: AtomicU64,
+    /// Submissions resolved to an existing job by idempotency key.
+    pub deduped: AtomicU64,
     pub exact_hits: AtomicU64,
     pub warm_identical: AtomicU64,
     pub warm_relowered: AtomicU64,
     pub cold_builds: AtomicU64,
+}
+
+/// Engine tuning; [`crate::ServeConfig`] resolves the CLI/default view
+/// of these.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Bounded queue capacity; submissions past it get 429.
+    pub queue_cap: usize,
+    /// Exact-result cache entries.
+    pub exact_cap: usize,
+    /// Warm solver pool entries.
+    pub warm_cap: usize,
+    /// Queue depth at which the engine degrades: cold submissions shed
+    /// (503) while cached/warm submissions still queue.
+    pub shed_high_water: usize,
+    /// Idempotency keys remembered before FIFO eviction.
+    pub idem_window: usize,
+}
+
+impl EngineConfig {
+    /// The engine shape for a queue of `queue_cap`: shedding starts at
+    /// 3/4 capacity, modest cache caps — the same defaults
+    /// [`crate::ServeConfig::default`] uses.
+    pub fn for_queue(queue_cap: usize) -> EngineConfig {
+        EngineConfig {
+            queue_cap,
+            exact_cap: 64,
+            warm_cap: 4,
+            shed_high_water: (queue_cap.saturating_mul(3) / 4).max(1),
+            idem_window: 256,
+        }
+    }
+}
+
+/// What to do on resume with jobs the dead process had mid-solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResumePolicy {
+    /// Put them back at the head of the queue and solve again.
+    Rerun,
+    /// Mark them terminal `interrupted`; the client decides whether to
+    /// resubmit.
+    MarkInterrupted,
+}
+
+/// What [`Engine::recover`] did with a replayed journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Jobs that were terminal on record and now answer polls again.
+    pub completed: usize,
+    /// Queued jobs put back in the queue.
+    pub requeued: usize,
+    /// Mid-solve jobs re-run ([`ResumePolicy::Rerun`]).
+    pub reran: usize,
+    /// Mid-solve jobs marked interrupted
+    /// ([`ResumePolicy::MarkInterrupted`]).
+    pub interrupted: usize,
+    /// Done results re-inserted into the exact cache.
+    pub cache_rehydrated: usize,
+    /// Journal records that could not be folded (malformed embedded
+    /// documents) and were dropped.
+    pub unparseable: usize,
 }
 
 /// Everything the accept loop, handlers, and workers share.
@@ -102,49 +213,112 @@ pub struct Engine {
     work: Condvar,
     exact: Mutex<HashMap<(u64, u64), PlaceResponse>>,
     warm: Mutex<HashMap<u64, WarmSolver>>,
+    /// The WAL; `None` runs the engine exactly as the journal-free PR 7
+    /// service. Only ever locked while `state` is held (lock order:
+    /// state → journal), which also makes WAL order match id order.
+    journal: Mutex<Option<Journal>>,
+    /// Fault-injection plan; inert by default.
+    pub faults: FaultPlan,
     pub counters: Counters,
     pub running: AtomicBool,
-    queue_cap: usize,
-    exact_cap: usize,
-    warm_cap: usize,
+    config: EngineConfig,
 }
 
 /// What `POST /v1/jobs` hands back.
 pub enum Submitted {
     /// Accepted: the job id to poll.
     Queued(u64),
+    /// An idempotency key matched a remembered submission: poll that
+    /// job instead; nothing was re-solved.
+    Deduplicated(u64),
     /// The bounded queue is full — retry later (HTTP 429).
     Saturated,
+    /// Degraded mode shed this cold solve to protect cached traffic —
+    /// retry later (HTTP 503 + `Retry-After`).
+    Shed,
 }
 
 impl Engine {
-    pub fn new(queue_cap: usize, exact_cap: usize, warm_cap: usize) -> Engine {
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine::with_journal(config, None, FaultPlan::default())
+    }
+
+    /// An engine with an optional WAL and fault plan attached. Call
+    /// [`Engine::recover`] with the journal's replayed records *before*
+    /// spawning workers.
+    pub fn with_journal(
+        config: EngineConfig,
+        journal: Option<Journal>,
+        faults: FaultPlan,
+    ) -> Engine {
         Engine {
             state: Mutex::new(State {
                 jobs: HashMap::new(),
                 queue: VecDeque::new(),
                 next_id: 1,
+                idem: HashMap::new(),
+                idem_order: VecDeque::new(),
             }),
             work: Condvar::new(),
             exact: Mutex::new(HashMap::new()),
             warm: Mutex::new(HashMap::new()),
+            journal: Mutex::new(journal),
+            faults,
             counters: Counters::default(),
             running: AtomicBool::new(true),
-            queue_cap,
-            exact_cap,
-            warm_cap,
+            config,
         }
     }
 
-    /// Enqueues a request; rejects when the queue is at capacity.
+    /// Appends one record to the WAL (if attached) and fires the
+    /// matching fault barrier once the record is durable. Must be called
+    /// with the state lock held so WAL order is the lock order. A write
+    /// failure disables journaling for the rest of the process rather
+    /// than failing jobs: serving degrades to non-durable, loudly.
+    fn journal_append(&self, st: &State, record: Record, barrier: Barrier) {
+        let mut slot = self.journal.lock().expect("journal lock");
+        let Some(journal) = slot.as_mut() else { return };
+        if let Err(e) = journal.append(&record) {
+            eprintln!("journal: append failed ({e}); continuing WITHOUT durability");
+            *slot = None;
+            return;
+        }
+        self.faults.at_barrier(barrier);
+        if journal.wants_compaction() {
+            let snapshot = snapshot_records(st, self.config.exact_cap);
+            if let Err(e) = journal.compact(&snapshot) {
+                eprintln!("journal: compaction failed ({e}); continuing WITHOUT durability");
+                *slot = None;
+            }
+        }
+    }
+
+    /// Enqueues a request; dedups on idempotency key, sheds cold work
+    /// when degraded, rejects when the queue is at capacity.
     pub fn submit(&self, request: PlaceRequest) -> Submitted {
         let mut st = self.state.lock().expect("engine lock");
-        if st.queue.len() >= self.queue_cap {
+        if let Some(key) = &request.idempotency_key {
+            if let Some(&existing) = st.idem.get(key) {
+                self.counters.deduped.fetch_add(1, Ordering::Relaxed);
+                return Submitted::Deduplicated(existing);
+            }
+        }
+        let depth = st.queue.len();
+        if depth >= self.config.queue_cap {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Submitted::Saturated;
         }
+        if depth >= self.config.shed_high_water && !self.is_cheap(&request) {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Submitted::Shed;
+        }
+        let wire = request.to_json();
         let id = st.next_id;
         st.next_id += 1;
+        if let Some(key) = &request.idempotency_key {
+            let window = self.config.idem_window;
+            st.remember_key(key, id, window);
+        }
         st.jobs.insert(
             id,
             JobRecord {
@@ -152,14 +326,203 @@ impl Engine {
                 status: JobStatus::Queued,
                 cancel: Arc::new(AtomicBool::new(false)),
                 request: Some(Box::new(request)),
+                request_wire: Some(wire.clone()),
                 response: None,
             },
         );
         st.queue.push_back(id);
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.journal_append(
+            &st,
+            Record::Submitted {
+                job_id: id,
+                request: wire,
+            },
+            Barrier::Submit,
+        );
         drop(st);
         self.work.notify_one();
         Submitted::Queued(id)
+    }
+
+    /// Whether a degraded engine should still admit this request: it
+    /// resolves from the exact cache, or its design has a live warm
+    /// solver — either way it won't occupy a worker for a cold solve.
+    fn is_cheap(&self, request: &PlaceRequest) -> bool {
+        let design = request.effective_design();
+        let dh = api::design_hash(&design);
+        let oh = api::options_hash(&request.options);
+        if self
+            .exact
+            .lock()
+            .expect("exact lock")
+            .contains_key(&(dh, oh))
+        {
+            return true;
+        }
+        self.warm.lock().expect("warm lock").contains_key(&dh)
+    }
+
+    /// Whether the engine is past its shed high-water mark.
+    pub fn degraded(&self) -> bool {
+        let st = self.state.lock().expect("engine lock");
+        st.queue.len() >= self.config.shed_high_water
+    }
+
+    /// Rebuilds engine state from a replayed journal. Terminal jobs
+    /// answer polls again (deadline-free `done` results also re-enter
+    /// the exact cache and re-arm their idempotency keys); queued jobs
+    /// re-enter the queue; mid-solve jobs follow `policy`. Runs before
+    /// any worker starts, so no lock juggling is needed — but it takes
+    /// the locks anyway to keep the invariants uniform.
+    pub fn recover(&self, replayed: ReplayState, policy: ResumePolicy) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let mut st = self.state.lock().expect("engine lock");
+        st.next_id = st.next_id.max(replayed.max_job_id + 1);
+        for (id, job) in replayed.jobs {
+            match job {
+                ReplayJob::Terminal { request, response } => {
+                    let Ok(response) = PlaceResponse::from_json(&response) else {
+                        report.unparseable += 1;
+                        continue;
+                    };
+                    let parsed = request
+                        .as_ref()
+                        .and_then(|r| PlaceRequest::from_json(r).ok());
+                    let mut keep_wire = false;
+                    if response.status == JobStatus::Done {
+                        if let Some(req) = &parsed {
+                            if req.options.deadline_ms.is_none() {
+                                let design = req.effective_design();
+                                let key =
+                                    (api::design_hash(&design), api::options_hash(&req.options));
+                                let mut stored = response.clone();
+                                stored.cached = false;
+                                let mut exact = self.exact.lock().expect("exact lock");
+                                if exact.len() < self.config.exact_cap || exact.contains_key(&key) {
+                                    exact.insert(key, stored);
+                                    report.cache_rehydrated += 1;
+                                    keep_wire = true;
+                                }
+                            }
+                            if let Some(idem) = &req.idempotency_key {
+                                let window = self.config.idem_window;
+                                st.remember_key(idem, id, window);
+                            }
+                        }
+                    }
+                    st.jobs.insert(
+                        id,
+                        JobRecord {
+                            design: response.design.clone(),
+                            status: response.status,
+                            cancel: Arc::new(AtomicBool::new(false)),
+                            request: None,
+                            request_wire: if keep_wire { request } else { None },
+                            response: Some(response),
+                        },
+                    );
+                    report.completed += 1;
+                }
+                ReplayJob::Queued { request } => {
+                    let Ok(parsed) = PlaceRequest::from_json(&request) else {
+                        report.unparseable += 1;
+                        continue;
+                    };
+                    if let Some(idem) = parsed.idempotency_key.clone() {
+                        let window = self.config.idem_window;
+                        st.remember_key(&idem, id, window);
+                    }
+                    st.jobs.insert(
+                        id,
+                        JobRecord {
+                            design: parsed.design.name().to_string(),
+                            status: JobStatus::Queued,
+                            cancel: Arc::new(AtomicBool::new(false)),
+                            request: Some(Box::new(parsed)),
+                            request_wire: Some(request),
+                            response: None,
+                        },
+                    );
+                    st.queue.push_back(id);
+                    report.requeued += 1;
+                }
+                ReplayJob::Running { request } => match policy {
+                    ResumePolicy::Rerun => {
+                        let Ok(parsed) = PlaceRequest::from_json(&request) else {
+                            report.unparseable += 1;
+                            continue;
+                        };
+                        if let Some(idem) = parsed.idempotency_key.clone() {
+                            let window = self.config.idem_window;
+                            st.remember_key(&idem, id, window);
+                        }
+                        st.jobs.insert(
+                            id,
+                            JobRecord {
+                                design: parsed.design.name().to_string(),
+                                status: JobStatus::Queued,
+                                cancel: Arc::new(AtomicBool::new(false)),
+                                request: Some(Box::new(parsed)),
+                                request_wire: Some(request.clone()),
+                                response: None,
+                            },
+                        );
+                        // Re-run jobs jump the line: they were in
+                        // flight first. The fresh Submitted record
+                        // supersedes the dead process's Started (last
+                        // write wins on the next replay).
+                        st.queue.push_front(id);
+                        self.journal_append(
+                            &st,
+                            Record::Submitted {
+                                job_id: id,
+                                request,
+                            },
+                            Barrier::Submit,
+                        );
+                        report.reran += 1;
+                    }
+                    ResumePolicy::MarkInterrupted => {
+                        let design = PlaceRequest::from_json(&request)
+                            .map(|r| r.design.name().to_string())
+                            .unwrap_or_else(|_| "unknown".to_string());
+                        let response = interrupted_response(&design);
+                        st.jobs.insert(
+                            id,
+                            JobRecord {
+                                design,
+                                status: JobStatus::Interrupted,
+                                cancel: Arc::new(AtomicBool::new(false)),
+                                request: None,
+                                request_wire: None,
+                                response: Some(response.clone()),
+                            },
+                        );
+                        self.journal_append(
+                            &st,
+                            Record::Finished {
+                                job_id: id,
+                                response: response.to_json(),
+                            },
+                            Barrier::Finish,
+                        );
+                        report.interrupted += 1;
+                    }
+                },
+            }
+        }
+        // Start the new process from a compact WAL: one snapshot instead
+        // of the dead process's whole history.
+        let mut slot = self.journal.lock().expect("journal lock");
+        if let Some(journal) = slot.as_mut() {
+            let snapshot = snapshot_records(&st, self.config.exact_cap);
+            if let Err(e) = journal.compact(&snapshot) {
+                eprintln!("journal: post-recovery compaction failed ({e}); continuing");
+            }
+        }
+        drop(slot);
+        report
     }
 
     /// The poll document for `GET /v1/jobs/<id>`; `None` for unknown ids.
@@ -192,8 +555,21 @@ impl Engine {
             JobStatus::Queued => {
                 rec.status = JobStatus::Cancelled;
                 rec.request = None;
+                rec.request_wire = None;
                 let design = rec.design.clone();
-                rec.response = Some(cancelled_while_queued(&design));
+                let response = cancelled_while_queued(&design);
+                let wire = response.to_json();
+                rec.response = Some(response);
+                let status = rec.status;
+                self.journal_append(
+                    &st,
+                    Record::Finished {
+                        job_id: id,
+                        response: wire,
+                    },
+                    Barrier::Finish,
+                );
+                return Some(status);
             }
             JobStatus::Running => rec.cancel.store(true, Ordering::Relaxed),
             _ => {}
@@ -205,8 +581,13 @@ impl Engine {
     pub fn stats(&self) -> Json {
         let st = self.state.lock().expect("engine lock");
         let queue_depth = st.queue.len() as u64;
+        let degraded = st.queue.len() >= self.config.shed_high_water;
         drop(st);
         let warm_pool = self.warm.lock().expect("warm lock").len() as u64;
+        let journal = {
+            let slot = self.journal.lock().expect("journal lock");
+            slot.as_ref().map(|j| j.stats())
+        };
         let c = &self.counters;
         let n = |a: &AtomicU64| Json::uint(a.load(Ordering::Relaxed));
         Json::obj([
@@ -214,12 +595,27 @@ impl Engine {
             ("submitted", n(&c.submitted)),
             ("completed", n(&c.completed)),
             ("rejected", n(&c.rejected)),
+            ("shed", n(&c.shed)),
+            ("deduped", n(&c.deduped)),
             ("exact_hits", n(&c.exact_hits)),
             ("warm_identical", n(&c.warm_identical)),
             ("warm_relowered", n(&c.warm_relowered)),
             ("cold_builds", n(&c.cold_builds)),
             ("queue_depth", Json::uint(queue_depth)),
+            ("degraded", Json::Bool(degraded)),
             ("warm_pool", Json::uint(warm_pool)),
+            (
+                "journal",
+                journal.map_or(Json::Null, |j| {
+                    Json::obj([
+                        ("segment", Json::uint(j.segment)),
+                        ("segment_bytes", Json::uint(j.segment_bytes)),
+                        ("appended", Json::uint(j.appended)),
+                        ("replayed", Json::uint(j.replayed)),
+                        ("tail_discarded", Json::Bool(j.tail_discarded)),
+                    ])
+                }),
+            ),
         ])
     }
 
@@ -245,7 +641,9 @@ impl Engine {
                         }
                         rec.status = JobStatus::Running;
                         let request = rec.request.take().expect("queued job holds its request");
-                        break (id, request, rec.cancel.clone());
+                        let cancel = rec.cancel.clone();
+                        self.journal_append(&st, Record::Started { job_id: id }, Barrier::Start);
+                        break (id, request, cancel);
                     }
                     st = self.work.wait(st).expect("engine lock");
                 }
@@ -254,8 +652,22 @@ impl Engine {
             let response = self.run_one(&request, &cancel);
             let status = response.status;
             let mut st = self.state.lock().expect("engine lock");
+            self.journal_append(
+                &st,
+                Record::Finished {
+                    job_id: id,
+                    response: response.to_json(),
+                },
+                Barrier::Finish,
+            );
             if let Some(rec) = st.jobs.get_mut(&id) {
                 rec.status = status;
+                // A deadline-free done result may re-enter the exact
+                // cache from a snapshot after a restart; anything else
+                // will never need its request again.
+                if !(status == JobStatus::Done && request.options.deadline_ms.is_none()) {
+                    rec.request_wire = None;
+                }
                 rec.response = Some(response);
             }
             drop(st);
@@ -301,14 +713,14 @@ impl Engine {
         // a cancelled or degraded job (assumption-based solving never
         // poisons the clause database).
         let mut warm = self.warm.lock().expect("warm lock");
-        if warm.len() < self.warm_cap || warm.contains_key(&dh) {
+        if warm.len() < self.config.warm_cap || warm.contains_key(&dh) {
             warm.insert(dh, solver);
         }
         drop(warm);
 
         if response.status == JobStatus::Done && request.options.deadline_ms.is_none() {
             let mut exact = self.exact.lock().expect("exact lock");
-            if exact.len() < self.exact_cap {
+            if exact.len() < self.config.exact_cap {
                 exact.insert((dh, oh), response.clone());
             }
         }
@@ -345,6 +757,64 @@ impl Engine {
     }
 }
 
+/// The live-state snapshot a compaction writes: every queued job's
+/// submission, every running job's submission + start, and the most
+/// recent `terminal_cap` cache-rehydratable terminal jobs (submission +
+/// result). Older terminal jobs age out of the WAL — their results were
+/// already bounded by the exact-cache capacity.
+fn snapshot_records(st: &State, terminal_cap: usize) -> Vec<Record> {
+    let mut ids: Vec<u64> = st.jobs.keys().copied().collect();
+    ids.sort_unstable();
+    let terminal_total = ids
+        .iter()
+        .filter(|id| st.jobs[id].status.is_terminal())
+        .count();
+    let mut skip_terminals = terminal_total.saturating_sub(terminal_cap);
+    let mut records = Vec::new();
+    for id in ids {
+        let rec = &st.jobs[&id];
+        match rec.status {
+            JobStatus::Queued => {
+                if let Some(wire) = &rec.request_wire {
+                    records.push(Record::Submitted {
+                        job_id: id,
+                        request: wire.clone(),
+                    });
+                }
+            }
+            JobStatus::Running => {
+                if let Some(wire) = &rec.request_wire {
+                    records.push(Record::Submitted {
+                        job_id: id,
+                        request: wire.clone(),
+                    });
+                    records.push(Record::Started { job_id: id });
+                }
+            }
+            _ => {
+                if skip_terminals > 0 {
+                    skip_terminals -= 1;
+                    continue;
+                }
+                let Some(response) = &rec.response else {
+                    continue;
+                };
+                if let Some(wire) = &rec.request_wire {
+                    records.push(Record::Submitted {
+                        job_id: id,
+                        request: wire.clone(),
+                    });
+                }
+                records.push(Record::Finished {
+                    job_id: id,
+                    response: response.to_json(),
+                });
+            }
+        }
+    }
+    records
+}
+
 /// The terminal response for a job cancelled before a worker picked it
 /// up: no solver ever ran, so there is no [`PlaceError`] to convert.
 fn cancelled_while_queued(design: &str) -> PlaceResponse {
@@ -356,6 +826,26 @@ fn cancelled_while_queued(design: &str) -> PlaceResponse {
         error: Some(ApiError {
             kind: ErrorKind::Cancelled,
             message: "cancelled while queued".to_string(),
+            provenance: Vec::new(),
+        }),
+        stats: None,
+        cells: None,
+    }
+}
+
+/// The terminal response for a job the dead process had mid-solve when
+/// the resume policy is [`ResumePolicy::MarkInterrupted`].
+fn interrupted_response(design: &str) -> PlaceResponse {
+    PlaceResponse {
+        schema_version: SCHEMA_VERSION,
+        design: design.to_string(),
+        status: JobStatus::Interrupted,
+        cached: false,
+        error: Some(ApiError {
+            kind: ErrorKind::Interrupted,
+            message: "interrupted: the serving process died while this job was running; \
+                      resubmit to solve again"
+                .to_string(),
             provenance: Vec::new(),
         }),
         stats: None,
@@ -375,12 +865,23 @@ mod tests {
                 quick: true,
                 ..JobOptions::default()
             },
+            idempotency_key: None,
         }
+    }
+
+    fn tiny_engine(queue_cap: usize) -> Engine {
+        Engine::new(EngineConfig {
+            queue_cap,
+            exact_cap: 8,
+            warm_cap: 2,
+            shed_high_water: queue_cap.max(1),
+            idem_window: 8,
+        })
     }
 
     #[test]
     fn saturated_queue_rejects_and_counts() {
-        let engine = Engine::new(1, 8, 2);
+        let engine = tiny_engine(1);
         assert!(matches!(
             engine.submit(quick_request()),
             Submitted::Queued(_)
@@ -393,8 +894,72 @@ mod tests {
     }
 
     #[test]
+    fn idempotency_key_dedups_within_the_window() {
+        let engine = tiny_engine(8);
+        let mut request = quick_request();
+        request.idempotency_key = Some("retry-1".into());
+        let Submitted::Queued(first) = engine.submit(request.clone()) else {
+            panic!("queue has room");
+        };
+        let Submitted::Deduplicated(again) = engine.submit(request.clone()) else {
+            panic!("same key must deduplicate");
+        };
+        assert_eq!(first, again);
+        assert_eq!(engine.counters.deduped.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.counters.submitted.load(Ordering::Relaxed), 1);
+
+        // A different key is a different submission.
+        request.idempotency_key = Some("retry-2".into());
+        assert!(matches!(engine.submit(request), Submitted::Queued(_)));
+    }
+
+    #[test]
+    fn idempotency_window_evicts_fifo() {
+        let mut config = EngineConfig::for_queue(32);
+        config.idem_window = 2;
+        let engine = Engine::new(config);
+        for key in ["a", "b", "c"] {
+            let mut request = quick_request();
+            request.idempotency_key = Some(key.to_string());
+            assert!(matches!(engine.submit(request), Submitted::Queued(_)));
+        }
+        // "a" was evicted: the same key now starts a fresh job.
+        let mut request = quick_request();
+        request.idempotency_key = Some("a".into());
+        assert!(matches!(engine.submit(request), Submitted::Queued(_)));
+        // "c" is still remembered.
+        let mut request = quick_request();
+        request.idempotency_key = Some("c".into());
+        assert!(matches!(engine.submit(request), Submitted::Deduplicated(_)));
+    }
+
+    #[test]
+    fn degraded_engine_sheds_cold_submissions() {
+        let engine = Engine::new(EngineConfig {
+            queue_cap: 8,
+            exact_cap: 8,
+            warm_cap: 2,
+            shed_high_water: 1,
+            idem_window: 8,
+        });
+        assert!(!engine.degraded());
+        assert!(matches!(
+            engine.submit(quick_request()),
+            Submitted::Queued(_)
+        ));
+        // Past the high-water mark with no cache entry for the design:
+        // cold work sheds, and the engine reports degraded.
+        assert!(engine.degraded());
+        assert!(matches!(engine.submit(quick_request()), Submitted::Shed));
+        assert_eq!(engine.counters.shed.load(Ordering::Relaxed), 1);
+        let stats = engine.stats();
+        assert_eq!(stats.field("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(stats.field("shed").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
     fn queued_cancel_terminates_without_a_worker() {
-        let engine = Engine::new(4, 8, 2);
+        let engine = tiny_engine(4);
         let Submitted::Queued(id) = engine.submit(quick_request()) else {
             panic!("queue has room");
         };

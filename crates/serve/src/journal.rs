@@ -1,0 +1,699 @@
+//! The durable job journal: a write-ahead log that makes the serve
+//! stack crash-safe.
+//!
+//! ## Record framing
+//!
+//! Each record is a JSON document framed as
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE FNV-1a checksum][payload bytes]
+//! ```
+//!
+//! The checksum covers the payload only; the length is implicitly
+//! protected because a corrupted length either truncates the frame
+//! (read past end of file) or shifts the checksum window so the FNV
+//! comparison fails. Every append is flushed *and* fsync'd before the
+//! caller proceeds — the fsync return is the durability barrier the
+//! fault-injection hooks key on.
+//!
+//! ## Segments, rotation, compaction
+//!
+//! The journal lives in one directory as `wal-<n>.log` segments,
+//! replayed in index order. When the live tail grows past
+//! [`JournalConfig::max_segment_bytes`], the engine asks the journal to
+//! [`Journal::compact`]: the *live* state (queued and running jobs, the
+//! most recent terminal jobs) is snapshotted into the next segment
+//! index, durably renamed into place, and every older segment deleted.
+//! A crash between the rename and the deletes replays old history
+//! followed by the snapshot — the replay fold is last-write-wins per
+//! job, so the snapshot wins and the leftovers are garbage-collected by
+//! the next compaction.
+//!
+//! ## Corruption
+//!
+//! A torn final write (the classic crash signature) or any bit rot is
+//! detected by the checksum. Replay stops at the first bad frame, the
+//! containing segment is truncated back to its last good byte, and any
+//! later segments are discarded — the journal never panics on a corrupt
+//! tail and never appends after unreadable bytes.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use ams_netlist::json::Json;
+
+/// Refuse to allocate absurd buffers when a corrupted length field
+/// happens to frame-align: no legitimate record (a request embeds at
+/// most one inline design) approaches this.
+const MAX_RECORD: u32 = 64 * 1024 * 1024;
+
+/// 64-bit FNV-1a over the payload — the same dependency-free hash the
+/// API layer uses for cache keys.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// One journal entry. Three kinds cover the whole job lifecycle:
+/// cancellation, interruption, and success are all `Finished` with the
+/// terminal [`PlaceResponse`](ams_place::api::PlaceResponse) embedded.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Record {
+    /// A job entered the queue; the full wire request rides along so a
+    /// restart can re-enqueue (and re-hash) it.
+    Submitted { job_id: u64, request: Json },
+    /// A worker picked the job up.
+    Started { job_id: u64 },
+    /// The job reached a terminal state; the wire response rides along
+    /// so a restart can repopulate the exact-result cache and keep
+    /// serving polls for completed jobs.
+    Finished { job_id: u64, response: Json },
+}
+
+impl Record {
+    /// The job this record concerns.
+    pub fn job_id(&self) -> u64 {
+        match self {
+            Record::Submitted { job_id, .. }
+            | Record::Started { job_id }
+            | Record::Finished { job_id, .. } => *job_id,
+        }
+    }
+
+    /// Serializes to the framed payload's JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Record::Submitted { job_id, request } => Json::obj([
+                ("kind", Json::str("submitted")),
+                ("job_id", Json::uint(*job_id)),
+                ("request", request.clone()),
+            ]),
+            Record::Started { job_id } => Json::obj([
+                ("kind", Json::str("started")),
+                ("job_id", Json::uint(*job_id)),
+            ]),
+            Record::Finished { job_id, response } => Json::obj([
+                ("kind", Json::str("finished")),
+                ("job_id", Json::uint(*job_id)),
+                ("response", response.clone()),
+            ]),
+        }
+    }
+
+    /// Parses a framed payload back into a record.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(doc: &Json) -> Result<Record, String> {
+        let job_id = doc
+            .field("job_id")
+            .and_then(Json::as_u64)
+            .ok_or("record job_id missing")?;
+        match doc.field("kind").and_then(Json::as_str) {
+            Some("submitted") => Ok(Record::Submitted {
+                job_id,
+                request: doc
+                    .field("request")
+                    .ok_or("submitted.request missing")?
+                    .clone(),
+            }),
+            Some("started") => Ok(Record::Started { job_id }),
+            Some("finished") => Ok(Record::Finished {
+                job_id,
+                response: doc
+                    .field("response")
+                    .ok_or("finished.response missing")?
+                    .clone(),
+            }),
+            other => Err(format!("unknown record kind {other:?}")),
+        }
+    }
+}
+
+/// Frames one payload: length, checksum, bytes.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What [`decode_frame`] found at an offset.
+#[derive(PartialEq, Eq, Debug)]
+pub enum Frame<'a> {
+    /// A whole, checksum-valid record payload; `next` is the offset of
+    /// the following frame.
+    Ok { payload: &'a [u8], next: usize },
+    /// Clean end of input: the offset sits exactly at the buffer end.
+    End,
+    /// Anything else — a torn tail, a checksum mismatch, an impossible
+    /// length. The journal is valid up to `at` and unreadable after.
+    Corrupt,
+}
+
+/// Decodes the frame starting at `at`, verifying length and checksum.
+pub fn decode_frame(buf: &[u8], at: usize) -> Frame<'_> {
+    if at == buf.len() {
+        return Frame::End;
+    }
+    if at + 12 > buf.len() {
+        return Frame::Corrupt;
+    }
+    let len = u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"));
+    if len > MAX_RECORD {
+        return Frame::Corrupt;
+    }
+    let sum = u64::from_le_bytes(buf[at + 4..at + 12].try_into().expect("8 bytes"));
+    let start = at + 12;
+    let Some(end) = start.checked_add(len as usize) else {
+        return Frame::Corrupt;
+    };
+    if end > buf.len() {
+        return Frame::Corrupt;
+    }
+    let payload = &buf[start..end];
+    if fnv1a(payload) != sum {
+        return Frame::Corrupt;
+    }
+    Frame::Ok { payload, next: end }
+}
+
+/// Encodes a record into its on-disk frame.
+pub fn encode_record(record: &Record) -> Vec<u8> {
+    encode_frame(record.to_json().pretty().as_bytes())
+}
+
+/// Journal tuning.
+#[derive(Clone, Debug)]
+pub struct JournalConfig {
+    /// Size past which the live segment triggers compaction into a
+    /// fresh one.
+    pub max_segment_bytes: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            max_segment_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Counters for `/v1/stats` and the resume banner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JournalStats {
+    /// Index of the live segment.
+    pub segment: u64,
+    /// Bytes in the live segment.
+    pub segment_bytes: u64,
+    /// Records appended since this process opened the journal.
+    pub appended: u64,
+    /// Records recovered from disk at open.
+    pub replayed: u64,
+    /// Whether the open discarded a corrupt tail.
+    pub tail_discarded: bool,
+}
+
+/// The open write-ahead log. All appends are fsync'd; all methods are
+/// `&mut` — callers serialize access behind their own lock.
+pub struct Journal {
+    dir: PathBuf,
+    file: File,
+    segment: u64,
+    segment_bytes: u64,
+    config: JournalConfig,
+    appended: u64,
+    replayed: u64,
+    tail_discarded: bool,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.log"))
+}
+
+/// The sorted `(index, path)` list of committed segments in `dir`.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        // An orphaned .tmp is an interrupted compaction whose rename
+        // never happened: the old segments are all still present, so the
+        // half-written snapshot is simply dead weight.
+        if name.starts_with("wal-") && name.ends_with(".log.tmp") {
+            let _ = fs::remove_file(entry.path());
+            continue;
+        }
+        let Some(index) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        segments.push((index, entry.path()));
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// Best-effort directory fsync so renames and unlinks are durable. Some
+/// filesystems refuse to sync directories; that only weakens the
+/// compaction barrier, never record durability.
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal in `dir` and replays every
+    /// committed record. Corrupt or torn tails are discarded: the
+    /// offending segment is truncated to its last good byte and any
+    /// later segments are deleted.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation, read, or open failures, verbatim. Corruption
+    /// is *not* an error — it is the crash signature this type exists
+    /// to absorb.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: JournalConfig,
+    ) -> io::Result<(Journal, Vec<Record>)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let segments = list_segments(&dir)?;
+
+        let mut records = Vec::new();
+        let mut tail_discarded = false;
+        let mut keep = segments.len();
+        for (i, (_, path)) in segments.iter().enumerate() {
+            let buf = fs::read(path)?;
+            let mut at = 0usize;
+            loop {
+                match decode_frame(&buf, at) {
+                    Frame::Ok { payload, next } => {
+                        // An undecodable JSON payload with a valid
+                        // checksum means a foreign or future record —
+                        // treat it like corruption: stop here.
+                        let parsed = std::str::from_utf8(payload)
+                            .ok()
+                            .and_then(|text| Json::parse(text).ok())
+                            .and_then(|doc| Record::from_json(&doc).ok());
+                        match parsed {
+                            Some(record) => {
+                                records.push(record);
+                                at = next;
+                            }
+                            None => {
+                                tail_discarded = true;
+                                break;
+                            }
+                        }
+                    }
+                    Frame::End => break,
+                    Frame::Corrupt => {
+                        tail_discarded = true;
+                        break;
+                    }
+                }
+            }
+            if tail_discarded {
+                // Truncate this segment to its last good byte and drop
+                // everything after it — appends must go after readable
+                // records, never after garbage.
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(at as u64)?;
+                file.sync_all()?;
+                keep = i + 1;
+                break;
+            }
+        }
+        for (_, path) in &segments[keep.min(segments.len())..] {
+            let _ = fs::remove_file(path);
+        }
+        if keep < segments.len() {
+            sync_dir(&dir);
+        }
+
+        let segment = segments[..keep.min(segments.len())]
+            .last()
+            .map_or(1, |(index, _)| *index);
+        let path = segment_path(&dir, segment);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let segment_bytes = file.metadata()?.len();
+        let replayed = records.len() as u64;
+        Ok((
+            Journal {
+                dir,
+                file,
+                segment,
+                segment_bytes,
+                config,
+                appended: 0,
+                replayed,
+                tail_discarded,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and fsyncs it. When this returns, the record
+    /// survives `SIGKILL` and power loss.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write or sync failure, verbatim.
+    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+        let frame = encode_record(record);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.segment_bytes += frame.len() as u64;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Whether the live segment has outgrown its budget and the owner
+    /// should snapshot live state into [`Journal::compact`].
+    pub fn wants_compaction(&self) -> bool {
+        self.segment_bytes > self.config.max_segment_bytes
+    }
+
+    /// Replaces the whole journal with a snapshot of `live` records:
+    /// written to the next segment index as a temp file, fsync'd,
+    /// durably renamed, then every older segment deleted. Crash-safe at
+    /// every step — the worst a crash leaves is the old history plus the
+    /// snapshot, which replays to the same state.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write, sync, or rename failure, verbatim.
+    pub fn compact(&mut self, live: &[Record]) -> io::Result<()> {
+        let next = self.segment + 1;
+        let final_path = segment_path(&self.dir, next);
+        let tmp_path = final_path.with_extension("log.tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        let mut bytes = 0u64;
+        for record in live {
+            let frame = encode_record(record);
+            tmp.write_all(&frame)?;
+            bytes += frame.len() as u64;
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir);
+
+        // The snapshot is durable; everything older is now garbage.
+        for (index, path) in list_segments(&self.dir)? {
+            if index < next {
+                let _ = fs::remove_file(path);
+            }
+        }
+        sync_dir(&self.dir);
+
+        self.file = OpenOptions::new().append(true).open(&final_path)?;
+        self.segment = next;
+        self.segment_bytes = bytes;
+        Ok(())
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            segment: self.segment,
+            segment_bytes: self.segment_bytes,
+            appended: self.appended,
+            replayed: self.replayed,
+            tail_discarded: self.tail_discarded,
+        }
+    }
+}
+
+/// A job's state as reconstructed from the journal.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ReplayJob {
+    /// Submitted, never picked up: re-enqueue on resume.
+    Queued { request: Json },
+    /// Picked up, never finished — the process died mid-solve. The
+    /// resume policy decides: re-run, or mark interrupted.
+    Running { request: Json },
+    /// Terminal, response on record. Done results whose requests are
+    /// deadline-free repopulate the exact cache.
+    Terminal {
+        request: Option<Json>,
+        response: Json,
+    },
+}
+
+/// Deterministic fold of a record stream into per-job end states.
+/// The same WAL always reconstructs the same state (the `journal`
+/// round-trip tests pin this), and duplicated history — e.g. an old
+/// segment surviving next to a compaction snapshot — is harmless
+/// because later records win.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ReplayState {
+    /// `(job_id, state)` in first-seen order.
+    pub jobs: Vec<(u64, ReplayJob)>,
+    /// Highest job id on record (0 when the journal is empty); the
+    /// engine resumes numbering above it.
+    pub max_job_id: u64,
+}
+
+/// Folds records into the state a resuming server starts from.
+pub fn replay(records: &[Record]) -> ReplayState {
+    let mut state = ReplayState::default();
+    let position = |jobs: &[(u64, ReplayJob)], id: u64| jobs.iter().position(|(j, _)| *j == id);
+    for record in records {
+        state.max_job_id = state.max_job_id.max(record.job_id());
+        match record {
+            Record::Submitted { job_id, request } => {
+                let fresh = ReplayJob::Queued {
+                    request: request.clone(),
+                };
+                match position(&state.jobs, *job_id) {
+                    Some(i) => state.jobs[i].1 = fresh,
+                    None => state.jobs.push((*job_id, fresh)),
+                }
+            }
+            Record::Started { job_id } => {
+                if let Some(i) = position(&state.jobs, *job_id) {
+                    if let ReplayJob::Queued { request } = state.jobs[i].1.clone() {
+                        state.jobs[i].1 = ReplayJob::Running { request };
+                    }
+                }
+            }
+            Record::Finished { job_id, response } => match position(&state.jobs, *job_id) {
+                Some(i) => {
+                    let request = match &state.jobs[i].1 {
+                        ReplayJob::Queued { request } | ReplayJob::Running { request } => {
+                            Some(request.clone())
+                        }
+                        ReplayJob::Terminal { request, .. } => request.clone(),
+                    };
+                    state.jobs[i].1 = ReplayJob::Terminal {
+                        request,
+                        response: response.clone(),
+                    };
+                }
+                None => state.jobs.push((
+                    *job_id,
+                    ReplayJob::Terminal {
+                        request: None,
+                        response: response.clone(),
+                    },
+                )),
+            },
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        let request = Json::obj([
+            ("design", Json::str("buf")),
+            ("idempotency_key", Json::str("k-1")),
+        ]);
+        let response = Json::obj([("design", Json::str("buf")), ("status", Json::str("done"))]);
+        vec![
+            Record::Submitted {
+                job_id: 1,
+                request: request.clone(),
+            },
+            Record::Started { job_id: 1 },
+            Record::Finished {
+                job_id: 1,
+                response,
+            },
+            Record::Submitted { job_id: 2, request },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_through_json_and_frames() {
+        for record in sample_records() {
+            let doc = record.to_json();
+            let back = Record::from_json(&doc).expect("json roundtrip");
+            assert_eq!(back, record);
+
+            let frame = encode_record(&record);
+            match decode_frame(&frame, 0) {
+                Frame::Ok { payload, next } => {
+                    assert_eq!(next, frame.len());
+                    let doc = Json::parse(std::str::from_utf8(payload).unwrap()).unwrap();
+                    assert_eq!(Record::from_json(&doc).unwrap(), record);
+                }
+                other => panic!("decode failed: {other:?}"),
+            }
+        }
+    }
+
+    /// Every single-byte corruption of a framed record must be rejected
+    /// — either as a checksum mismatch or as a torn/overlong frame.
+    /// Nothing may decode to a *different* valid record, and nothing may
+    /// panic.
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let record = &sample_records()[0];
+        let frame = encode_record(record);
+        let original_payload = record.to_json().pretty();
+        for position in 0..frame.len() {
+            for flip in 1..=255u8 {
+                let mut corrupt = frame.clone();
+                corrupt[position] ^= flip;
+                match decode_frame(&corrupt, 0) {
+                    Frame::Corrupt => {}
+                    Frame::Ok { payload, .. } => panic!(
+                        "byte {position} ^ {flip:#04x} decoded as valid \
+                         (payload {:?} vs original {:?})",
+                        String::from_utf8_lossy(payload),
+                        original_payload,
+                    ),
+                    Frame::End => panic!("byte {position} ^ {flip:#04x} decoded as empty"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_tails_decode_as_corrupt_not_panic() {
+        let frame = encode_record(&sample_records()[0]);
+        for cut in 1..frame.len() {
+            assert_eq!(decode_frame(&frame[..cut], 0), Frame::Corrupt, "cut {cut}");
+        }
+        assert_eq!(decode_frame(&[], 0), Frame::End);
+    }
+
+    /// Same WAL ⇒ same reconstructed state, and the state machine takes
+    /// the documented transitions.
+    #[test]
+    fn replay_is_deterministic_and_folds_lifecycles() {
+        let records = sample_records();
+        let a = replay(&records);
+        let b = replay(&records);
+        assert_eq!(a, b);
+        assert_eq!(a.max_job_id, 2);
+        assert_eq!(a.jobs.len(), 2);
+        assert!(matches!(
+            a.jobs[0].1,
+            ReplayJob::Terminal {
+                request: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(a.jobs[1].1, ReplayJob::Queued { .. }));
+
+        // Started-but-never-finished folds to Running.
+        let mid = replay(&records[..2]);
+        assert!(matches!(mid.jobs[0].1, ReplayJob::Running { .. }));
+
+        // Duplicated history (old segment + compaction snapshot) is
+        // last-write-wins: replaying everything twice matches once.
+        let mut doubled = records.clone();
+        doubled.extend(records.clone());
+        assert_eq!(replay(&doubled), a);
+    }
+
+    #[test]
+    fn journal_persists_rotates_and_discards_corrupt_tails() {
+        let dir = std::env::temp_dir().join(format!("ams-journal-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        // Write, reopen, replay.
+        let records = sample_records();
+        {
+            let (mut journal, replayed) =
+                Journal::open(&dir, JournalConfig::default()).expect("open fresh");
+            assert!(replayed.is_empty());
+            for record in &records {
+                journal.append(record).expect("append");
+            }
+        }
+        let (mut journal, replayed) =
+            Journal::open(&dir, JournalConfig::default()).expect("reopen");
+        assert_eq!(replayed, records);
+        assert!(journal.stats().replayed == 4 && !journal.stats().tail_discarded);
+
+        // Compaction rewrites to the next segment and deletes the old.
+        let live = vec![records[3].clone()];
+        journal.compact(&live).expect("compact");
+        assert_eq!(journal.stats().segment, 2);
+        drop(journal);
+        let (journal, replayed) = Journal::open(&dir, JournalConfig::default()).expect("reopen");
+        assert_eq!(replayed, live);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        drop(journal);
+
+        // A torn tail (half a frame) is truncated away; the good prefix
+        // survives and the journal stays appendable.
+        let path = segment_path(&dir, 2);
+        let mut bytes = fs::read(&path).unwrap();
+        let good_len = bytes.len();
+        bytes.extend_from_slice(&encode_record(&records[0])[..7]);
+        fs::write(&path, &bytes).unwrap();
+        let (mut journal, replayed) =
+            Journal::open(&dir, JournalConfig::default()).expect("reopen torn");
+        assert_eq!(replayed, live);
+        assert!(journal.stats().tail_discarded);
+        assert_eq!(fs::metadata(&path).unwrap().len(), good_len as u64);
+        journal
+            .append(&records[1])
+            .expect("append after truncation");
+        drop(journal);
+        let (_, replayed) = Journal::open(&dir, JournalConfig::default()).expect("final open");
+        assert_eq!(replayed.len(), 2);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn small_segment_budget_triggers_compaction_requests() {
+        let dir = std::env::temp_dir().join(format!("ams-journal-rot-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let config = JournalConfig {
+            max_segment_bytes: 64,
+        };
+        let (mut journal, _) = Journal::open(&dir, config).expect("open");
+        assert!(!journal.wants_compaction());
+        journal.append(&sample_records()[0]).expect("append");
+        assert!(journal.wants_compaction());
+        journal.compact(&[]).expect("compact empty");
+        assert!(!journal.wants_compaction());
+        assert_eq!(journal.stats().segment_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -32,10 +32,22 @@
 //! # }
 //! ```
 
+//! ## Crash safety
+//!
+//! With a journal directory configured, every job transition is fsync'd
+//! to an append-only WAL before it takes effect, and a restarted server
+//! replays the log: done jobs keep answering polls (and repopulate the
+//! exact cache), queued jobs re-enter the queue, and mid-solve jobs are
+//! re-run or marked `interrupted` per [`ResumePolicy`]. See
+//! [`journal`] for the on-disk format and DESIGN.md for the failure
+//! model.
+
 pub mod client;
+pub mod fault;
 pub mod http;
 mod jobs;
+pub mod journal;
 mod server;
 
-pub use jobs::{Counters, Engine, Submitted};
+pub use jobs::{Counters, Engine, EngineConfig, RecoveryReport, ResumePolicy, Submitted};
 pub use server::{ServeConfig, Server};

@@ -5,31 +5,42 @@
 //!
 //! | Method & path          | Purpose                                        |
 //! |------------------------|------------------------------------------------|
-//! | `POST /v1/jobs`        | Submit a [`PlaceRequest`]; `202 {job_id}` or `429` when the queue is full |
+//! | `POST /v1/jobs`        | Submit a [`PlaceRequest`]; `202 {job_id}`, `429` when the queue is full, `503` when degraded and the request is a cold solve (both carry `Retry-After`) |
 //! | `GET  /v1/jobs/<id>`   | Poll: status plus the embedded response once terminal |
 //! | `POST /v1/jobs/<id>/cancel` | Cancel: queued jobs terminate at once, running jobs stop at the next conflict boundary |
-//! | `GET  /v1/healthz`     | Liveness probe                                 |
-//! | `GET  /v1/stats`       | Queue depth, cache hit counters, warm-pool size |
+//! | `GET  /v1/healthz`     | Liveness probe; reports `degraded` under load-shedding |
+//! | `GET  /v1/stats`       | Queue depth, cache hit counters, warm-pool size, journal state |
 //! | `POST /v1/shutdown`    | Drain nothing, stop accepting, join the workers |
+//!
+//! With [`ServeConfig::journal_dir`] set, the engine journals every job
+//! transition to an fsync'd WAL and [`Server::start`] replays it: a
+//! journal with prior records requires [`ServeConfig::resume`] (the CLI
+//! `--resume`) — refusing to silently ignore a dead server's state —
+//! and recovery re-enqueues queued jobs, re-runs or interrupts mid-solve
+//! jobs per [`ResumePolicy`], and keeps terminal jobs pollable.
 //!
 //! [`PlaceRequest`]: ams_place::api::PlaceRequest
 //! [`SCHEMA_VERSION`]: ams_place::api::SCHEMA_VERSION
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use ams_netlist::json::Json;
 use ams_place::api::{PlaceRequest, SCHEMA_VERSION};
 
-use crate::http::{read_request, write_response, Request};
-use crate::jobs::{Engine, Submitted};
+use crate::fault::{ConnFate, FaultPlan};
+use crate::http::{read_request, write_response_with, Limits, Request};
+use crate::jobs::{Engine, EngineConfig, RecoveryReport, ResumePolicy, Submitted};
+use crate::journal::{replay, Journal, JournalConfig};
 
 /// Server tuning. [`ServeConfig::default`] binds an ephemeral loopback
-/// port with two solver workers — the shape the tests and the CLI
-/// default use.
+/// port with two solver workers and journaling off — the shape the
+/// tests and the CLI default use.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7171`. Port `0` picks one.
@@ -42,6 +53,32 @@ pub struct ServeConfig {
     pub exact_cache_cap: usize,
     /// Warm solver pool entries (keyed design hash).
     pub warm_pool_cap: usize,
+    /// Queue depth at which the server degrades: cold submissions are
+    /// shed with 503 while cached/warm ones still queue. `0` derives
+    /// 3/4 of `queue_cap`.
+    pub shed_high_water: usize,
+    /// Idempotency keys remembered before FIFO eviction.
+    pub idempotency_window: usize,
+    /// WAL directory; `None` (the default) serves without durability,
+    /// byte-for-byte the pre-journal behavior.
+    pub journal_dir: Option<PathBuf>,
+    /// Allow recovering a journal that already holds records. Without
+    /// it, starting on a non-empty journal is an error — never silently
+    /// ignore a dead server's state.
+    pub resume: bool,
+    /// What to do with jobs the dead process had mid-solve.
+    pub resume_policy: ResumePolicy,
+    /// Live-segment size that triggers WAL compaction.
+    pub journal_segment_bytes: u64,
+    /// Per-request body cap (413 past it).
+    pub max_body_bytes: usize,
+    /// Per-connection socket deadline in ms (408 on a stalled read);
+    /// `0` disables.
+    pub read_timeout_ms: u64,
+    /// Fault-injection spec (see [`crate::fault`]); `None` falls back to
+    /// the `AMSPLACE_FAULT` environment variable, so production configs
+    /// stay inert.
+    pub fault_spec: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +89,41 @@ impl Default for ServeConfig {
             queue_cap: 64,
             exact_cache_cap: 64,
             warm_pool_cap: 4,
+            shed_high_water: 0,
+            idempotency_window: 256,
+            journal_dir: None,
+            resume: false,
+            resume_policy: ResumePolicy::Rerun,
+            journal_segment_bytes: 4 * 1024 * 1024,
+            max_body_bytes: crate::http::MAX_BODY,
+            read_timeout_ms: 10_000,
+            fault_spec: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            queue_cap: self.queue_cap,
+            exact_cap: self.exact_cache_cap,
+            warm_cap: self.warm_pool_cap,
+            shed_high_water: if self.shed_high_water == 0 {
+                (self.queue_cap.saturating_mul(3) / 4).max(1)
+            } else {
+                self.shed_high_water
+            },
+            idem_window: self.idempotency_window,
+        }
+    }
+
+    fn limits(&self) -> Limits {
+        Limits {
+            max_body: self.max_body_bytes,
+            read_timeout: match self.read_timeout_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
         }
     }
 }
@@ -64,22 +136,73 @@ pub struct Server {
     engine: Arc<Engine>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and the accept loop, and returns.
+    /// Binds, opens and replays the journal (when configured), spawns
+    /// the worker pool and the accept loop, and returns.
     ///
     /// # Errors
     ///
-    /// The bind failure, verbatim.
+    /// The bind or journal-open failure, verbatim; and
+    /// [`io::ErrorKind::AlreadyExists`] when the journal holds prior
+    /// records but [`ServeConfig::resume`] is unset.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.bind)?;
         let addr = listener.local_addr()?;
-        let engine = Arc::new(Engine::new(
-            config.queue_cap,
-            config.exact_cache_cap,
-            config.warm_pool_cap,
+
+        let faults = match &config.fault_spec {
+            Some(spec) => FaultPlan::parse(spec),
+            None => FaultPlan::from_env(),
+        };
+
+        let mut recovery = None;
+        let mut pending = None;
+        let journal = match &config.journal_dir {
+            Some(dir) => {
+                let journal_config = JournalConfig {
+                    max_segment_bytes: config.journal_segment_bytes,
+                };
+                let (journal, records) = Journal::open(dir, journal_config)?;
+                if !records.is_empty() && !config.resume {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        format!(
+                            "journal at {} holds {} records from a previous run; \
+                             pass --resume to recover them or point --journal-dir \
+                             at a fresh directory",
+                            dir.display(),
+                            records.len(),
+                        ),
+                    ));
+                }
+                pending = Some(records);
+                Some(journal)
+            }
+            None => None,
+        };
+
+        let engine = Arc::new(Engine::with_journal(
+            config.engine_config(),
+            journal,
+            faults,
         ));
+        if let Some(records) = pending {
+            if !records.is_empty() {
+                let report = engine.recover(replay(&records), config.resume_policy);
+                eprintln!(
+                    "journal: recovered {} done, {} requeued, {} re-run, {} interrupted \
+                     ({} cache entries rehydrated)",
+                    report.completed,
+                    report.requeued,
+                    report.reran,
+                    report.interrupted,
+                    report.cache_rehydrated,
+                );
+                recovery = Some(report);
+            }
+        }
 
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -93,9 +216,10 @@ impl Server {
 
         let accept = {
             let engine = Arc::clone(&engine);
+            let limits = config.limits();
             std::thread::Builder::new()
                 .name("amsplace-accept".to_string())
-                .spawn(move || accept_loop(&listener, &engine, addr))
+                .spawn(move || accept_loop(&listener, &engine, addr, limits))
                 .expect("spawn accept loop")
         };
 
@@ -104,6 +228,7 @@ impl Server {
             engine,
             accept: Some(accept),
             workers,
+            recovery,
         })
     }
 
@@ -115,6 +240,11 @@ impl Server {
     /// The shared engine — test hooks and in-process submission.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+
+    /// What startup recovery did, when a journal was replayed.
+    pub fn recovery(&self) -> Option<RecoveryReport> {
+        self.recovery
     }
 
     /// Stops accepting and wakes the workers, as if `/v1/shutdown` had
@@ -137,26 +267,61 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, addr: SocketAddr) {
+fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, addr: SocketAddr, limits: Limits) {
     for stream in listener.incoming() {
         if !engine.running.load(Ordering::Relaxed) {
             break;
         }
         let Ok(mut stream) = stream else { continue };
+        let fate = engine.faults.connection_fate();
+        if fate == ConnFate::Drop {
+            continue; // dropping the stream resets the peer
+        }
         let engine = Arc::clone(engine);
         let _ = std::thread::Builder::new()
             .name("amsplace-conn".to_string())
             .spawn(move || {
-                if let Ok(request) = read_request(&mut stream) {
-                    let (status, body) = route(&engine, &request);
-                    let _ = write_response(&mut stream, status, &body);
-                    if request.method == "POST" && request.path == "/v1/shutdown" {
-                        // Response is on the wire; now unblock our own
-                        // accept loop so the server can be joined.
-                        let _ = TcpStream::connect(addr);
+                if let ConnFate::DelayThenServe(delay) = fate {
+                    std::thread::sleep(delay);
+                }
+                let _ = stream.set_write_timeout(limits.read_timeout);
+                match read_request(&mut stream, &limits) {
+                    Ok(request) => {
+                        let (status, body) = route(&engine, &request);
+                        let _ =
+                            write_response_with(&mut stream, status, &retry_after(status), &body);
+                        if request.method == "POST" && request.path == "/v1/shutdown" {
+                            // Response is on the wire; now unblock our own
+                            // accept loop so the server can be joined.
+                            let _ = TcpStream::connect(addr);
+                        }
+                    }
+                    Err(e) => {
+                        // A peer that broke framing gets no response; a
+                        // slow, oversized, or length-less one gets told
+                        // exactly why.
+                        if let Some(status) = e.status() {
+                            let _ = write_response_with(
+                                &mut stream,
+                                status,
+                                &[],
+                                &error_body(&e.message()),
+                            );
+                        }
                     }
                 }
             });
+    }
+}
+
+/// The `Retry-After` hint for backpressure statuses: a saturated queue
+/// drains in about a second of solve time; a degraded server needs a
+/// little longer to fall back under its high-water mark.
+fn retry_after(status: u16) -> Vec<(&'static str, String)> {
+    match status {
+        429 => vec![("Retry-After", "1".to_string())],
+        503 => vec![("Retry-After", "2".to_string())],
+        _ => Vec::new(),
     }
 }
 
@@ -169,6 +334,7 @@ fn route(engine: &Engine, request: &Request) -> (u16, Json) {
             Json::obj([
                 ("schema_version", Json::uint(SCHEMA_VERSION)),
                 ("ok", Json::Bool(true)),
+                ("degraded", Json::Bool(engine.degraded())),
             ]),
         ),
         ("GET", ["v1", "stats"]) => (200, engine.stats()),
@@ -220,9 +386,33 @@ fn submit(engine: &Engine, request: &Request) -> (u16, Json) {
                 ("schema_version", Json::uint(SCHEMA_VERSION)),
                 ("job_id", Json::uint(id)),
                 ("status", Json::str("queued")),
+                ("deduplicated", Json::Bool(false)),
             ]),
         ),
+        Submitted::Deduplicated(id) => {
+            let status = engine
+                .job_view(id)
+                .and_then(|view| {
+                    view.field("status")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                })
+                .unwrap_or_else(|| "queued".to_string());
+            (
+                202,
+                Json::obj([
+                    ("schema_version", Json::uint(SCHEMA_VERSION)),
+                    ("job_id", Json::uint(id)),
+                    ("status", Json::str(&status)),
+                    ("deduplicated", Json::Bool(true)),
+                ]),
+            )
+        }
         Submitted::Saturated => (429, error_body("job queue is full, retry later")),
+        Submitted::Shed => (
+            503,
+            error_body("server is degraded and shedding cold solves, retry later"),
+        ),
     }
 }
 

@@ -1,0 +1,587 @@
+//! Fault-injection suite for the crash-safe serve stack.
+//!
+//! Process-kill recovery is exercised two ways. The real thing — abort
+//! at a journal barrier, restart the binary with `--resume` — lives in
+//! the root crate's `tests/chaos_process.rs` (it needs the `amsplace`
+//! binary). Here, crashes are simulated with **crash images**: because
+//! every journal append is fsync'd before the engine proceeds, a copy
+//! of the journal directory taken at any instant is byte-for-byte a
+//! state some crashed process could have left, and resuming a second
+//! server on the copy *is* the recovery path. That keeps the whole
+//! suite in-process and deterministic.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ams_netlist::benchmarks::{self, SyntheticParams};
+use ams_netlist::json::Json;
+use ams_place::api::{JobOptions, JobStatus, PlaceRequest};
+use ams_serve::journal::{Journal, JournalConfig, Record};
+use ams_serve::{client, ResumePolicy, ServeConfig, Server};
+
+fn small_design() -> ams_netlist::Design {
+    benchmarks::synthetic(SyntheticParams {
+        regions: 2,
+        cells_per_region: 6,
+        nets: 10,
+        net_degree: 3,
+        symmetry_pairs: 1,
+        ..Default::default()
+    })
+}
+
+/// A solve that reliably outlives the test's bookkeeping (full budgets
+/// on a larger instance), with a deadline backstop so a broken cancel
+/// path fails the test instead of hanging it.
+fn slow_request() -> PlaceRequest {
+    PlaceRequest {
+        design: benchmarks::synthetic(SyntheticParams {
+            regions: 2,
+            cells_per_region: 10,
+            nets: 20,
+            net_degree: 3,
+            symmetry_pairs: 2,
+            ..Default::default()
+        }),
+        options: JobOptions {
+            deadline_ms: Some(300_000),
+            ..JobOptions::default()
+        },
+        idempotency_key: None,
+    }
+}
+
+fn quick_request(key: Option<&str>) -> PlaceRequest {
+    PlaceRequest {
+        design: small_design(),
+        options: JobOptions {
+            quick: true,
+            ..JobOptions::default()
+        },
+        idempotency_key: key.map(str::to_string),
+    }
+}
+
+/// A unique scratch directory; removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "ams-chaos-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("create copy target");
+    for entry in std::fs::read_dir(from).expect("read journal dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy segment");
+    }
+}
+
+fn journaled_config(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        journal_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+fn submit(server: &Server, request: &PlaceRequest) -> (u16, Json) {
+    let reply = client::post(server.addr(), "/v1/jobs", Some(&request.to_json()))
+        .expect("submit over loopback");
+    (reply.status, reply.body)
+}
+
+fn submit_ok(server: &Server, request: &PlaceRequest) -> u64 {
+    let (status, body) = submit(server, request);
+    assert_eq!(status, 202, "{}", body.pretty());
+    body.field("job_id").and_then(Json::as_u64).expect("job id")
+}
+
+fn poll(server: &Server, id: u64) -> Json {
+    let reply = client::get(server.addr(), &format!("/v1/jobs/{id}")).expect("poll");
+    assert_eq!(reply.status, 200, "{}", reply.body.pretty());
+    reply.body
+}
+
+fn status_of(view: &Json) -> JobStatus {
+    view.field("status")
+        .and_then(Json::as_str)
+        .and_then(JobStatus::parse)
+        .expect("status")
+}
+
+fn wait_for_status(server: &Server, id: u64, wanted: JobStatus, deadline: Duration) -> Json {
+    let t0 = Instant::now();
+    loop {
+        let view = poll(server, id);
+        let status = status_of(&view);
+        if status == wanted {
+            return view;
+        }
+        assert!(
+            !status.is_terminal(),
+            "job {id} terminal as {status:?} while waiting for {wanted:?}: {}",
+            view.pretty()
+        );
+        assert!(
+            t0.elapsed() < deadline,
+            "job {id} still {status:?} after {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_terminal(server: &Server, id: u64, deadline: Duration) -> Json {
+    let t0 = Instant::now();
+    loop {
+        let view = poll(server, id);
+        if status_of(&view).is_terminal() {
+            return view;
+        }
+        assert!(
+            t0.elapsed() < deadline,
+            "job {id} still {:?} after {deadline:?}",
+            status_of(&view)
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn cancel(server: &Server, id: u64) {
+    let reply = client::post(server.addr(), &format!("/v1/jobs/{id}/cancel"), None)
+        .expect("cancel over loopback");
+    assert_eq!(reply.status, 200);
+}
+
+/// Kill-mid-job, restart, replay: a crash image taken while one job is
+/// mid-solve and another (idempotency-keyed) sits queued must resume
+/// with zero lost jobs — the running one marked `interrupted` (policy),
+/// the queued one solved exactly once, and a retried submit of the same
+/// key deduplicated instead of double-solved.
+#[test]
+fn crash_image_resumes_with_no_lost_jobs_and_no_double_solve() {
+    let live_dir = TempDir::new("live");
+    let image_dir = TempDir::new("image");
+
+    let server = Server::start(journaled_config(live_dir.path())).expect("start journaled");
+    let slow_id = submit_ok(&server, &slow_request());
+    wait_for_status(
+        &server,
+        slow_id,
+        JobStatus::Running,
+        Duration::from_secs(60),
+    );
+    let keyed_id = submit_ok(&server, &quick_request(Some("crash-key")));
+    assert_ne!(slow_id, keyed_id);
+
+    // The "crash": every record below this line is already fsync'd, so
+    // the copy is exactly what SIGKILL would have left on disk.
+    copy_dir(live_dir.path(), image_dir.path());
+
+    // Resume a second server on the image. `interrupt` policy: the
+    // mid-solve job turns terminal instead of burning another solve.
+    let resumed = Server::start(ServeConfig {
+        resume: true,
+        resume_policy: ResumePolicy::MarkInterrupted,
+        ..journaled_config(image_dir.path())
+    })
+    .expect("resume from crash image");
+    let report = resumed.recovery().expect("non-empty journal was replayed");
+    assert_eq!(report.interrupted, 1, "{report:?}");
+    assert_eq!(report.requeued, 1, "{report:?}");
+
+    // The mid-solve job is terminal `interrupted` with the structured
+    // error kind; the queued job completes.
+    let interrupted = poll(&resumed, slow_id);
+    assert_eq!(status_of(&interrupted), JobStatus::Interrupted);
+    assert_eq!(
+        interrupted
+            .field("response")
+            .and_then(|r| r.field("error"))
+            .and_then(|e| e.field("kind"))
+            .and_then(Json::as_str),
+        Some("interrupted")
+    );
+    let done = wait_terminal(&resumed, keyed_id, Duration::from_secs(120));
+    assert_eq!(status_of(&done), JobStatus::Done, "{}", done.pretty());
+
+    // A client that never saw its accept reply retries the submit: the
+    // key must land on the recovered job, not start a second solve.
+    let (status, body) = submit(&resumed, &quick_request(Some("crash-key")));
+    assert_eq!(status, 202, "{}", body.pretty());
+    assert_eq!(
+        body.field("deduplicated").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(body.field("job_id").and_then(Json::as_u64), Some(keyed_id));
+    let stats = client::get(resumed.addr(), "/v1/stats")
+        .expect("stats")
+        .body;
+    assert_eq!(stats.field("deduped").and_then(Json::as_u64), Some(1));
+
+    resumed.shutdown();
+    resumed.join();
+    // Unwedge the live server: cancel the long solve before joining.
+    cancel(&server, slow_id);
+    wait_terminal(&server, slow_id, Duration::from_secs(120));
+    server.shutdown();
+    server.join();
+}
+
+/// Under `rerun` policy a mid-solve job goes back to the head of the
+/// queue and completes; done jobs keep answering polls and rehydrate the
+/// exact cache (a repeat request is a cache hit on the resumed server).
+#[test]
+fn rerun_policy_resolves_interrupted_work_and_rehydrates_the_cache() {
+    let dir = TempDir::new("rerun");
+
+    let server = Server::start(journaled_config(dir.path())).expect("start journaled");
+    let done_id = submit_ok(&server, &quick_request(None));
+    let done = wait_terminal(&server, done_id, Duration::from_secs(120));
+    assert_eq!(status_of(&done), JobStatus::Done);
+    server.shutdown();
+    server.join();
+
+    // Build the mid-solve state directly in the WAL: submitted + started
+    // with no finish — exactly what a crash mid-solve leaves — for a
+    // quick request the resumed server can actually re-run.
+    {
+        let (mut journal, _) =
+            Journal::open(dir.path(), JournalConfig::default()).expect("reopen journal");
+        journal
+            .append(&Record::Submitted {
+                job_id: 7,
+                request: quick_request(None).to_json(),
+            })
+            .expect("append submitted");
+        journal
+            .append(&Record::Started { job_id: 7 })
+            .expect("append started");
+    }
+
+    let resumed = Server::start(ServeConfig {
+        resume: true,
+        resume_policy: ResumePolicy::Rerun,
+        ..journaled_config(dir.path())
+    })
+    .expect("resume with rerun");
+    let report = resumed.recovery().expect("replayed");
+    assert_eq!(report.reran, 1, "{report:?}");
+    assert_eq!(report.completed, 1, "{report:?}");
+    assert!(report.cache_rehydrated >= 1, "{report:?}");
+
+    // The pre-crash done job still answers polls…
+    assert_eq!(status_of(&poll(&resumed, done_id)), JobStatus::Done);
+    // …the re-run job completes…
+    let rerun = wait_terminal(&resumed, 7, Duration::from_secs(120));
+    assert_eq!(status_of(&rerun), JobStatus::Done, "{}", rerun.pretty());
+    // …and the identical request hits the rehydrated exact cache. (The
+    // re-run job itself was admitted before recovery finished, so the
+    // hit below is a fresh submission.)
+    let hit_id = submit_ok(&resumed, &quick_request(None));
+    let hit = wait_terminal(&resumed, hit_id, Duration::from_secs(120));
+    let cached = hit
+        .field("response")
+        .and_then(|r| r.field("cached"))
+        .and_then(Json::as_bool);
+    assert_eq!(cached, Some(true), "{}", hit.pretty());
+
+    resumed.shutdown();
+    resumed.join();
+}
+
+/// A torn final write — the classic crash signature — is discarded
+/// without panicking, surfaces in `/v1/stats`, and everything before the
+/// tear is recovered.
+#[test]
+fn corrupt_wal_tail_is_discarded_and_recovery_proceeds() {
+    let dir = TempDir::new("torn");
+
+    let server = Server::start(journaled_config(dir.path())).expect("start journaled");
+    let id = submit_ok(&server, &quick_request(None));
+    wait_terminal(&server, id, Duration::from_secs(120));
+    server.shutdown();
+    server.join();
+
+    // Tear the tail: append half a frame plus garbage to every segment's
+    // end — checksum framing must reject it.
+    let mut tore = false;
+    for entry in std::fs::read_dir(dir.path()).expect("read dir") {
+        let path = entry.expect("entry").path();
+        let mut bytes = std::fs::read(&path).expect("read segment");
+        if bytes.is_empty() {
+            continue;
+        }
+        bytes.extend_from_slice(&[0x13, 0x37, 0xde, 0xad, 0xbe, 0xef, 0x01]);
+        std::fs::write(&path, &bytes).expect("write torn segment");
+        tore = true;
+    }
+    assert!(tore, "the journal must have at least one non-empty segment");
+
+    let resumed = Server::start(ServeConfig {
+        resume: true,
+        ..journaled_config(dir.path())
+    })
+    .expect("resume past the torn tail");
+    assert_eq!(status_of(&poll(&resumed, id)), JobStatus::Done);
+    let stats = client::get(resumed.addr(), "/v1/stats")
+        .expect("stats")
+        .body;
+    let journal_stats = stats.field("journal").expect("journaling on");
+    assert_eq!(
+        journal_stats
+            .field("tail_discarded")
+            .and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        stats.pretty()
+    );
+
+    resumed.shutdown();
+    resumed.join();
+}
+
+/// A non-empty journal without `resume` must refuse to start — never
+/// silently shadow a dead server's state.
+#[test]
+fn non_empty_journal_requires_explicit_resume() {
+    let dir = TempDir::new("noresume");
+
+    let server = Server::start(journaled_config(dir.path())).expect("start journaled");
+    let id = submit_ok(&server, &quick_request(None));
+    wait_terminal(&server, id, Duration::from_secs(120));
+    server.shutdown();
+    server.join();
+
+    let err = match Server::start(journaled_config(dir.path())) {
+        Err(e) => e,
+        Ok(server) => {
+            server.shutdown();
+            server.join();
+            panic!("starting on a non-empty journal without resume must fail");
+        }
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists, "{err}");
+    assert!(err.to_string().contains("--resume"), "{err}");
+}
+
+/// Retry storm: many clients hammering one idempotency key against a
+/// tiny queue must converge to exactly one solve, and clients with
+/// distinct keys must all eventually complete through 429 backoff.
+#[test]
+fn retry_storm_converges_without_double_solves() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_cap: 2,
+        shed_high_water: 2, // degrade only at full queue: this test is about 429s
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    // Warm the exact cache so storm jobs drain in milliseconds — the
+    // queue churns through genuine 429s but a blocked client never has
+    // to out-wait a full cold solve.
+    let warm_id = submit_ok(&server, &quick_request(None));
+    wait_terminal(&server, warm_id, Duration::from_secs(120));
+    // One long solve pins a worker, keeping the queue under pressure.
+    let slow_id = submit_ok(&server, &slow_request());
+    wait_for_status(
+        &server,
+        slow_id,
+        JobStatus::Running,
+        Duration::from_secs(60),
+    );
+
+    let policy = client::RetryPolicy {
+        max_attempts: 60,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(100),
+        seed: 0,
+    };
+
+    // Nine concurrent clients: six share one key, three are distinct.
+    let mut handles = Vec::new();
+    for i in 0..9u64 {
+        let key = if i < 6 {
+            "storm-shared".to_string()
+        } else {
+            format!("storm-{i}")
+        };
+        let policy = client::RetryPolicy { seed: i, ..policy };
+        handles.push(std::thread::spawn(move || {
+            let request = quick_request(Some(&key));
+            let reply =
+                client::post_with_retry(addr, "/v1/jobs", Some(&request.to_json()), &policy)
+                    .expect("storm submit");
+            assert_eq!(reply.status, 202, "{}", reply.body.pretty());
+            reply
+                .body
+                .field("job_id")
+                .and_then(Json::as_u64)
+                .expect("job id")
+        }));
+    }
+    let ids: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
+
+    // The six shared-key clients all landed on one job.
+    let shared: std::collections::HashSet<u64> = ids[..6].iter().copied().collect();
+    assert_eq!(shared.len(), 1, "shared key fanned out: {ids:?}");
+
+    for &id in ids.iter() {
+        let view = wait_terminal(&server, id, Duration::from_secs(300));
+        assert_eq!(status_of(&view), JobStatus::Done, "{}", view.pretty());
+    }
+
+    let stats = client::get(addr, "/v1/stats").expect("stats").body;
+    // warm + slow + 4 distinct storm submissions (1 shared + 3 unique);
+    // every other storm attempt deduplicated, none double-solved.
+    assert_eq!(stats.field("submitted").and_then(Json::as_u64), Some(6));
+    assert_eq!(stats.field("deduped").and_then(Json::as_u64), Some(5));
+
+    cancel(&server, slow_id);
+    wait_terminal(&server, slow_id, Duration::from_secs(120));
+    server.shutdown();
+    server.join();
+}
+
+/// Past the high-water mark the server sheds cold solves with 503 +
+/// `Retry-After` while still admitting exact-cache traffic, and reports
+/// `degraded` on both health surfaces.
+#[test]
+fn saturated_server_sheds_cold_work_but_admits_cached() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        shed_high_water: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+
+    // Warm the exact cache while the server is healthy.
+    let cached_request = quick_request(None);
+    let warm_id = submit_ok(&server, &cached_request);
+    wait_terminal(&server, warm_id, Duration::from_secs(120));
+
+    // Saturate: one long job on the worker, one queued behind it puts
+    // the queue at the high-water mark.
+    let slow_id = submit_ok(&server, &slow_request());
+    wait_for_status(
+        &server,
+        slow_id,
+        JobStatus::Running,
+        Duration::from_secs(60),
+    );
+    let queued_id = submit_ok(
+        &server,
+        &PlaceRequest {
+            options: JobOptions {
+                iters: 3,
+                ..quick_request(None).options
+            },
+            ..quick_request(None)
+        },
+    );
+
+    let health = client::get(server.addr(), "/v1/healthz")
+        .expect("healthz")
+        .body;
+    assert_eq!(health.field("degraded").and_then(Json::as_bool), Some(true));
+
+    // Cold work (a design the server has never seen — the shape only
+    // has to differ from the cached one, so keep it debug-mode cheap)…
+    let cold = PlaceRequest {
+        design: benchmarks::synthetic(SyntheticParams {
+            regions: 2,
+            cells_per_region: 7,
+            nets: 12,
+            net_degree: 3,
+            symmetry_pairs: 1,
+            ..Default::default()
+        }),
+        options: JobOptions {
+            quick: true,
+            ..JobOptions::default()
+        },
+        idempotency_key: None,
+    };
+    let reply = client::post(server.addr(), "/v1/jobs", Some(&cold.to_json())).expect("post");
+    assert_eq!(reply.status, 503, "{}", reply.body.pretty());
+    assert!(
+        reply.retry_after.is_some(),
+        "503 must carry Retry-After so the retrying client paces itself"
+    );
+
+    // …but the exact-cache request is still admitted and completes.
+    let hit_id = submit_ok(&server, &cached_request);
+    let stats = client::get(server.addr(), "/v1/stats").expect("stats").body;
+    assert_eq!(stats.field("shed").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.field("degraded").and_then(Json::as_bool), Some(true));
+
+    // Drain: cancel the long solve, everything else completes, and the
+    // previously-shed cold request is admitted once healthy again.
+    cancel(&server, slow_id);
+    wait_terminal(&server, slow_id, Duration::from_secs(120));
+    wait_terminal(&server, queued_id, Duration::from_secs(120));
+    wait_terminal(&server, hit_id, Duration::from_secs(120));
+    let retry = client::post(server.addr(), "/v1/jobs", Some(&cold.to_json())).expect("post");
+    assert_eq!(retry.status, 202, "{}", retry.body.pretty());
+    let recovered = retry.body.field("job_id").and_then(Json::as_u64).unwrap();
+    wait_terminal(&server, recovered, Duration::from_secs(120));
+
+    server.shutdown();
+    server.join();
+}
+
+/// Connection-level fault injection: dropped connections surface as
+/// transport errors the retrying client absorbs; delayed connections
+/// still serve.
+#[test]
+fn dropped_and_delayed_connections_are_absorbed_by_the_retrying_client() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        fault_spec: Some("conn-drop:2,conn-delay:10".to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("start with faults");
+
+    // Every second connection is dropped cold, so plain clients fail
+    // roughly half the time — the retrying client must still get every
+    // request through.
+    let policy = client::RetryPolicy {
+        max_attempts: 10,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(50),
+        seed: 42,
+    };
+    for _ in 0..4 {
+        let reply = client::get_with_retry(server.addr(), "/v1/healthz", &policy)
+            .expect("healthz through connection faults");
+        assert_eq!(reply.status, 200);
+    }
+
+    server.shutdown();
+    server.join();
+}

@@ -116,6 +116,7 @@ fn eight_parallel_jobs_all_complete() {
                         iters,
                         ..quick_options()
                     },
+                    idempotency_key: None,
                 },
             )
         })
@@ -146,6 +147,7 @@ fn identical_requests_hit_the_exact_cache_bit_for_bit() {
     let request = PlaceRequest {
         design: small_design(),
         options: quick_options(),
+        idempotency_key: None,
     };
 
     let first_id = submit(&server, &request);
@@ -190,6 +192,7 @@ fn lambda_only_change_resolves_warm_with_pin_density_relowered() {
             lambda_th: Some(lambda),
             ..quick_options()
         },
+        idempotency_key: None,
     };
 
     let cold_id = submit(&server, &job(14));
@@ -245,6 +248,7 @@ fn cancel_lands_mid_flight() {
                 deadline_ms: Some(300_000),
                 ..JobOptions::default()
             },
+            idempotency_key: None,
         },
     );
 
@@ -308,6 +312,7 @@ fn deadline_ladder_expires_then_degrades_to_anytime() {
                     deadline_ms: Some(deadline_ms),
                     ..quick_options()
                 },
+                idempotency_key: None,
             },
         );
         let response = wait_terminal(&server, id, Duration::from_secs(180));

@@ -98,6 +98,7 @@ fn main() {
             quick: true,
             ..JobOptions::default()
         },
+        idempotency_key: None,
     };
 
     // Phase 1 — cold: first sight of each design, full encode + solve.
@@ -124,6 +125,7 @@ fn main() {
                 lambda_th: Some(sweep_base + 2 * step),
                 ..JobOptions::default()
             },
+            idempotency_key: None,
         })
         .collect();
     let t0 = Instant::now();
@@ -132,6 +134,53 @@ fn main() {
         wait_done(&server, id);
     }
     let (sweep_jobs, sweep_ms) = (sweep.len() as u64, t0.elapsed().as_millis());
+
+    // Phase 4 — durability tax: the BUF cold + replay workload again,
+    // against a journaled server (every transition fsync'd to the WAL).
+    // Then a restart with --resume semantics proves the replay path: the
+    // rehydrated exact cache must serve the same request as a hit.
+    let journal_dir =
+        std::env::temp_dir().join(format!("amsplace-bench-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let journaled = Server::start(ServeConfig {
+        workers: 2,
+        journal_dir: Some(journal_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind journaled server");
+    let journaled_batch: Vec<PlaceRequest> = (0..=REPEATS).map(|_| quick(&designs[0])).collect();
+    let (journaled_jobs, journaled_ms) = run_batch(&journaled, &journaled_batch);
+    journaled.shutdown();
+    journaled.join();
+
+    let resumed = Server::start(ServeConfig {
+        workers: 2,
+        journal_dir: Some(journal_dir.clone()),
+        resume: true,
+        ..ServeConfig::default()
+    })
+    .expect("resume journaled server");
+    let t0 = Instant::now();
+    let id = submit(&resumed, &quick(&designs[0]));
+    wait_done(&resumed, id);
+    let resume_hit_ms = t0.elapsed().as_millis();
+    let resumed_stats = client::get(resumed.addr(), "/v1/stats")
+        .expect("stats")
+        .body;
+    let resume_cache_hit = resumed_stats
+        .field("exact_hits")
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+        >= 1;
+    assert!(
+        resume_cache_hit,
+        "the resumed server must answer the replayed request from the \
+         rehydrated exact cache: {}",
+        resumed_stats.pretty()
+    );
+    resumed.shutdown();
+    resumed.join();
+    let _ = std::fs::remove_dir_all(&journal_dir);
 
     let stats = client::get(server.addr(), "/v1/stats").expect("stats").body;
     let counter = |name: &str| stats.field(name).and_then(Json::as_u64).unwrap_or(0);
@@ -159,6 +208,14 @@ fn main() {
                 ("cold", phase_report(cold_jobs, cold_ms)),
                 ("exact_replay", phase_report(replay_jobs, replay_ms)),
                 ("lambda_sweep", phase_report(sweep_jobs, sweep_ms)),
+                ("journaled", phase_report(journaled_jobs, journaled_ms)),
+            ]),
+        ),
+        (
+            "resume",
+            Json::obj([
+                ("cache_rehydrated_hit", Json::Bool(resume_cache_hit)),
+                ("first_poll_ms", Json::uint(resume_hit_ms as u64)),
             ]),
         ),
         (

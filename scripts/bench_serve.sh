@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Measures service throughput on the paper benchmarks (BUF, VCO) via the
 # examples/serve_bench harness: jobs/minute for cold solves, exact-cache
-# replays, and a λ_th sweep that rides the warm-solver pool, plus the
-# server's cache counters. Writes BENCH_serve.json at the repo root; CI
-# does not run this — it is a manual/nightly artifact refreshed when the
-# service, the cache, or the solver change.
+# replays, a λ_th sweep that rides the warm-solver pool, and the same
+# workload with the durable job journal on (the fsync-per-transition
+# durability tax), plus a restart-with-resume check that the rehydrated
+# exact cache answers a replayed request. Writes BENCH_serve.json at the
+# repo root; CI does not run this — it is a manual/nightly artifact
+# refreshed when the service, the cache, or the solver change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +15,7 @@ cargo build --release -q --example serve_bench
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-echo "==> serve bench (cold / exact replay / lambda sweep)" >&2
+echo "==> serve bench (cold / exact replay / lambda sweep / journaled)" >&2
 target/release/examples/serve_bench >"$TMP/serve_bench.json"
 
 python3 - "$TMP/serve_bench.json" <<'EOF'
@@ -25,7 +27,7 @@ with open(sys.argv[1]) as f:
 
 phases = report["phases"]
 cache = report["cache"]
-for name in ("cold", "exact_replay", "lambda_sweep"):
+for name in ("cold", "exact_replay", "lambda_sweep", "journaled"):
     assert phases[name]["jobs"] > 0, f"{name}: no jobs ran"
     assert phases[name]["jobs_per_minute"] > 0, f"{name}: no throughput"
 assert cache["exact_hits"] > 0, "replay phase produced no exact-cache hits"
@@ -33,6 +35,10 @@ assert cache["warm_hits"] > 0, "lambda sweep produced no warm-solver reuse"
 assert (
     phases["exact_replay"]["jobs_per_minute"] > phases["cold"]["jobs_per_minute"]
 ), "exact-cache replays must outpace cold solves"
+assert report["resume"]["cache_rehydrated_hit"], (
+    "the resumed server must answer a replayed request from the journal-"
+    "rehydrated exact cache"
+)
 
 with open("BENCH_serve.json", "w") as f:
     json.dump(report, f, indent=2)

@@ -80,6 +80,58 @@ target/debug/amsplace shutdown --addr "$serve_addr" >/dev/null
 wait "$serve_pid"
 rm -f "$serve_log"
 
+echo "==> crash-recovery smoke (journaled serve, SIGKILL, --resume)"
+# Kill -9 a journaled server after one completed job, restart it on the
+# same journal with --resume, and assert the WAL replays: the recovery
+# banner reports the job as done, and resubmitting with the same
+# idempotency key deduplicates onto the recovered job instead of
+# solving again.
+journal_dir=$(mktemp -d)
+serve_log=$(mktemp)
+target/debug/amsplace serve --bind 127.0.0.1:0 --workers 1 \
+    --journal-dir "$journal_dir" >"$serve_log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr=$(sed -n 's|^amsplace serving on http://\([0-9.:]*\).*|\1|p' "$serve_log")
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "journaled server never announced its address"
+    cat "$serve_log"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+target/debug/amsplace submit synthetic --quick --addr "$serve_addr" \
+    --idempotency-key ci-chaos-smoke >/dev/null
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+resume_log=$(mktemp)
+target/debug/amsplace serve --bind 127.0.0.1:0 --workers 1 \
+    --journal-dir "$journal_dir" --resume >"$resume_log" &
+resume_pid=$!
+resume_addr=""
+for _ in $(seq 1 100); do
+    resume_addr=$(sed -n 's|^amsplace serving on http://\([0-9.:]*\).*|\1|p' "$resume_log")
+    [ -n "$resume_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$resume_addr" ]; then
+    echo "resumed server never announced its address"
+    cat "$resume_log"
+    kill "$resume_pid" 2>/dev/null || true
+    exit 1
+fi
+resubmit_out=$(target/debug/amsplace submit synthetic --quick \
+    --addr "$resume_addr" --idempotency-key ci-chaos-smoke)
+echo "$resubmit_out" | grep -q 'deduplicated'
+grep -q 'resumed from journal: 1 done' "$resume_log"
+target/debug/amsplace shutdown --addr "$resume_addr" >/dev/null
+wait "$resume_pid"
+rm -f "$serve_log" "$resume_log"
+rm -rf "$journal_dir"
+
 echo "==> differential fuzz subset (SMT vs portfolio vs exhaustive reference)"
 # The fast subset of the three-way differential harness; the fifty-design
 # acceptance run is release-mode (CI release step + nightly).

@@ -16,13 +16,14 @@ use finfet_ams_place::place::analysis::{self, UnsatOutcome};
 use finfet_ams_place::place::api::{self, ErrorKind, JobOptions, PlaceRequest, PlaceResponse};
 use finfet_ams_place::place::{drat, render_svg, PlaceError, PlaceOutcome, Placer, PlacerConfig};
 use finfet_ams_place::route::{route, RouterConfig};
-use finfet_ams_place::serve::{client, ServeConfig, Server};
+use finfet_ams_place::serve::{client, ResumePolicy, ServeConfig, Server};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: amsplace [OPTIONS] <design.json|buf|vco|synthetic>
        amsplace lint [--explain] [--presolve] <design.json|buf|vco|synthetic>
        amsplace serve [--bind <addr>] [--workers <n>] [--queue-cap <n>]
+                      [--journal-dir <dir> [--resume] [--resume-policy <p>]]
        amsplace submit [OPTIONS] --addr <addr> <design.json|buf|vco|synthetic>
        amsplace shutdown --addr <addr>
        amsplace --demo <buf|vco|synthetic> <out.json>
@@ -58,10 +59,26 @@ serve options:
   --workers <n>       solver worker threads (default 2)
   --queue-cap <n>     bounded job queue size; beyond it submissions get
                       HTTP 429 (default 64)
+  --journal-dir <dir> journal every job transition to an fsync'd WAL in
+                      <dir>; a restart with --resume recovers the queue,
+                      results, and caches (default: no journal)
+  --resume            allow recovering a journal that already holds
+                      records (required then — a non-empty journal
+                      without --resume is a startup error)
+  --resume-policy <p> what to do with jobs that were mid-solve when the
+                      previous process died: rerun (default) solves them
+                      again, interrupt marks them terminal `interrupted`
 
 submit/shutdown options:
   --addr <addr>       the server to talk to (default 127.0.0.1:7171)
   --no-wait           print the job id without polling for the result
+  --idempotency-key <k>  tag the submission; the server dedups repeats of
+                      the same key onto the original job, so retries
+                      never double-solve
+  --retries <n>       retry submits/polls up to n extra times on connect
+                      errors, 429, and 503, with capped exponential
+                      backoff honoring Retry-After (default 2; 0 = off)
+  --retry-base-ms <n> first backoff pause in milliseconds (default 100)
 
 exit codes: 0 success (incl. anytime/recovered placements), 1 usage or
 I/O or internal failure, 2 infeasible, 3 cancelled, 4 deadline expired
@@ -110,6 +127,12 @@ struct Args {
     workers: usize,
     queue_cap: usize,
     no_wait: bool,
+    journal_dir: Option<String>,
+    resume: bool,
+    resume_policy: ResumePolicy,
+    idempotency_key: Option<String>,
+    retries: u32,
+    retry_base_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -139,6 +162,12 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         queue_cap: 64,
         no_wait: false,
+        journal_dir: None,
+        resume: false,
+        resume_policy: ResumePolicy::Rerun,
+        idempotency_key: None,
+        retries: 2,
+        retry_base_ms: 100,
     };
     let mut first_positional = true;
     let mut it = std::env::args().skip(1);
@@ -235,6 +264,36 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--queue-cap: {e}"))?
             }
             "--no-wait" => args.no_wait = true,
+            "--journal-dir" => args.journal_dir = Some(value("--journal-dir")?),
+            "--resume" => args.resume = true,
+            "--resume-policy" => {
+                args.resume_policy = match value("--resume-policy")?.as_str() {
+                    "rerun" => ResumePolicy::Rerun,
+                    "interrupt" => ResumePolicy::MarkInterrupted,
+                    other => {
+                        return Err(format!(
+                            "--resume-policy must be rerun or interrupt, not {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--idempotency-key" => {
+                let key = value("--idempotency-key")?;
+                if key.is_empty() {
+                    return Err("--idempotency-key must not be empty".into());
+                }
+                args.idempotency_key = Some(key);
+            }
+            "--retries" => {
+                args.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--retry-base-ms" => {
+                args.retry_base_ms = value("--retry-base-ms")?
+                    .parse()
+                    .map_err(|e| format!("--retry-base-ms: {e}"))?
+            }
             "-h" | "--help" => return Err(String::new()),
             other if !other.starts_with('-') => {
                 args.design_path = Some(other.to_string());
@@ -383,21 +442,34 @@ fn run_serve(args: &Args) -> ExitCode {
         bind: args.bind.clone(),
         workers: args.workers,
         queue_cap: args.queue_cap,
+        journal_dir: args.journal_dir.clone().map(std::path::PathBuf::from),
+        resume: args.resume,
+        resume_policy: args.resume_policy,
         ..ServeConfig::default()
     };
     let server = match Server::start(config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: binding {}: {e}", args.bind);
+            eprintln!("error: starting on {}: {e}", args.bind);
             return ExitCode::FAILURE;
         }
     };
     println!(
-        "amsplace serving on http://{} ({} workers, queue {})",
+        "amsplace serving on http://{} ({} workers, queue {}{})",
         server.addr(),
         args.workers,
-        args.queue_cap
+        args.queue_cap,
+        match &args.journal_dir {
+            Some(dir) => format!(", journaling to {dir}"),
+            None => String::new(),
+        },
     );
+    if let Some(report) = server.recovery() {
+        println!(
+            "resumed from journal: {} done, {} requeued, {} re-run, {} interrupted",
+            report.completed, report.requeued, report.reran, report.interrupted
+        );
+    }
     println!(
         "POST /v1/shutdown (or `amsplace shutdown --addr {}`) to stop",
         server.addr()
@@ -428,14 +500,17 @@ fn run_submit(args: &Args) -> ExitCode {
     let request = PlaceRequest {
         design,
         options: job_options(args),
+        idempotency_key: args.idempotency_key.clone(),
     };
-    let accepted = match client::post(&args.addr, "/v1/jobs", Some(&request.to_json())) {
-        Ok(reply) => reply,
-        Err(e) => {
-            eprintln!("error: submitting to {}: {e}", args.addr);
-            return ExitCode::FAILURE;
-        }
-    };
+    let retry = retry_policy(args);
+    let accepted =
+        match client::post_with_retry(&args.addr, "/v1/jobs", Some(&request.to_json()), &retry) {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("error: submitting to {}: {e}", args.addr);
+                return ExitCode::FAILURE;
+            }
+        };
     if accepted.status != 202 {
         eprintln!(
             "error: server rejected the job (HTTP {}): {}",
@@ -452,7 +527,19 @@ fn run_submit(args: &Args) -> ExitCode {
         eprintln!("error: malformed accept reply: {}", accepted.body.pretty());
         return ExitCode::FAILURE;
     };
-    println!("job {job_id} queued on {}", args.addr);
+    let deduplicated = accepted
+        .body
+        .field("deduplicated")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if deduplicated {
+        println!(
+            "job {job_id} deduplicated on {} (idempotency key matched an earlier submit)",
+            args.addr
+        );
+    } else {
+        println!("job {job_id} queued on {}", args.addr);
+    }
     if args.no_wait {
         return ExitCode::SUCCESS;
     }
@@ -460,7 +547,7 @@ fn run_submit(args: &Args) -> ExitCode {
     let path = format!("/v1/jobs/{job_id}");
     loop {
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let view = match client::get(&args.addr, &path) {
+        let view = match client::get_with_retry(&args.addr, &path, &retry) {
             Ok(reply) if reply.status == 200 => reply.body,
             Ok(reply) => {
                 eprintln!("error: polling job {job_id}: HTTP {}", reply.status);
@@ -499,6 +586,18 @@ fn run_submit(args: &Args) -> ExitCode {
         }
         println!("{}", doc.pretty());
         return ExitCode::from(response.exit_code());
+    }
+}
+
+/// The client pacing the `--retries`/`--retry-base-ms` flags describe.
+/// The jitter seed varies per process so a fleet of retrying CLIs
+/// decorrelates instead of thundering in lockstep.
+fn retry_policy(args: &Args) -> client::RetryPolicy {
+    client::RetryPolicy {
+        max_attempts: args.retries.saturating_add(1),
+        base: std::time::Duration::from_millis(args.retry_base_ms),
+        seed: u64::from(std::process::id()),
+        ..client::RetryPolicy::default()
     }
 }
 

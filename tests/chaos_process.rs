@@ -1,0 +1,267 @@
+//! Process-level crash recovery: the real thing. A journaled `amsplace
+//! serve` is killed dead (fault-injected `abort()` — `SIGKILL`'s
+//! std-only stand-in: no destructors, no flushes) at a journal barrier,
+//! then restarted with `--resume`, and the typed client must see every
+//! job again: the mid-solve one re-run to completion, the idempotency
+//! key still deduplicating.
+//!
+//! The in-process fault matrix (corrupt tails, shed-under-saturation,
+//! retry storms, crash images at other barriers) lives in
+//! `crates/serve/tests/chaos.rs`; this test pins the end-to-end loop
+//! through the binary, the CLI flags, and a real process death.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use finfet_ams_place::netlist::benchmarks::{self, SyntheticParams};
+use finfet_ams_place::netlist::json::Json;
+use finfet_ams_place::place::api::{JobOptions, JobStatus, PlaceRequest};
+use finfet_ams_place::serve::client;
+
+/// A spawned server process, killed on drop so a failing test never
+/// leaks a background `amsplace`.
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerProc {
+    /// Spawns `amsplace serve` on an ephemeral port and parses the bound
+    /// address from the startup banner.
+    fn spawn(journal_dir: &PathBuf, resume: bool, fault: Option<&str>) -> ServerProc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_amsplace"));
+        cmd.arg("serve")
+            .arg("--bind")
+            .arg("127.0.0.1:0")
+            .arg("--workers")
+            .arg("1")
+            .arg("--journal-dir")
+            .arg(journal_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if resume {
+            cmd.arg("--resume");
+        }
+        match fault {
+            Some(spec) => cmd.env("AMSPLACE_FAULT", spec),
+            None => cmd.env_remove("AMSPLACE_FAULT"),
+        };
+        let mut child = cmd.spawn().expect("spawn amsplace serve");
+
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server exited before printing its banner")
+                .expect("read banner line");
+            if let Some(rest) = line.split("http://").nth(1) {
+                let addr = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|a| {
+                        a.trim_end_matches(|c: char| !c.is_ascii_digit())
+                            .parse()
+                            .ok()
+                    })
+                    .expect("banner carries the bound address");
+                break addr;
+            }
+        };
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ServerProc { child, addr }
+    }
+
+    /// Blocks until the process exits (the fault-injected abort).
+    fn wait_for_death(&mut self, deadline: Duration) {
+        let t0 = Instant::now();
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(!status.success(), "the fault plan aborts, never exits 0");
+                    return;
+                }
+                None => {
+                    assert!(
+                        t0.elapsed() < deadline,
+                        "server did not die within {deadline:?}"
+                    );
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    fn shutdown(mut self) {
+        let _ = client::post(self.addr, "/v1/shutdown", None);
+        let t0 = Instant::now();
+        while self.child.try_wait().expect("try_wait").is_none() {
+            if t0.elapsed() > Duration::from_secs(30) {
+                let _ = self.child.kill();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn quick_request(key: &str) -> PlaceRequest {
+    // A small synthetic instance: the binary under test is a debug
+    // build, where the named benchmarks solve orders of magnitude
+    // slower than anything this test is trying to observe.
+    PlaceRequest {
+        design: benchmarks::synthetic(SyntheticParams {
+            regions: 2,
+            cells_per_region: 6,
+            nets: 10,
+            net_degree: 3,
+            symmetry_pairs: 1,
+            ..Default::default()
+        }),
+        options: JobOptions {
+            quick: true,
+            ..JobOptions::default()
+        },
+        idempotency_key: Some(key.to_string()),
+    }
+}
+
+fn wait_done(addr: SocketAddr, id: u64, deadline: Duration) -> Json {
+    let t0 = Instant::now();
+    loop {
+        let view = client::get(addr, &format!("/v1/jobs/{id}"))
+            .expect("poll over loopback")
+            .body;
+        let status = view
+            .field("status")
+            .and_then(Json::as_str)
+            .and_then(JobStatus::parse)
+            .expect("status");
+        if status.is_terminal() {
+            assert_eq!(status, JobStatus::Done, "{}", view.pretty());
+            return view;
+        }
+        assert!(
+            t0.elapsed() < deadline,
+            "job {id} still {status:?} after {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigkill_at_the_start_barrier_then_resume_recovers_every_job() {
+    let journal_dir =
+        std::env::temp_dir().join(format!("amsplace-chaos-proc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    // Arm the kill for the first worker pickup: the instant the Started
+    // record is durable, the process dies — no response ever reaches a
+    // client, the solver is mid-flight.
+    let mut doomed = ServerProc::spawn(&journal_dir, false, Some("kill:start:1"));
+    let request = quick_request("proc-key");
+    // The worker may pick the job up — and abort the process — before
+    // the accept reply is on the wire, so a reset here is legitimate:
+    // it is precisely the "client never learned its job id" crash. The
+    // journal is fresh, so the id is deterministically 1 either way.
+    let job_id = match client::post(doomed.addr, "/v1/jobs", Some(&request.to_json())) {
+        Ok(reply) => {
+            assert_eq!(reply.status, 202, "{}", reply.body.pretty());
+            reply
+                .body
+                .field("job_id")
+                .and_then(Json::as_u64)
+                .expect("job id")
+        }
+        Err(_) => 1,
+    };
+
+    doomed.wait_for_death(Duration::from_secs(120));
+
+    // Restart on the same journal. Default policy re-runs the job the
+    // dead process had picked up: zero lost jobs.
+    let server = ServerProc::spawn(&journal_dir, true, None);
+    let done = wait_done(server.addr, job_id, Duration::from_secs(300));
+    assert_eq!(
+        done.field("response")
+            .and_then(|r| r.field("status"))
+            .and_then(Json::as_str),
+        Some("done")
+    );
+
+    // The retried submit with the same idempotency key lands on the
+    // recovered job — one solve total across both process lifetimes.
+    let retried = client::post(server.addr, "/v1/jobs", Some(&request.to_json()))
+        .expect("retried submit after recovery");
+    assert_eq!(retried.status, 202, "{}", retried.body.pretty());
+    assert_eq!(
+        retried.body.field("deduplicated").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        retried.body.field("job_id").and_then(Json::as_u64),
+        Some(job_id)
+    );
+
+    // And the journal surface is live on the stats endpoint.
+    let stats = client::get(server.addr, "/v1/stats").expect("stats").body;
+    assert!(
+        !stats.field("journal").expect("journaling on").is_null(),
+        "{}",
+        stats.pretty()
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+#[test]
+fn resume_is_required_on_a_used_journal() {
+    let journal_dir =
+        std::env::temp_dir().join(format!("amsplace-chaos-noresume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    // First life: journal a completed job, clean shutdown.
+    let server = ServerProc::spawn(&journal_dir, false, None);
+    let accepted = client::post(
+        server.addr,
+        "/v1/jobs",
+        Some(&quick_request("noresume-key").to_json()),
+    )
+    .expect("submit");
+    assert_eq!(accepted.status, 202);
+    let job_id = accepted
+        .body
+        .field("job_id")
+        .and_then(Json::as_u64)
+        .unwrap();
+    wait_done(server.addr, job_id, Duration::from_secs(300));
+    server.shutdown();
+
+    // Second life without --resume: must refuse to start.
+    let output = Command::new(env!("CARGO_BIN_EXE_amsplace"))
+        .arg("serve")
+        .arg("--bind")
+        .arg("127.0.0.1:0")
+        .arg("--journal-dir")
+        .arg(&journal_dir)
+        .env_remove("AMSPLACE_FAULT")
+        .output()
+        .expect("run amsplace serve");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--resume"), "stderr: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
