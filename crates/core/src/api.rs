@@ -26,8 +26,10 @@ use std::time::Duration;
 ///
 /// Version history: 1 = PR 7 service surface; 2 = crash-safe serving
 /// (request `idempotency_key`, the `interrupted` job status and error
-/// kind, `degraded` in the service health documents).
-pub const SCHEMA_VERSION: u64 = 2;
+/// kind, `degraded` in the service health documents); 3 = routing
+/// closure (the constant-shape `closure` object in the stats document,
+/// `close`/`close_iters` job options).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Lifecycle state of a placement job.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -264,6 +266,12 @@ pub struct JobOptions {
     pub certify: bool,
     /// Static presolve (`--no-presolve` turns it off).
     pub presolve: bool,
+    /// Run the routing-closure loop (`amsplace close` / the server's
+    /// closure job option): place, route, tighten hot windows, re-solve.
+    pub close: bool,
+    /// Closure iteration budget when `close` is set (`--max-iters`);
+    /// `None` takes [`crate::ClosureConfig`]'s default.
+    pub close_iters: Option<u64>,
 }
 
 impl Default for JobOptions {
@@ -279,6 +287,8 @@ impl Default for JobOptions {
             no_ams: false,
             certify: false,
             presolve: true,
+            close: false,
+            close_iters: None,
         }
     }
 }
@@ -320,6 +330,18 @@ impl JobOptions {
         config
     }
 
+    /// The closure-loop knobs these options describe, or `None` when the
+    /// job did not ask for routing closure.
+    pub fn closure(&self) -> Option<crate::ClosureConfig> {
+        self.close.then(|| {
+            let mut c = crate::ClosureConfig::default();
+            if let Some(n) = self.close_iters {
+                c.max_iters = n as usize;
+            }
+            c
+        })
+    }
+
     /// The per-job execution overrides, environment-blind: a job's
     /// thread count and deadline come from the request or the config,
     /// never from `AMSPLACE_THREADS` / `AMSPLACE_DEADLINE_MS` in the
@@ -344,6 +366,8 @@ impl JobOptions {
             ("no_ams", Json::Bool(self.no_ams)),
             ("certify", Json::Bool(self.certify)),
             ("presolve", Json::Bool(self.presolve)),
+            ("close", Json::Bool(self.close)),
+            ("close_iters", opt_uint(self.close_iters)),
         ])
     }
 
@@ -381,6 +405,8 @@ impl JobOptions {
             no_ams: get_bool("no_ams", d.no_ams)?,
             certify: get_bool("certify", d.certify)?,
             presolve: get_bool("presolve", d.presolve)?,
+            close: get_bool("close", d.close)?,
+            close_iters: get_uint("close_iters")?,
         })
     }
 }
@@ -718,7 +744,46 @@ pub fn stats_to_json(design: &Design, placement: &Placement) -> Json {
         ),
         ("presolve", presolve_to_json(s.presolve.as_ref())),
         ("warm", warm),
+        ("closure", closure_to_json(s.closure.as_ref())),
     ])
+}
+
+/// Serializes the routing-closure summary with a constant shape: a run
+/// without closure still yields every key (mirroring [`presolve_to_json`]),
+/// so the stats schema stays stable.
+pub fn closure_to_json(cs: Option<&crate::ClosureStats>) -> Json {
+    match cs {
+        Some(cs) => Json::obj([
+            ("ran", Json::Bool(true)),
+            ("iterations", Json::uint(cs.iterations as u64)),
+            ("drc_clean", Json::Bool(cs.drc_clean)),
+            (
+                "hot_windows",
+                Json::Arr(
+                    cs.hot_windows
+                        .iter()
+                        .map(|&(x, y)| {
+                            Json::obj([
+                                ("x", Json::uint(u64::from(x))),
+                                ("y", Json::uint(u64::from(y))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "routed_wl_trend",
+                Json::Arr(cs.routed_wl_trend.iter().map(|&v| Json::uint(v)).collect()),
+            ),
+        ]),
+        None => Json::obj([
+            ("ran", Json::Bool(false)),
+            ("iterations", Json::uint(0)),
+            ("drc_clean", Json::Bool(false)),
+            ("hot_windows", Json::Arr(Vec::new())),
+            ("routed_wl_trend", Json::Arr(Vec::new())),
+        ]),
+    }
 }
 
 /// Serializes the presolve summary with a constant shape: a disabled
@@ -822,11 +887,16 @@ mod tests {
             no_ams: true,
             certify: true,
             presolve: false,
+            close: true,
+            close_iters: Some(3),
         };
         let back = JobOptions::from_json(&opts.to_json()).expect("roundtrip");
         assert_eq!(back, opts);
         let empty = JobOptions::from_json(&Json::obj([])).expect("defaults");
         assert_eq!(empty, JobOptions::default());
+        let closure = back.closure().expect("close requested");
+        assert_eq!(closure.max_iters, 3);
+        assert_eq!(JobOptions::default().closure(), None);
     }
 
     #[test]

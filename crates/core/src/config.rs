@@ -52,7 +52,7 @@ impl Default for ConstraintToggles {
 }
 
 /// Window-based pin-density checking parameters (Eq. 13–14).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PinDensityConfig {
     /// Scaled window width `β_x`.
     pub beta_x: u32,
@@ -68,6 +68,14 @@ pub struct PinDensityConfig {
     pub stride_x: u32,
     /// Window step in y.
     pub stride_y: u32,
+    /// Per-window thresholds overriding the global `λ_th`, keyed by the
+    /// *scaled* window origin — the same `(x, y)` the encoder stamps into
+    /// `Provenance::Window`, so routing feedback can tighten exactly the
+    /// windows it proved congested. Kept sorted by key; an override only
+    /// ever lowers the effective bound (it is clamped to the resolved
+    /// global λ), so [`crate::Placement::verify`]'s global check stays
+    /// sound.
+    pub lambda_overrides: Vec<((u32, u32), u64)>,
 }
 
 impl Default for PinDensityConfig {
@@ -79,6 +87,40 @@ impl Default for PinDensityConfig {
             auto_margin: 1.15,
             stride_x: 2,
             stride_y: 1,
+            lambda_overrides: Vec::new(),
+        }
+    }
+}
+
+impl PinDensityConfig {
+    /// The override for the window at scaled origin `(x, y)`, if any.
+    pub fn override_for(&self, x: u32, y: u32) -> Option<u64> {
+        self.lambda_overrides
+            .binary_search_by_key(&(x, y), |&(k, _)| k)
+            .ok()
+            .map(|i| self.lambda_overrides[i].1)
+    }
+
+    /// Installs (or tightens) the override for the window at scaled origin
+    /// `(x, y)`, keeping the override list sorted. Returns `true` when the
+    /// stored bound actually decreased.
+    pub fn tighten_window(&mut self, x: u32, y: u32, lambda: u64) -> bool {
+        match self
+            .lambda_overrides
+            .binary_search_by_key(&(x, y), |&(k, _)| k)
+        {
+            Ok(i) => {
+                if lambda < self.lambda_overrides[i].1 {
+                    self.lambda_overrides[i].1 = lambda;
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(i) => {
+                self.lambda_overrides.insert(i, ((x, y), lambda));
+                true
+            }
         }
     }
 }
@@ -461,6 +503,20 @@ impl PlacerConfig {
                     "pin-density auto margin {} must be finite and >= 1",
                     pd.auto_margin
                 ));
+            }
+            if !pd.lambda_overrides.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(
+                    "pin-density λ overrides must be sorted by window origin with \
+                     no duplicates (use PinDensityConfig::tighten_window)"
+                        .into(),
+                );
+            }
+            if pd.lambda_overrides.iter().any(|&(_, l)| l == 0) {
+                return Err(
+                    "a per-window λ override of 0 forbids every pin; the minimum \
+                     useful bound is 1"
+                        .into(),
+                );
             }
         }
         Ok(())

@@ -154,8 +154,12 @@ pub(crate) fn assert_pin_density(
                 }
             }
             let worst: u64 = items.iter().map(|&(_, w)| w).sum();
-            if worst > lambda {
-                store.assert_at_most(items, lambda);
+            // A routing-closure override tightens this one window below the
+            // global threshold; clamping to `lambda` keeps the per-window
+            // bound sound w.r.t. the global legality check.
+            let bound = cfg.override_for(xm, ym).map_or(lambda, |l| l.min(lambda));
+            if worst > bound {
+                store.assert_at_most(items, bound);
             }
             windows += 1;
         }

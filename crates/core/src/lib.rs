@@ -51,6 +51,7 @@ pub mod analysis;
 pub mod api;
 pub mod baseline;
 pub mod brute;
+pub mod closure;
 mod config;
 mod encode;
 pub mod ir;
@@ -59,10 +60,12 @@ mod placer;
 mod post;
 mod power;
 mod scale;
+pub mod scenario;
 mod svg;
 mod vars;
 
 pub use analysis::presolve::{PresolveConflict, PresolveReport, PresolveVerdict};
+pub use closure::{ClosureConfig, ClosureStats, RouteFeedback, WindowRect};
 pub use config::{
     ConstraintToggles, OptimizeConfig, PinDensityConfig, PlacerConfig, PresolveConfig,
     RecoveryConfig, SolverConfig, SolverOverrides,

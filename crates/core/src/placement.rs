@@ -218,6 +218,10 @@ pub struct PlaceStats {
     /// [`crate::Placer::rebase`] instead of encoding from scratch; `None`
     /// for cold runs.
     pub warm: Option<WarmStats>,
+    /// Routing-closure summary when the placement came out of the
+    /// place → route → tighten loop ([`crate::closure`]); `None` for
+    /// plain placements.
+    pub closure: Option<crate::closure::ClosureStats>,
 }
 
 /// How a warm re-solve ([`crate::Placer::rebase`]) reused the live solver,

@@ -1025,6 +1025,7 @@ impl<'a> Placer<'a> {
             certify: None,
             presolve: self.presolve.clone(),
             warm: self.warm_pending.clone(),
+            closure: None,
         };
         let mut placement = self.finalize(model, stats);
         // Certify mode closes the SAT half of the loop: re-check the model
@@ -1080,7 +1081,7 @@ impl<'a> Placer<'a> {
                     &self.scale,
                     &PinDensityConfig {
                         lambda: None,
-                        ..*pd
+                        ..pd.clone()
                     },
                 );
                 // At least halfway toward the auto-calibrated threshold,
@@ -1088,7 +1089,7 @@ impl<'a> Placer<'a> {
                 let to = auto.max(from + from / 2 + 1);
                 config.pin_density = Some(PinDensityConfig {
                     lambda: Some(to),
-                    ..*pd
+                    ..pd.clone()
                 });
                 return Some((Relaxation::RaisePinDensity { from, to }, config));
             }
@@ -1208,7 +1209,7 @@ impl<'a> Placer<'a> {
                     }
                 }
                 ConstraintFamily::PinDensity => {
-                    if let Some(pd) = self.config.pin_density {
+                    if let Some(pd) = self.config.pin_density.clone() {
                         let info = encode::pin_density::assert_pin_density(
                             &mut self.smt,
                             &mut self.store,

@@ -1,0 +1,164 @@
+//! Per-window congestion extraction from a routing result.
+//!
+//! The closure loop ([`ams_place::closure`]) thinks in pin-density check
+//! windows; the router thinks in edges. This module aggregates a
+//! [`RouteResult`] onto an arbitrary window list — for closure, the
+//! placement's probe windows ([`ams_place::closure::probe_windows`]), so
+//! window `i` of the output lines up with the pin-density constraint whose
+//! provenance the loop tightens.
+//!
+//! Attribution is by the owner node's planar coordinates: a wire segment,
+//! via, or overflow edge counts toward every window containing its owner
+//! point (windows may overlap when the check stride is smaller than the
+//! window). Overflow on edges outside every window still shows up in
+//! [`RouteResult::overflow`], so a clean verdict never depends on window
+//! coverage.
+
+use crate::router::RouteResult;
+use ams_place::closure::{RouteFeedback, WindowRect};
+
+/// Congestion totals of one probe window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowCongestion {
+    /// Over-capacity edges whose owner lies in the window.
+    pub overflow: u64,
+    /// Wire segments whose owner lies in the window.
+    pub routed_wl: u64,
+    /// Vias whose owner lies in the window.
+    pub vias: u64,
+}
+
+/// Aggregates a routing result per window.
+///
+/// Output is parallel to `windows`; every metric attributes by the owner
+/// node's planar point, so overlapping windows each count shared geometry.
+pub fn window_congestion(result: &RouteResult, windows: &[WindowRect]) -> Vec<WindowCongestion> {
+    let mut out = vec![WindowCongestion::default(); windows.len()];
+    let mut add = |x: u32, y: u32, f: &mut dyn FnMut(&mut WindowCongestion)| {
+        for (w, c) in windows.iter().zip(out.iter_mut()) {
+            if w.contains(x, y) {
+                f(c);
+            }
+        }
+    };
+    for net in &result.nets {
+        for &(a, _) in &net.wires {
+            add(u32::from(a.x), u32::from(a.y), &mut |c| c.routed_wl += 1);
+        }
+        for &v in &net.vias {
+            add(u32::from(v.x), u32::from(v.y), &mut |c| c.vias += 1);
+        }
+    }
+    for e in &result.overflow_edges {
+        add(u32::from(e.node.x), u32::from(e.node.y), &mut |c| {
+            c.overflow += 1
+        });
+    }
+    out
+}
+
+/// Folds a routing result into the feedback document the closure loop
+/// consumes: totals plus per-window overflow parallel to `windows`.
+pub fn route_feedback(result: &RouteResult, windows: &[WindowRect]) -> RouteFeedback {
+    RouteFeedback {
+        routed_wl: result.wirelength,
+        vias: result.vias,
+        overflow: result.overflow as u64,
+        window_overflow: window_congestion(result, windows)
+            .iter()
+            .map(|c| c.overflow)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Node, Step};
+    use crate::router::{NetRoute, OverflowEdge};
+
+    fn result_with_geometry() -> RouteResult {
+        RouteResult {
+            nets: vec![NetRoute {
+                wires: vec![
+                    (Node::new(0, 1, 1), Node::new(0, 2, 1)),
+                    (Node::new(0, 8, 8), Node::new(0, 9, 8)),
+                ],
+                vias: vec![Node::new(0, 1, 1)],
+            }],
+            wirelength: 2,
+            vias: 1,
+            overflow: 1,
+            overflow_edges: vec![OverflowEdge {
+                node: Node::new(0, 1, 1),
+                step: Step::East,
+                overuse: 1,
+            }],
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn attribution_is_per_window_by_owner_point() {
+        let result = result_with_geometry();
+        let windows = [
+            WindowRect {
+                x: 0,
+                y: 0,
+                w: 4,
+                h: 4,
+            },
+            WindowRect {
+                x: 6,
+                y: 6,
+                w: 4,
+                h: 4,
+            },
+        ];
+        let per = window_congestion(&result, &windows);
+        assert_eq!(per[0].routed_wl, 1);
+        assert_eq!(per[0].vias, 1);
+        assert_eq!(per[0].overflow, 1);
+        assert_eq!(per[1].routed_wl, 1);
+        assert_eq!(per[1].vias, 0);
+        assert_eq!(per[1].overflow, 0);
+    }
+
+    #[test]
+    fn overlapping_windows_both_count_shared_geometry() {
+        let result = result_with_geometry();
+        let windows = [
+            WindowRect {
+                x: 0,
+                y: 0,
+                w: 4,
+                h: 4,
+            },
+            WindowRect {
+                x: 1,
+                y: 1,
+                w: 4,
+                h: 4,
+            },
+        ];
+        let per = window_congestion(&result, &windows);
+        assert_eq!(per[0].overflow, 1);
+        assert_eq!(per[1].overflow, 1);
+    }
+
+    #[test]
+    fn feedback_totals_come_from_the_result() {
+        let result = result_with_geometry();
+        let windows = [WindowRect {
+            x: 0,
+            y: 0,
+            w: 4,
+            h: 4,
+        }];
+        let fb = route_feedback(&result, &windows);
+        assert_eq!(fb.routed_wl, 2);
+        assert_eq!(fb.vias, 1);
+        assert_eq!(fb.overflow, 1);
+        assert_eq!(fb.window_overflow, vec![1]);
+    }
+}

@@ -180,6 +180,31 @@ impl RouteGrid {
     pub fn overflow(&self) -> usize {
         self.usage.iter().filter(|&&u| u > self.capacity).count()
     }
+
+    /// Every currently over-capacity edge as `(owner node, step, overuse)`,
+    /// in dense storage order (deterministic for identical usage states).
+    pub fn overflow_edges(&self) -> Vec<(Node, Step, u8)> {
+        let mut out = Vec::new();
+        for layer in 0..LAYERS as u8 {
+            let wire = if is_horizontal(layer) {
+                Step::East
+            } else {
+                Step::North
+            };
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let node = Node::new(layer, x, y);
+                    for step in [wire, Step::Via] {
+                        let over = self.overuse(node, step);
+                        if over > 0 {
+                            out.push((node, step, over));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -27,8 +27,12 @@
 //! # }
 //! ```
 
+mod closure;
+mod congestion;
 mod grid;
 mod router;
 
+pub use closure::{close_placement, route_feedback};
+pub use congestion::{window_congestion, WindowCongestion};
 pub use grid::{is_horizontal, Node, RouteGrid, Step, LAYERS};
-pub use router::{route, NetRoute, RouteResult, RouterConfig};
+pub use router::{route, NetRoute, OverflowEdge, RouteResult, RouterConfig};

@@ -67,8 +67,24 @@ impl NetRoute {
     }
 }
 
+/// An edge left over capacity after the final negotiation round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverflowEdge {
+    /// Owner node of the edge (its minimum endpoint).
+    pub node: Node,
+    /// The step out of the owner: a preferred-direction wire or a via.
+    pub step: Step,
+    /// Usage beyond capacity (≥ 1).
+    pub overuse: u8,
+}
+
 /// Result of routing a placed design.
-#[derive(Clone, Debug, Default)]
+///
+/// Derives `Eq`: two runs over the same placement must produce
+/// bit-identical results (net order, search tie-breaking, and overflow
+/// enumeration are all deterministic), and the router property suite pins
+/// that.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RouteResult {
     /// Per-net routes, indexed by net id (empty for skipped nets).
     pub nets: Vec<NetRoute>,
@@ -78,6 +94,10 @@ pub struct RouteResult {
     pub vias: u64,
     /// Edges still over capacity after the final iteration (0 = clean).
     pub overflow: usize,
+    /// The over-capacity edges behind `overflow`, in deterministic dense
+    /// grid order — the input to per-window congestion extraction
+    /// ([`crate::window_congestion`]).
+    pub overflow_edges: Vec<OverflowEdge>,
     /// Rip-up-and-reroute rounds used.
     pub iterations: usize,
 }
@@ -136,7 +156,10 @@ impl<'a> Router<'a> {
                 }
             }
         }
-        // Net order: heavier and shorter nets first, deterministic.
+        // Net order: heavier and shorter nets first. The trailing net-id
+        // key makes the order total, so routing is bit-for-bit
+        // reproducible — the closure loop and the result cache both rely
+        // on it, and `tests/router_prop.rs` pins it.
         let mut order: Vec<NetId> = design
             .net_ids()
             .filter(|&n| terminals[n.index()].len() >= 2)
@@ -186,6 +209,16 @@ impl<'a> Router<'a> {
         let mut result = RouteResult {
             nets: std::mem::take(&mut self.routes),
             overflow: self.grid.overflow(),
+            overflow_edges: self
+                .grid
+                .overflow_edges()
+                .into_iter()
+                .map(|(node, step, overuse)| OverflowEdge {
+                    node,
+                    step,
+                    overuse,
+                })
+                .collect(),
             iterations,
             ..RouteResult::default()
         };

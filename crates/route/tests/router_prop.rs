@@ -1,0 +1,257 @@
+//! Router property suite over seeded random instances.
+//!
+//! For every seed: the routed geometry is connected and on-grid, the
+//! result's capacity accounting is exactly reproducible from the returned
+//! routes, the routed wirelength dominates the HPWL lower bound, and
+//! routing the same placement twice is bit-identical (the net-order
+//! tie-break and Dijkstra tie-break make the router deterministic — the
+//! closure loop and the serve result cache both depend on that).
+
+use ams_netlist::rng::SplitMix64;
+use ams_netlist::{Design, DesignBuilder, Rect};
+use ams_place::{Placement, PlacerConfig, ScaleInfo};
+use ams_route::{is_horizontal, route, Node, RouteResult, RouterConfig, Step, LAYERS};
+use std::collections::{HashMap, HashSet};
+
+const SEEDS: u64 = 12;
+
+/// A random multi-net instance on a hand-built grid placement: `cols ×
+/// rows` cells of 4×2 grid units, random-degree nets with random pin
+/// offsets.
+fn random_instance(seed: u64) -> (Design, Placement) {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = DesignBuilder::new(format!("prop_{seed}"));
+    let region = b.add_region("r", 0.9);
+    let pg = b.add_power_group("VDD");
+
+    let cols = 3 + rng.index(2);
+    let rows = 2 + rng.index(2);
+    let mut cells = Vec::new();
+    let mut rects = Vec::new();
+    for j in 0..rows {
+        for i in 0..cols {
+            let c = b.add_cell(format!("c{i}_{j}"), region, 4, 2, pg);
+            cells.push(c);
+            rects.push(Rect::new(2 + 4 * i as u32, 2 + 3 * j as u32, 4, 2));
+        }
+    }
+
+    let nets = 4 + rng.index(5);
+    for n in 0..nets {
+        let degree = (2 + rng.index(3)).min(cells.len());
+        let net = b.add_net(format!("n{n}"), 1 + rng.range_u64(0, 2) as u32);
+        let mut picked = Vec::new();
+        while picked.len() < degree {
+            let c = cells[rng.index(cells.len())];
+            if !picked.contains(&c) {
+                picked.push(c);
+            }
+        }
+        for (k, &c) in picked.iter().enumerate() {
+            let (dx, dy) = (rng.range_u64(0, 3) as u32, rng.range_u64(0, 1) as u32);
+            b.add_pin(c, format!("p{n}_{k}"), Some(net), dx, dy);
+        }
+    }
+
+    let design = b.build().expect("generator produces valid designs");
+    let die = Rect::new(0, 0, 4 + 4 * cols as u32, 4 + 3 * rows as u32);
+    let scale = ScaleInfo::compute(&design, &PlacerConfig::default());
+    let placement = ams_place::placement_from_rects(
+        rects,
+        vec![Rect::new(2, 2, 4 * cols as u32, 3 * rows as u32)],
+        die,
+        &scale,
+    );
+    (design, placement)
+}
+
+/// The layer-0 terminal nodes of a net, deduplicated.
+fn terminals(design: &Design, placement: &Placement, n: ams_netlist::NetId) -> HashSet<Node> {
+    design
+        .net_connections(n)
+        .iter()
+        .map(|&(c, pi)| {
+            let pin = &design.cell(c).pins[pi];
+            let r = placement.cells[c.index()];
+            Node::new(0, (r.x + pin.dx) as u16, (r.y + pin.dy) as u16)
+        })
+        .collect()
+}
+
+/// Every routed net must connect all its terminals through its own
+/// wires and vias.
+fn assert_connected(design: &Design, placement: &Placement, result: &RouteResult) {
+    for n in design.net_ids() {
+        let route = &result.nets[n.index()];
+        let mut adj: HashMap<Node, Vec<Node>> = HashMap::new();
+        let mut link = |a: Node, b: Node| {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        };
+        for &(a, b) in &route.wires {
+            link(a, b);
+        }
+        for &v in &route.vias {
+            link(v, Node::new(v.layer + 1, v.x, v.y));
+        }
+        let terminals = terminals(design, placement, n);
+        if terminals.len() < 2 {
+            continue;
+        }
+        let start = *terminals.iter().next().expect("nonempty");
+        let mut seen = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(node) = stack.pop() {
+            if !seen.insert(node) {
+                continue;
+            }
+            if let Some(next) = adj.get(&node) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        for t in &terminals {
+            assert!(seen.contains(t), "net {} unreached", design.net(n).name);
+        }
+    }
+}
+
+/// Every wire and via must be a legal unit edge of the routing grid.
+fn assert_on_grid(placement: &Placement, result: &RouteResult) {
+    let (w, h) = (placement.die.w as u16 + 1, placement.die.h as u16 + 1);
+    let on_grid = |n: Node| (n.layer as usize) < LAYERS && n.x < w && n.y < h;
+    for route in &result.nets {
+        for &(a, b) in &route.wires {
+            assert!(on_grid(a) && on_grid(b), "wire endpoint off grid");
+            assert_eq!(a.layer, b.layer, "wire must stay on one layer");
+            let (dx, dy) = (a.x.abs_diff(b.x), a.y.abs_diff(b.y));
+            assert_eq!(
+                (dx, dy),
+                if is_horizontal(a.layer) {
+                    (1, 0)
+                } else {
+                    (0, 1)
+                },
+                "wire must be a unit step in the layer's preferred direction"
+            );
+        }
+        for &v in &route.vias {
+            assert!(on_grid(v), "via off grid");
+            assert!(
+                (v.layer as usize) + 1 < LAYERS,
+                "via must have a layer above"
+            );
+        }
+    }
+}
+
+/// Rebuilds edge usage from the returned routes and checks the result's
+/// own capacity accounting against it: `overflow` and `overflow_edges`
+/// must describe exactly the recomputed over-capacity set.
+fn assert_capacity_accounting(result: &RouteResult, capacity: u8) {
+    let mut usage: HashMap<(Node, bool), u32> = HashMap::new();
+    for route in &result.nets {
+        for &(a, b) in &route.wires {
+            let owner = if (a.x, a.y) <= (b.x, b.y) { a } else { b };
+            *usage.entry((owner, false)).or_default() += 1;
+        }
+        for &v in &route.vias {
+            *usage.entry((v, true)).or_default() += 1;
+        }
+    }
+    let mut over: Vec<(Node, bool, u32)> = usage
+        .iter()
+        .filter(|&(_, &u)| u > u32::from(capacity))
+        .map(|(&(node, via), &u)| (node, via, u - u32::from(capacity)))
+        .collect();
+    over.sort();
+    assert_eq!(result.overflow, over.len(), "overflow count mismatch");
+    let mut reported: Vec<(Node, bool, u32)> = result
+        .overflow_edges
+        .iter()
+        .map(|e| (e.node, matches!(e.step, Step::Via), u32::from(e.overuse)))
+        .collect();
+    reported.sort();
+    assert_eq!(reported, over, "overflow edge set mismatch");
+}
+
+/// Sum of per-net half-perimeter bounds: no routed tree is shorter than
+/// the HPWL of its terminal set.
+fn hpwl_lower_bound(design: &Design, placement: &Placement) -> u64 {
+    design
+        .net_ids()
+        .map(|n| {
+            let ts = terminals(design, placement, n);
+            if ts.len() < 2 {
+                return 0;
+            }
+            let xs: Vec<u16> = ts.iter().map(|t| t.x).collect();
+            let ys: Vec<u16> = ts.iter().map(|t| t.y).collect();
+            let dx = xs.iter().max().unwrap() - xs.iter().min().unwrap();
+            let dy = ys.iter().max().unwrap() - ys.iter().min().unwrap();
+            u64::from(dx) + u64::from(dy)
+        })
+        .sum()
+}
+
+#[test]
+fn random_instances_route_connected_on_grid_and_accounted() {
+    for seed in 0..SEEDS {
+        let (design, placement) = random_instance(seed);
+        let config = RouterConfig::default();
+        let result = route(&design, &placement, config);
+        assert_connected(&design, &placement, &result);
+        assert_on_grid(&placement, &result);
+        assert_capacity_accounting(&result, config.capacity);
+        let wires: u64 = result.nets.iter().map(|r| r.wirelength()).sum();
+        assert_eq!(wires, result.wirelength, "wirelength totals its nets");
+        let vias: u64 = result.nets.iter().map(|r| r.vias.len() as u64).sum();
+        assert_eq!(vias, result.vias, "via count totals its nets");
+    }
+}
+
+#[test]
+fn routed_wirelength_dominates_the_hpwl_lower_bound() {
+    for seed in 0..SEEDS {
+        let (design, placement) = random_instance(seed);
+        let result = route(&design, &placement, RouterConfig::default());
+        let bound = hpwl_lower_bound(&design, &placement);
+        assert!(
+            result.wirelength >= bound,
+            "seed {seed}: routed {} tracks under the HPWL bound {}",
+            result.wirelength,
+            bound
+        );
+    }
+}
+
+#[test]
+fn routing_is_bit_identical_across_runs() {
+    for seed in 0..SEEDS {
+        let (design, placement) = random_instance(seed);
+        let first = route(&design, &placement, RouterConfig::default());
+        let second = route(&design, &placement, RouterConfig::default());
+        assert_eq!(first, second, "seed {seed}: routing must be deterministic");
+    }
+}
+
+#[test]
+fn tight_capacity_still_accounts_exactly() {
+    // capacity 1 forces negotiation; whatever overflow remains must still
+    // be reproducible from the returned routes.
+    for seed in 0..SEEDS {
+        let (design, placement) = random_instance(seed);
+        let config = RouterConfig {
+            capacity: 1,
+            max_iterations: 4,
+            ..RouterConfig::default()
+        };
+        let result = route(&design, &placement, config);
+        assert_connected(&design, &placement, &result);
+        assert_capacity_accounting(&result, config.capacity);
+        assert_eq!(
+            result,
+            route(&design, &placement, config),
+            "seed {seed}: tight-capacity routing must be deterministic"
+        );
+    }
+}

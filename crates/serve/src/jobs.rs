@@ -695,6 +695,32 @@ impl Engine {
         // reproducible across deployments.
         config.solver = config.solver.resolve(request.options.overrides());
 
+        // Routing-closure jobs run the place → route → tighten loop on a
+        // private solver: the loop rebases per-window λ overrides into its
+        // placer, which must not leak back into the shared warm pool. The
+        // exact cache still applies (the options hash covers the closure
+        // knobs), and cancellation lands at the next solve's boundary via
+        // the normal queued-cancel path only.
+        if let Some(closure) = request.options.closure() {
+            self.counters.cold_builds.fetch_add(1, Ordering::Relaxed);
+            let response = match ams_route::close_placement(
+                &design,
+                config,
+                &closure,
+                ams_route::RouterConfig::default(),
+            ) {
+                Ok((placement, _)) => PlaceResponse::success(&design, &placement),
+                Err(e) => PlaceResponse::failure(design.name(), &e),
+            };
+            if response.status == JobStatus::Done && request.options.deadline_ms.is_none() {
+                let mut exact = self.exact.lock().expect("exact lock");
+                if exact.len() < self.config.exact_cap {
+                    exact.insert((dh, oh), response.clone());
+                }
+            }
+            return response;
+        }
+
         let mut solver = match self.checkout_solver(dh, &design, config) {
             Ok(solver) => solver,
             Err(e) => return PlaceResponse::failure(design.name(), &e),

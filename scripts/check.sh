@@ -137,6 +137,13 @@ echo "==> differential fuzz subset (SMT vs portfolio vs exhaustive reference)"
 # acceptance run is release-mode (CI release step + nightly).
 cargo test -q -p ams-place --test differential
 
+echo "==> routing-closure corpus smoke (25 scenarios vs golden manifest)"
+# A deterministic 25-scenario slice of the closure corpus: each scenario
+# runs the full place -> route -> tighten loop; the observed pass/fail +
+# drc_clean verdicts must match scripts/corpus_smoke_manifest.json. The
+# full 1000+-scenario sweep runs nightly (scripts/corpus.sh full).
+scripts/corpus.sh smoke
+
 echo "==> certified infeasibility smoke (proof-checked UNSAT, exit 2)"
 # λ_th = 0 is unsatisfiable by construction; --certify must turn that into
 # a DRAT certificate the in-repo checker validates before exiting 2.

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Drives the routing-closure loop (`amsplace close`) over the deterministic
+# scenario corpus (ams_place::scenario) and records routed-WL / iteration /
+# DRC-clean columns in BENCH_closure.json.
+#
+#   scripts/corpus.sh smoke           25-scenario always-on CI slice; the
+#                                     observed pass/fail + drc_clean verdicts
+#                                     are compared against the golden
+#                                     manifest scripts/corpus_smoke_manifest.json
+#   scripts/corpus.sh smoke --update  refresh the golden manifest instead of
+#                                     comparing (commit the result)
+#   scripts/corpus.sh full            the whole corpus (1000+ scenarios);
+#                                     refreshes BENCH_closure.json with the
+#                                     full columns (nightly artifact)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-smoke}"
+UPDATE="${2:-}"
+MANIFEST=scripts/corpus_smoke_manifest.json
+
+cargo build --release -q --bin amsplace
+BIN=target/release/amsplace
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# The corpus size lives in ams_place::scenario::CORPUS_SIZE; recover it from
+# the CLI's own out-of-range diagnostic instead of hardcoding a copy here.
+# (`|| true`: the probe exits 1 by design — don't let set -e/pipefail trip.)
+CORPUS_SIZE=$("$BIN" close scenario:4294967294 2>&1 \
+    | sed -n 's/.*corpus holds \([0-9]*\).*/\1/p' || true)
+if [ -z "$CORPUS_SIZE" ]; then
+    echo "could not determine the corpus size from the CLI" >&2
+    exit 1
+fi
+
+case "$MODE" in
+smoke)
+    # 25 evenly-strided indices: deterministic, spans every sweep radix.
+    STRIDE=$((CORPUS_SIZE / 25))
+    INDICES=$(seq 0 "$STRIDE" $((STRIDE * 24)))
+    ;;
+full)
+    INDICES=$(seq 0 $((CORPUS_SIZE - 1)))
+    ;;
+*)
+    echo "usage: scripts/corpus.sh [smoke [--update]|full]" >&2
+    exit 1
+    ;;
+esac
+
+: >"$TMP/results.tsv"
+for i in $INDICES; do
+    set +e
+    "$BIN" close "scenario:$i" --quick --max-iters 5 \
+        --stats-json "$TMP/s$i.json" >/dev/null 2>&1
+    code=$?
+    set -e
+    echo -e "$i\t$code" >>"$TMP/results.tsv"
+done
+
+python3 - "$TMP" "$MODE" "$CORPUS_SIZE" "$MANIFEST" "$UPDATE" <<'EOF'
+import json
+import pathlib
+import sys
+
+tmp = pathlib.Path(sys.argv[1])
+mode, corpus_size, manifest_path, update = (
+    sys.argv[2],
+    int(sys.argv[3]),
+    pathlib.Path(sys.argv[4]),
+    sys.argv[5],
+)
+
+rows = []
+for line in (tmp / "results.tsv").read_text().splitlines():
+    index, code = map(int, line.split("\t"))
+    row = {"index": index, "exit": code}
+    stats = tmp / f"s{index}.json"
+    if code == 0 and stats.exists():
+        closure = json.load(stats.open())["closure"]
+        row["iterations"] = closure["iterations"]
+        row["drc_clean"] = closure["drc_clean"]
+        trend = closure["routed_wl_trend"]
+        row["routed_wl"] = trend[-1] if trend else 0
+    else:
+        row["iterations"] = None
+        row["drc_clean"] = False
+        row["routed_wl"] = None
+    rows.append(row)
+
+closed = [r for r in rows if r["exit"] == 0]
+clean = [r for r in closed if r["drc_clean"]]
+out = {
+    "config": "amsplace close --quick --max-iters 5 (release)",
+    "mode": mode,
+    "corpus_size": corpus_size,
+    "scenarios_run": len(rows),
+    "summary": {
+        "placed": len(closed),
+        "routed_clean": len(clean),
+        "infeasible_or_failed": len(rows) - len(closed),
+        "mean_iterations": (
+            round(sum(r["iterations"] for r in closed) / len(closed), 3)
+            if closed
+            else None
+        ),
+        "total_routed_wl": sum(r["routed_wl"] or 0 for r in closed),
+    },
+    "scenarios": rows,
+}
+with open("BENCH_closure.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps(out["summary"], indent=2))
+
+if mode == "smoke":
+    observed = {
+        str(r["index"]): {"exit": r["exit"], "drc_clean": r["drc_clean"]}
+        for r in rows
+    }
+    if update == "--update" or not manifest_path.exists():
+        with manifest_path.open("w") as f:
+            json.dump(observed, f, indent=2)
+            f.write("\n")
+        print(f"wrote {manifest_path}")
+    else:
+        golden = json.load(manifest_path.open())
+        if observed != golden:
+            for k in sorted(set(golden) | set(observed), key=int):
+                if golden.get(k) != observed.get(k):
+                    print(
+                        f"scenario {k}: golden {golden.get(k)} "
+                        f"!= observed {observed.get(k)}",
+                        file=sys.stderr,
+                    )
+            sys.exit("corpus smoke tier diverged from the golden manifest")
+        print(f"matches {manifest_path} ({len(golden)} scenarios)")
+EOF
+echo "wrote BENCH_closure.json ($MODE)"

@@ -4,6 +4,8 @@
 //! amsplace --demo buf demo.json          # write a benchmark netlist
 //! amsplace demo.json --svg out.svg       # place it, render the layout
 //! amsplace demo.json --no-ams --route    # w/o-constraints arm + routing
+//! amsplace close vco --max-iters 5       # place→route→tighten closure loop
+//! amsplace route scenario:42             # place, route, report congestion
 //! amsplace lint demo.json                # pre-solve constraint linter
 //! amsplace lint vco --explain            # + UNSAT explanation if stuck
 //! amsplace serve --bind 127.0.0.1:7171   # placement-as-a-service
@@ -14,19 +16,27 @@ use finfet_ams_place::netlist::json::Json;
 use finfet_ams_place::netlist::{benchmarks, Design};
 use finfet_ams_place::place::analysis::{self, UnsatOutcome};
 use finfet_ams_place::place::api::{self, ErrorKind, JobOptions, PlaceRequest, PlaceResponse};
-use finfet_ams_place::place::{drat, render_svg, PlaceError, PlaceOutcome, Placer, PlacerConfig};
-use finfet_ams_place::route::{route, RouterConfig};
+use finfet_ams_place::place::closure::probe_windows;
+use finfet_ams_place::place::{
+    drat, render_svg, scenario, PlaceError, PlaceOutcome, Placer, PlacerConfig,
+};
+use finfet_ams_place::route::{close_placement, route, window_congestion, RouterConfig};
 use finfet_ams_place::serve::{client, ResumePolicy, ServeConfig, Server};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: amsplace [OPTIONS] <design.json|buf|vco|synthetic>
-       amsplace lint [--explain] [--presolve] <design.json|buf|vco|synthetic>
+usage: amsplace [OPTIONS] <design>
+       amsplace close [OPTIONS] [--max-iters <n>] <design>
+       amsplace route [OPTIONS] <design>
+       amsplace lint [--explain] [--presolve] <design>
        amsplace serve [--bind <addr>] [--workers <n>] [--queue-cap <n>]
                       [--journal-dir <dir> [--resume] [--resume-policy <p>]]
-       amsplace submit [OPTIONS] --addr <addr> <design.json|buf|vco|synthetic>
+       amsplace submit [OPTIONS] --addr <addr> <design>
        amsplace shutdown --addr <addr>
        amsplace --demo <buf|vco|synthetic> <out.json>
+
+<design> is a JSON netlist path, a benchmark name (buf, vco, synthetic),
+or scenario:<i> — entry i of the deterministic closure corpus.
 
 options:
   --out <file>        write the placement (cell rectangles) as JSON
@@ -53,6 +63,15 @@ options:
   --no-presolve       skip the static presolve analyzer (domain pruning
                       and the zero-conflict infeasibility fast path)
   --quick             small budgets for a fast smoke run
+
+close/route options:
+  --max-iters <n>     routing-closure iteration budget (default 5); each
+                      iteration routes the placement, maps window overflow
+                      back to the pin-density constraints it came from,
+                      tightens λ_th for just those windows, and re-solves
+                      incrementally. also valid with submit (runs the loop
+                      server-side); `amsplace route` routes a single
+                      placement and reports per-window congestion instead
 
 serve options:
   --bind <addr>       listen address (default 127.0.0.1:7171; port 0 picks)
@@ -96,6 +115,8 @@ the proof's provenance when it derives infeasibility.
 #[derive(PartialEq)]
 enum Command {
     Place,
+    Close,
+    Route,
     Lint,
     Serve,
     Submit,
@@ -122,6 +143,8 @@ struct Args {
     certify: bool,
     lambda_th: Option<u64>,
     quick: bool,
+    close: bool,
+    max_iters: Option<u64>,
     addr: String,
     bind: String,
     workers: usize,
@@ -157,6 +180,8 @@ fn parse_args() -> Result<Args, String> {
         certify: false,
         lambda_th: None,
         quick: false,
+        close: false,
+        max_iters: None,
         addr: "127.0.0.1:7171".to_string(),
         bind: "127.0.0.1:7171".to_string(),
         workers: 2,
@@ -174,6 +199,15 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
+            "close" if first_positional => {
+                args.command = Command::Close;
+                args.close = true;
+                first_positional = false;
+            }
+            "route" if first_positional => {
+                args.command = Command::Route;
+                first_positional = false;
+            }
             "lint" if first_positional => {
                 args.command = Command::Lint;
                 first_positional = false;
@@ -239,6 +273,16 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--certify" => args.certify = true,
+            "--close" => args.close = true,
+            "--max-iters" => {
+                let n: u64 = value("--max-iters")?
+                    .parse()
+                    .map_err(|e| format!("--max-iters: {e}"))?;
+                if n == 0 {
+                    return Err("--max-iters must be at least 1".into());
+                }
+                args.max_iters = Some(n);
+            }
             "--lambda-th" => {
                 args.lambda_th = Some(
                     value("--lambda-th")?
@@ -326,11 +370,13 @@ fn job_options(args: &Args) -> JobOptions {
         no_ams: args.no_ams,
         certify: args.certify,
         presolve: !args.no_presolve,
+        close: args.close,
+        close_iters: args.max_iters,
     }
 }
 
-/// Loads a design by benchmark name (`buf`, `vco`, `synthetic`) or from a
-/// JSON netlist file.
+/// Loads a design by benchmark name (`buf`, `vco`, `synthetic`), as a
+/// closure-corpus entry (`scenario:<i>`), or from a JSON netlist file.
 fn load_design(spec: &str) -> Result<Design, String> {
     match spec {
         "buf" => return Ok(benchmarks::buf()),
@@ -338,8 +384,29 @@ fn load_design(spec: &str) -> Result<Design, String> {
         "synthetic" => return Ok(benchmarks::synthetic(Default::default())),
         _ => {}
     }
+    if let Some(index) = spec.strip_prefix("scenario:") {
+        let index: u32 = index
+            .parse()
+            .map_err(|e| format!("scenario index {index:?}: {e}"))?;
+        if index >= scenario::CORPUS_SIZE {
+            return Err(format!(
+                "scenario index {index} out of range (corpus holds {})",
+                scenario::CORPUS_SIZE
+            ));
+        }
+        return Ok(scenario::scenario(index).design);
+    }
     let json = std::fs::read_to_string(spec).map_err(|e| format!("reading {spec}: {e}"))?;
     Design::from_json(&json).map_err(|e| format!("parsing {spec}: {e}"))
+}
+
+/// Folds design-spec-implied placement knobs into `config`: a corpus
+/// scenario carries its sweep point's die aspect ratio.
+fn spec_config(spec: &str, config: PlacerConfig) -> PlacerConfig {
+    match spec.strip_prefix("scenario:").and_then(|i| i.parse().ok()) {
+        Some(index) if index < scenario::CORPUS_SIZE => scenario::scenario(index).config(config),
+        _ => config,
+    }
 }
 
 /// The configuration the lint subcommand analyses against: the same
@@ -433,6 +500,174 @@ fn run_lint(args: &Args) -> ExitCode {
 /// the shared table in [`ErrorKind::exit_code`].
 fn place_exit_code(e: &PlaceError) -> ExitCode {
     ExitCode::from(ErrorKind::of(e).exit_code())
+}
+
+/// The `amsplace close` subcommand: run the place → route → tighten loop
+/// until the routing is overflow-free or the iteration budget expires.
+fn run_close(args: &Args) -> ExitCode {
+    let Some(spec) = &args.design_path else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let design = match load_design(spec) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let design = if args.no_ams {
+        design.without_constraints()
+    } else {
+        design
+    };
+    let options = job_options(args);
+    let config = spec_config(spec, options.to_config());
+    let opts = options.closure().unwrap_or_default();
+    eprintln!(
+        "closing {} ({} cells, {} nets, <= {} iterations)...",
+        design.name(),
+        design.cells().len(),
+        design.nets().len(),
+        opts.max_iters
+    );
+    let (placement, stats) = match close_placement(&design, config, &opts, RouterConfig::default())
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return place_exit_code(&e);
+        }
+    };
+    if let Err(violations) = placement.verify(&design) {
+        eprintln!("internal error: closed placement failed the legality oracle:");
+        for v in violations.iter().take(5) {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let trend: Vec<String> = stats.routed_wl_trend.iter().map(u64::to_string).collect();
+    println!(
+        "closed: {} iterations, {} hot windows tightened, routed WL [{}] tracks, {}",
+        stats.iterations,
+        stats.hot_windows.len(),
+        trend.join(" -> "),
+        if stats.drc_clean {
+            "routed clean"
+        } else {
+            "overflow remains"
+        }
+    );
+    if let Some(stats_path) = &args.stats_json {
+        let doc = api::stats_to_json(&design, &placement);
+        if let Err(e) = std::fs::write(stats_path, doc.pretty()) {
+            eprintln!("error: writing {stats_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("stats written to {stats_path}");
+    }
+    if let Some(svg_path) = &args.svg {
+        if let Err(e) = std::fs::write(svg_path, render_svg(&design, &placement)) {
+            eprintln!("error: writing {svg_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("layout rendered to {svg_path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `amsplace route` subcommand: place once, route, and report total
+/// and per-window congestion without running the closure loop.
+fn run_route(args: &Args) -> ExitCode {
+    let Some(spec) = &args.design_path else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let design = match load_design(spec) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let design = if args.no_ams {
+        design.without_constraints()
+    } else {
+        design
+    };
+    let options = job_options(args);
+    let config = spec_config(spec, options.to_config());
+    eprintln!(
+        "placing + routing {} ({} cells, {} nets)...",
+        design.name(),
+        design.cells().len(),
+        design.nets().len()
+    );
+    let placement = match Placer::builder(&design)
+        .config(config)
+        .build()
+        .and_then(|p| p.place())
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return place_exit_code(&e);
+        }
+    };
+    let routed = route(&design, &placement, RouterConfig::default());
+    let probe = probe_windows(&placement);
+    let per = window_congestion(&routed, &probe.rects);
+    println!(
+        "routed: {} tracks ({:.2} µm), {} vias, overflow {} after {} iterations",
+        routed.wirelength,
+        routed.wirelength_um(design.pitch()),
+        routed.vias,
+        routed.overflow,
+        routed.iterations
+    );
+    for (origin, c) in probe.origins.iter().zip(&per) {
+        if c.overflow > 0 {
+            println!(
+                "  window ({}, {}): overflow {}, {} wire tracks, {} vias",
+                origin.0, origin.1, c.overflow, c.routed_wl, c.vias
+            );
+        }
+    }
+    if let Some(stats_path) = &args.stats_json {
+        let windows: Vec<Json> = probe
+            .origins
+            .iter()
+            .zip(&per)
+            .map(|(o, c)| {
+                Json::obj([
+                    ("x", Json::uint(u64::from(o.0))),
+                    ("y", Json::uint(u64::from(o.1))),
+                    ("overflow", Json::uint(c.overflow)),
+                    ("routed_wl", Json::uint(c.routed_wl)),
+                    ("vias", Json::uint(c.vias)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("schema_version", Json::uint(api::SCHEMA_VERSION)),
+            ("design", Json::str(design.name())),
+            ("routed_wl_tracks", Json::uint(routed.wirelength)),
+            (
+                "routed_wl_um",
+                Json::Num(routed.wirelength_um(design.pitch())),
+            ),
+            ("vias", Json::uint(routed.vias)),
+            ("overflow", Json::uint(routed.overflow as u64)),
+            ("iterations", Json::uint(routed.iterations as u64)),
+            ("windows", Json::Arr(windows)),
+        ]);
+        if let Err(e) = std::fs::write(stats_path, doc.pretty()) {
+            eprintln!("error: writing {stats_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("stats written to {stats_path}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// The `amsplace serve` subcommand: bind, print the address, and block
@@ -632,6 +867,8 @@ fn main() -> ExitCode {
     };
 
     match args.command {
+        Command::Close => return run_close(&args),
+        Command::Route => return run_route(&args),
         Command::Lint => return run_lint(&args),
         Command::Serve => return run_serve(&args),
         Command::Submit => return run_submit(&args),
@@ -681,7 +918,7 @@ fn main() -> ExitCode {
     };
 
     let options = job_options(&args);
-    let config = options.to_config();
+    let config = spec_config(path, options.to_config());
 
     eprintln!(
         "placing {} ({} cells, {} nets)...",

@@ -10,6 +10,7 @@ use std::process::Command;
 const TOP_LEVEL_FIELDS: &[&str] = &[
     "area_um2",
     "certify",
+    "closure",
     "conflicts",
     "design",
     "die",
@@ -57,6 +58,16 @@ const PRESOLVE_FIELDS: &[&str] = &[
 
 const PRESOLVE_PASS_FIELDS: &[&str] = &["detail", "pass", "verdict"];
 
+const CLOSURE_FIELDS: &[&str] = &[
+    "drc_clean",
+    "hot_windows",
+    "iterations",
+    "ran",
+    "routed_wl_trend",
+];
+
+const CLOSURE_WINDOW_FIELDS: &[&str] = &["x", "y"];
+
 fn keys(doc: &Json) -> BTreeSet<String> {
     match doc {
         Json::Obj(map) => map.keys().cloned().collect(),
@@ -65,11 +76,15 @@ fn keys(doc: &Json) -> BTreeSet<String> {
 }
 
 fn run_amsplace(extra: &[&str]) -> Json {
+    run_amsplace_with(&["synthetic"], extra)
+}
+
+fn run_amsplace_with(head: &[&str], extra: &[&str]) -> Json {
     let dir = std::env::temp_dir().join(format!("amsplace_schema_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
-    let stats = dir.join(format!("stats_{}.json", extra.len()));
+    let stats = dir.join(format!("stats_{}_{}.json", head.len(), extra.len()));
     let status = Command::new(env!("CARGO_BIN_EXE_amsplace"))
-        .arg("synthetic")
+        .args(head)
         .arg("--quick")
         .args(["--stats-json", stats.to_str().expect("utf-8 temp path")])
         .args(extra)
@@ -137,6 +152,18 @@ fn stats_json_matches_the_golden_schema() {
         assert_eq!(keys(w), expected_worker, "per-worker field set changed");
     }
 
+    // A plain placement never runs the closure loop: the object keeps its
+    // constant shape with `ran: false`, like `presolve` when disabled.
+    assert_closure_shape(&map["closure"]);
+    let Json::Obj(cl) = &map["closure"] else {
+        unreachable!()
+    };
+    assert_eq!(cl["ran"], Json::Bool(false));
+    assert_eq!(cl["iterations"], Json::Num(0.0));
+    assert_eq!(cl["drc_clean"], Json::Bool(false));
+    assert!(matches!(&cl["hot_windows"], Json::Arr(v) if v.is_empty()));
+    assert!(matches!(&cl["routed_wl_trend"], Json::Arr(v) if v.is_empty()));
+
     // Presolve runs by default: the object is filled, the feasible verdict
     // recorded, and both analyzer passes reported.
     assert_presolve_shape(&map["presolve"]);
@@ -163,6 +190,50 @@ fn assert_presolve_shape(ps: &Json) {
     for p in passes {
         assert_eq!(keys(p), expected_pass, "presolve pass field set changed");
     }
+}
+
+fn assert_closure_shape(cl: &Json) {
+    let expected: BTreeSet<String> = CLOSURE_FIELDS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(keys(cl), expected, "closure field set changed");
+    let Json::Obj(map) = cl else { unreachable!() };
+    assert!(matches!(map["ran"], Json::Bool(_)));
+    assert!(matches!(map["drc_clean"], Json::Bool(_)));
+    let Json::Arr(windows) = &map["hot_windows"] else {
+        panic!("closure.hot_windows must be an array");
+    };
+    let expected_window: BTreeSet<String> = CLOSURE_WINDOW_FIELDS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for w in windows {
+        assert_eq!(keys(w), expected_window, "closure window field set changed");
+    }
+    assert!(matches!(&map["routed_wl_trend"], Json::Arr(_)));
+}
+
+#[test]
+fn closure_runs_fill_the_closure_object() {
+    let doc = run_amsplace_with(&["close", "synthetic"], &["--max-iters", "3"]);
+    let Json::Obj(map) = &doc else {
+        panic!("stats must be an object")
+    };
+    assert_closure_shape(&map["closure"]);
+    let Json::Obj(cl) = &map["closure"] else {
+        unreachable!()
+    };
+    assert_eq!(cl["ran"], Json::Bool(true));
+    let Json::Num(iterations) = cl["iterations"] else {
+        panic!("closure.iterations must be a number");
+    };
+    assert!(iterations >= 1.0, "a closure run reports its iterations");
+    let Json::Arr(trend) = &cl["routed_wl_trend"] else {
+        unreachable!()
+    };
+    assert_eq!(
+        trend.len(),
+        iterations as usize,
+        "one routed-WL sample per iteration"
+    );
 }
 
 #[test]
